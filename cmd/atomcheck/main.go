@@ -1,0 +1,122 @@
+// Command atomcheck checks a history file against the paper's atomicity
+// properties.
+//
+// Usage:
+//
+//	atomcheck -object x=intset -object y=account [-json] history.txt
+//
+// The history file uses the paper's angle-bracket notation, one event per
+// line (see internal/histories.Parse), or a JSON event array with -json.
+// Every object appearing in the history must be bound to a specification
+// with -object name=type, where type is one of: intset, counter, account,
+// queue, register, directory, seatmap.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/core"
+	"weihl83/internal/histories"
+	"weihl83/internal/spec"
+)
+
+// objectFlags collects repeated -object bindings.
+type objectFlags map[string]string
+
+func (f objectFlags) String() string { return fmt.Sprint(map[string]string(f)) }
+
+func (f objectFlags) Set(s string) error {
+	name, typ, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=type, got %q", s)
+	}
+	f[name] = typ
+	return nil
+}
+
+func specByName(name string) (spec.SerialSpec, error) {
+	switch name {
+	case "intset":
+		return adts.IntSetSpec{}, nil
+	case "counter":
+		return adts.CounterSpec{}, nil
+	case "account":
+		return adts.AccountSpec{}, nil
+	case "queue":
+		return adts.QueueSpec{}, nil
+	case "register":
+		return adts.RegisterSpec{}, nil
+	case "directory":
+		return adts.DirectorySpec{}, nil
+	case "seatmap":
+		return adts.SeatMapSpec{Seats: 64}, nil
+	default:
+		return nil, fmt.Errorf("unknown type %q (want intset|counter|account|queue|register|directory|seatmap)", name)
+	}
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	objects := objectFlags{}
+	flag.Var(objects, "object", "bind an object to a type, e.g. -object x=intset (repeatable)")
+	asJSON := flag.Bool("json", false, "input is a JSON event array")
+	trace := flag.Bool("trace", false, "print a per-activity timeline of the history")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: atomcheck -object name=type [-json] history-file")
+		return 2
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atomcheck:", err)
+		return 1
+	}
+	var h histories.History
+	if *asJSON {
+		if err := json.Unmarshal(data, &h); err != nil {
+			fmt.Fprintln(os.Stderr, "atomcheck:", err)
+			return 1
+		}
+	} else {
+		h, err = histories.Parse(string(data))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atomcheck:", err)
+			return 1
+		}
+	}
+
+	ck := core.NewChecker()
+	for name, typ := range objects {
+		s, err := specByName(typ)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atomcheck:", err)
+			return 2
+		}
+		ck.Register(histories.ObjectID(name), s)
+	}
+	for _, x := range h.Objects() {
+		if _, bound := objects[string(x)]; !bound {
+			fmt.Fprintf(os.Stderr, "atomcheck: object %s appears in the history but has no -object binding\n", x)
+			return 2
+		}
+	}
+
+	fmt.Printf("history: %d events, activities %v, objects %v\n\n", len(h), h.Activities(), h.Objects())
+	if *trace {
+		fmt.Println(histories.Timeline(h))
+	}
+	report := ck.Check(h)
+	fmt.Print(report)
+	if report.Atomic != nil {
+		return 1
+	}
+	return 0
+}

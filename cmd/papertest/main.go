@@ -1,0 +1,75 @@
+// Command papertest replays every example event sequence catalogued from
+// the paper through the offline checkers and prints the verdict table
+// (experiment E1). Exit status 1 if any verdict disagrees with the paper.
+//
+// Usage:
+//
+//	papertest [-v]
+//
+// -v additionally prints each sequence.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"weihl83/internal/paper"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	verbose := flag.Bool("v", false, "print each sequence")
+	flag.Parse()
+
+	fmt.Printf("%-32s %-26s %5s %7s %8s %7s %7s   %s\n",
+		"sequence", "section", "wf", "atomic", "dynamic", "static", "hybrid", "verdict")
+	failures := 0
+	for _, ps := range paper.Sequences {
+		c := paper.NewChecker()
+		h := ps.History()
+		if *verbose {
+			fmt.Printf("\n--- %s (%s)\n%s\n", ps.Name, ps.Section, h)
+		}
+		_, atomicErr := c.Atomic(h)
+		got := []struct {
+			err  error
+			want paper.Verdict
+		}{
+			{h.WellFormed(), ps.WellFormed},
+			{atomicErr, ps.Atomic},
+			{c.DynamicAtomic(h), ps.DynamicAtomic},
+			{c.StaticAtomic(h), ps.StaticAtomic},
+			{c.HybridAtomic(h), ps.HybridAtomic},
+		}
+		ok := true
+		cells := make([]string, len(got))
+		for i, g := range got {
+			holds := g.err == nil
+			cells[i] = map[bool]string{true: "yes", false: "no"}[holds]
+			switch g.want {
+			case paper.Holds:
+				ok = ok && holds
+			case paper.Fails:
+				ok = ok && !holds
+			case paper.NotApplicable:
+				cells[i] = "-"
+			}
+		}
+		verdict := "MATCHES PAPER"
+		if !ok {
+			verdict = "MISMATCH"
+			failures++
+		}
+		fmt.Printf("%-32s %-26s %5s %7s %8s %7s %7s   %s\n",
+			ps.Name, ps.Section, cells[0], cells[1], cells[2], cells[3], cells[4], verdict)
+	}
+	fmt.Printf("\n%d sequences, %d mismatches\n", len(paper.Sequences), failures)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,133 @@
+// Command simulate runs a parameterised workload against a chosen system
+// configuration and reports metrics; with -verify it also records the
+// history and checks it against the system's local atomicity property
+// (keep the workload small in that mode — the checkers are exact).
+//
+// Usage:
+//
+//	simulate -kind escrow -workload bank -workers 4 -txns 100
+//	simulate -kind mvcc -workload queue -workers 2 -txns 50
+//	simulate -kind hybrid -workload bank -verify -workers 2 -txns 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/core"
+	"weihl83/internal/histories"
+	"weihl83/internal/sim"
+	"weihl83/internal/tx"
+)
+
+func kindByName(s string) (sim.Kind, bool) {
+	for _, k := range []sim.Kind{
+		sim.KindRW2PL, sim.KindCommut, sim.KindCommutNameOnly, sim.KindCommutUndo,
+		sim.KindEscrow, sim.KindExact, sim.KindMVCC, sim.KindMVCCClassical, sim.KindHybrid,
+	} {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	kindName := flag.String("kind", "commut", "system kind: rw-2pl|commut|commut-nameonly|commut-undo|escrow|exact|mvcc|hybrid")
+	workload := flag.String("workload", "bank", "workload: bank|queue")
+	workers := flag.Int("workers", 4, "workers")
+	txns := flag.Int("txns", 100, "transactions (or items) per worker")
+	accounts := flag.Int("accounts", 4, "accounts (bank workload)")
+	audits := flag.Int("audits", 0, "audit transactions per audit worker (bank workload)")
+	skew := flag.Int64("skew", 0, "timestamp skew (static kinds)")
+	verify := flag.Bool("verify", false, "record the history and check the local atomicity property")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	kind, ok := kindByName(*kindName)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "simulate: unknown kind", *kindName)
+		return 2
+	}
+	cfg := sim.Config{Kind: kind, Record: *verify, Skew: *skew, Seed: *seed}
+
+	var sys *sim.System
+	var metrics *sim.Metrics
+	var err error
+	switch *workload {
+	case "bank":
+		sys, err = sim.NewSystem(cfg, *accounts, false)
+		if err == nil {
+			metrics, err = sim.RunBank(sys, sim.BankParams{
+				Accounts:           *accounts,
+				InitialBalance:     1_000_000,
+				TransferWorkers:    *workers,
+				TransfersPerWorker: *txns,
+				AuditWorkers:       boolToInt(*audits > 0) * *workers,
+				AuditsPerWorker:    *audits,
+				Amount:             1,
+				Seed:               *seed,
+			})
+		}
+	case "queue":
+		sys, err = sim.NewSystem(cfg, 0, true)
+		if err == nil {
+			metrics, err = sim.RunQueue(sys, sim.QueueParams{
+				Producers:        *workers,
+				Consumers:        *workers,
+				ItemsPerProducer: *txns,
+				Seed:             *seed,
+			})
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "simulate: unknown workload", *workload)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		return 1
+	}
+	fmt.Printf("kind=%s workload=%s %s\n", kind, *workload, metrics)
+	fmt.Printf("transfer throughput: %.0f txn/s\n", metrics.TransferThroughput())
+
+	if *verify {
+		h := sys.Manager.History()
+		ck := core.NewChecker()
+		for i := 0; i < *accounts; i++ {
+			ck.Register(histories.ObjectID(fmt.Sprintf("acct%d", i)), adts.AccountSpec{})
+		}
+		ck.Register("queue", adts.QueueSpec{})
+		var verr error
+		switch kind.Property() {
+		case tx.Dynamic:
+			verr = ck.DynamicAtomic(h)
+		case tx.Static:
+			if verr = h.WellFormedStatic(); verr == nil {
+				verr = ck.StaticAtomic(h)
+			}
+		case tx.Hybrid:
+			if verr = h.WellFormedHybrid(); verr == nil {
+				verr = ck.HybridAtomic(h)
+			}
+		}
+		if verr != nil {
+			fmt.Fprintf(os.Stderr, "simulate: VERIFICATION FAILED: %v\n", verr)
+			return 1
+		}
+		fmt.Printf("verified: recorded history (%d events) satisfies %s atomicity\n", len(h), kind.Property())
+	}
+	return 0
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,245 @@
+package weihl83_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"weihl83"
+)
+
+// TestFacadeGuardSpectrum exercises every guard through the facade on the
+// §5.1 workload shape.
+func TestFacadeGuardSpectrum(t *testing.T) {
+	for _, g := range []weihl83.Guard{weihl83.GuardRW, weihl83.GuardNameOnly, weihl83.GuardCommut, weihl83.GuardEscrow, weihl83.GuardExact} {
+		g := g
+		t.Run(guardName(g), func(t *testing.T) {
+			t.Parallel()
+			sys, err := weihl83.NewSystem(weihl83.Options{Property: weihl83.Dynamic, Record: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.AddObject("acct", weihl83.Account(), weihl83.WithGuard(g)); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Run(func(txn *weihl83.Txn) error {
+				_, err := txn.Invoke("acct", weihl83.OpDeposit, weihl83.Int(100))
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < 3; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if err := sys.Run(func(txn *weihl83.Txn) error {
+						_, err := txn.Invoke("acct", weihl83.OpWithdraw, weihl83.Int(5))
+						return err
+					}); err != nil {
+						t.Errorf("withdraw: %v", err)
+					}
+				}()
+			}
+			wg.Wait()
+			var bal weihl83.Value
+			if err := sys.Run(func(txn *weihl83.Txn) error {
+				v, err := txn.Invoke("acct", weihl83.OpBalance, weihl83.Nil())
+				bal = v
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if bal != weihl83.Int(85) {
+				t.Errorf("balance %v, want 85", bal)
+			}
+			if err := sys.Checker().DynamicAtomic(sys.History()); err != nil {
+				t.Errorf("not dynamic atomic: %v", err)
+			}
+		})
+	}
+}
+
+func guardName(g weihl83.Guard) string {
+	switch g {
+	case weihl83.GuardRW:
+		return "rw"
+	case weihl83.GuardNameOnly:
+		return "nameonly"
+	case weihl83.GuardCommut:
+		return "commut"
+	case weihl83.GuardEscrow:
+		return "escrow"
+	case weihl83.GuardExact:
+		return "exact"
+	default:
+		return "unknown"
+	}
+}
+
+// TestFacadeTimeoutMode builds a dynamic system with timeouts instead of
+// deadlock detection.
+func TestFacadeTimeoutMode(t *testing.T) {
+	sys, err := weihl83.NewSystem(weihl83.Options{
+		Property:    weihl83.Dynamic,
+		WaitTimeout: 5 * time.Millisecond,
+		Record:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddObject("s", weihl83.IntSet()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := sys.Run(func(txn *weihl83.Txn) error {
+				if _, err := txn.Invoke("s", weihl83.OpInsert, weihl83.Int(int64(i))); err != nil {
+					return err
+				}
+				_, err := txn.Invoke("s", weihl83.OpMember, weihl83.Int(int64(3-i)))
+				return err
+			}); err != nil {
+				t.Errorf("txn %d: %v", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := sys.Checker().DynamicAtomic(sys.History()); err != nil {
+		t.Errorf("not dynamic atomic: %v", err)
+	}
+}
+
+// TestFacadeSemiQueue drives the nondeterministic type through the public
+// API.
+func TestFacadeSemiQueue(t *testing.T) {
+	sys, err := weihl83.NewSystem(weihl83.Options{Property: weihl83.Dynamic, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddObject("sq", weihl83.SemiQueue(), weihl83.WithGuard(weihl83.GuardExact)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(func(txn *weihl83.Txn) error {
+		for _, v := range []int64{1, 2, 3} {
+			if _, err := txn.Invoke("sq", weihl83.OpEnqueue, weihl83.Int(v)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]bool{}
+	for i := 0; i < 3; i++ {
+		if err := sys.Run(func(txn *weihl83.Txn) error {
+			v, err := txn.Invoke("sq", weihl83.OpDequeue, weihl83.Nil())
+			if err != nil {
+				return err
+			}
+			got[v.MustInt()] = true
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 3 {
+		t.Errorf("dequeued %v, want all of 1..3", got)
+	}
+	if err := sys.Checker().DynamicAtomic(sys.History()); err != nil {
+		t.Errorf("not dynamic atomic: %v", err)
+	}
+}
+
+// TestFacadeAllADTs registers every built-in type under each property.
+func TestFacadeAllADTs(t *testing.T) {
+	adtList := map[weihl83.ObjectID]weihl83.ADT{
+		"set":   weihl83.IntSet(),
+		"ctr":   weihl83.Counter(),
+		"acct":  weihl83.Account(),
+		"q":     weihl83.Queue(),
+		"sq":    weihl83.SemiQueue(),
+		"reg":   weihl83.Register(),
+		"dir":   weihl83.Directory(),
+		"seats": weihl83.SeatMap(4),
+	}
+	for _, prop := range []weihl83.Property{weihl83.Dynamic, weihl83.Static, weihl83.Hybrid} {
+		sys, err := weihl83.NewSystem(weihl83.Options{Property: prop})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, a := range adtList {
+			if err := sys.AddObject(id, a); err != nil {
+				t.Fatalf("%s/%s: %v", prop, id, err)
+			}
+		}
+		if err := sys.Run(func(txn *weihl83.Txn) error {
+			ops := []struct {
+				obj weihl83.ObjectID
+				op  string
+				arg weihl83.Value
+			}{
+				{"set", weihl83.OpInsert, weihl83.Int(1)},
+				{"ctr", weihl83.OpIncrement, weihl83.Nil()},
+				{"acct", weihl83.OpDeposit, weihl83.Int(5)},
+				{"q", weihl83.OpEnqueue, weihl83.Int(9)},
+				{"sq", weihl83.OpEnqueue, weihl83.Int(9)},
+				{"reg", weihl83.OpRegWrite, weihl83.Int(7)},
+				{"dir", weihl83.OpBind, weihl83.Pair(1, 2)},
+				{"seats", weihl83.OpReserve, weihl83.Int(0)},
+			}
+			for _, o := range ops {
+				if _, err := txn.Invoke(o.obj, o.op, o.arg); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: %v", prop, err)
+		}
+	}
+}
+
+// TestFacadeDistinguishedResults sanity-checks the exported result values.
+func TestFacadeDistinguishedResults(t *testing.T) {
+	sys, err := weihl83.NewSystem(weihl83.Options{Property: weihl83.Dynamic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddObject("acct", weihl83.Account()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddObject("q", weihl83.Queue()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddObject("dir", weihl83.Directory()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddObject("seats", weihl83.SeatMap(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(func(txn *weihl83.Txn) error {
+		if v, err := txn.Invoke("acct", weihl83.OpWithdraw, weihl83.Int(1)); err != nil || v != weihl83.InsufficientFunds {
+			t.Errorf("withdraw from empty: %v %v", v, err)
+		}
+		if v, err := txn.Invoke("q", weihl83.OpDequeue, weihl83.Nil()); err != nil || v != weihl83.EmptyQueue {
+			t.Errorf("dequeue empty: %v %v", v, err)
+		}
+		if v, err := txn.Invoke("dir", weihl83.OpLookup, weihl83.Int(1)); err != nil || v != weihl83.Unbound {
+			t.Errorf("lookup unbound: %v %v", v, err)
+		}
+		if _, err := txn.Invoke("seats", weihl83.OpReserve, weihl83.Int(0)); err != nil {
+			t.Errorf("reserve: %v", err)
+		}
+		if v, err := txn.Invoke("seats", weihl83.OpReserve, weihl83.Int(0)); err != nil || v != weihl83.Taken {
+			t.Errorf("re-reserve: %v %v", v, err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module weihl83
+
+go 1.22

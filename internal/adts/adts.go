@@ -1,0 +1,59 @@
+// Package adts is the library of atomic abstract data types used throughout
+// the reproduction: the paper's integer set (§2), counter (§4.1 optimality
+// proof), bank account (§5.1), and FIFO queue (§5.1), plus a read/write
+// register (the classical baseline the paper generalizes), a directory, and
+// a seat map for the reservation example.
+//
+// Each type provides:
+//
+//   - a serial specification (spec.SerialSpec) giving its acceptable serial
+//     behaviour, including nondeterministic operations where useful;
+//   - type-specific commutativity information at two granularities: an
+//     argument-aware conflict predicate (à la Schwarz & Spector) and an
+//     operation-name-only conflict table (the coarser classical baseline);
+//   - a read/write classification (the coarsest baseline: ordinary 2PL);
+//   - an inverter producing compensating invocations, used by the
+//     update-in-place undo-log recovery variant.
+package adts
+
+import (
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+// Inverter returns the compensating invocations that undo inv (which was
+// executed in state pre and returned res). The empty slice means the
+// operation needs no compensation (it did not change the state).
+type Inverter func(pre spec.State, inv spec.Invocation, res value.Value) []spec.Invocation
+
+// Type bundles everything the protocols need to know about an abstract data
+// type: its serial specification and its commutativity structure.
+type Type struct {
+	// Spec is the type's serial specification.
+	Spec spec.SerialSpec
+	// Conflicts is the argument-aware commutativity-based conflict
+	// predicate: it reports whether two invocations fail to commute for
+	// some reachable state, consulting operation arguments.
+	Conflicts func(p, q spec.Invocation) bool
+	// ConflictsNameOnly is the coarser predicate that may consult only
+	// operation names.
+	ConflictsNameOnly func(p, q spec.Invocation) bool
+	// IsWrite classifies operations for read/write two-phase locking.
+	IsWrite func(op string) bool
+	// Invert produces compensating invocations for the undo-log recovery
+	// variant. Nil when the type does not support update-in-place recovery.
+	Invert Inverter
+}
+
+// ok is the unit result every successful mutator returns.
+var ok = value.Unit()
+
+// inv is shorthand for building invocations inside the ADT implementations.
+func inv(op string, arg value.Value) spec.Invocation {
+	return spec.Invocation{Op: op, Arg: arg}
+}
+
+// one wraps a single deterministic outcome.
+func one(res value.Value, next spec.State) []spec.Outcome {
+	return []spec.Outcome{{Result: res, Next: next}}
+}

@@ -1,0 +1,88 @@
+package adts
+
+import (
+	"strconv"
+
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+// Counter operation names.
+const (
+	OpIncrement = "increment" // increment -> resulting value
+	OpRead      = "read"      // read -> current value
+)
+
+// CounterSpec is the object y from the paper's optimality proof (§4.1): its
+// state is initially zero, and each invocation of increment increments the
+// state and returns the resulting value. Because every increment returns
+// the running count, the serial sequences of a counter reveal the complete
+// serialization order of the activities using it — which is exactly why the
+// optimality proof uses it to pin an arbitrary total order T. We add a read
+// observer for the protocol benchmarks; the optimality tests use only
+// increment.
+type CounterSpec struct{}
+
+var _ spec.SerialSpec = CounterSpec{}
+
+// Name implements spec.SerialSpec.
+func (CounterSpec) Name() string { return "counter" }
+
+// Init implements spec.SerialSpec.
+func (CounterSpec) Init() spec.State { return counterState(0) }
+
+type counterState int64
+
+var _ spec.State = counterState(0)
+
+// Key implements spec.State.
+func (s counterState) Key() string { return strconv.FormatInt(int64(s), 10) }
+
+// Step implements spec.State.
+func (s counterState) Step(in spec.Invocation) []spec.Outcome {
+	switch in.Op {
+	case OpIncrement:
+		if !in.Arg.IsNil() {
+			return nil
+		}
+		return one(value.Int(int64(s)+1), s+1)
+	case OpRead:
+		if !in.Arg.IsNil() {
+			return nil
+		}
+		return one(value.Int(int64(s)), s)
+	default:
+		return nil
+	}
+}
+
+// CounterConflicts: increments do not commute (each returns the running
+// count, so the results depend on order), and read conflicts with
+// increment.
+func CounterConflicts(p, q spec.Invocation) bool {
+	return p.Op == OpIncrement || q.Op == OpIncrement
+}
+
+// CounterConflictsNameOnly is identical to CounterConflicts: the operations
+// take no arguments, so there is no finer argument-aware distinction.
+func CounterConflictsNameOnly(p, q spec.Invocation) bool { return CounterConflicts(p, q) }
+
+// CounterIsWrite classifies counter operations for read/write locking.
+func CounterIsWrite(op string) bool { return op == OpIncrement }
+
+// CounterInvert compensates an increment by decrementing. The serial spec
+// has no decrement operation (the paper's object has only increment), so
+// update-in-place recovery is not supported; intentions lists are used
+// instead.
+func CounterInvert(spec.State, spec.Invocation, value.Value) []spec.Invocation { return nil }
+
+// Counter returns the full Type bundle for the counter.
+func Counter() Type {
+	return Type{
+		Spec:              CounterSpec{},
+		Conflicts:         CounterConflicts,
+		ConflictsNameOnly: CounterConflictsNameOnly,
+		IsWrite:           CounterIsWrite,
+		Invert:            nil,
+	}
+}

@@ -1,0 +1,93 @@
+package adts
+
+import (
+	"testing"
+
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+// TestCounterPaperSerialForm checks the §4.1 optimality-proof object: each
+// increment returns the running count, so the serial sequences have the
+// form <increment,y,a1> <1,y,a1> ... <increment,y,an> <n,y,an>.
+func TestCounterPaperSerialForm(t *testing.T) {
+	calls, st := mustReplay(t, CounterSpec{}, []spec.Invocation{
+		inv(OpIncrement, value.Nil()),
+		inv(OpIncrement, value.Nil()),
+		inv(OpIncrement, value.Nil()),
+	})
+	for i, c := range calls {
+		if c.Result != value.Int(int64(i+1)) {
+			t.Errorf("increment %d returned %v, want %d", i, c.Result, i+1)
+		}
+	}
+	if st.Key() != "3" {
+		t.Errorf("final state %s, want 3", st.Key())
+	}
+}
+
+func TestCounterRead(t *testing.T) {
+	calls, _ := mustReplay(t, CounterSpec{}, []spec.Invocation{
+		inv(OpRead, value.Nil()),
+		inv(OpIncrement, value.Nil()),
+		inv(OpRead, value.Nil()),
+	})
+	if calls[0].Result != value.Int(0) || calls[2].Result != value.Int(1) {
+		t.Errorf("reads = %v, %v", calls[0].Result, calls[2].Result)
+	}
+}
+
+func TestCounterRejectsBadArgs(t *testing.T) {
+	st := CounterSpec{}.Init()
+	if outs := st.Step(inv(OpIncrement, value.Int(1))); outs != nil {
+		t.Errorf("increment with arg accepted: %v", outs)
+	}
+	if outs := st.Step(inv(OpRead, value.Int(1))); outs != nil {
+		t.Errorf("read with arg accepted: %v", outs)
+	}
+	if outs := st.Step(inv("bogus", value.Nil())); outs != nil {
+		t.Errorf("bogus op accepted: %v", outs)
+	}
+}
+
+func TestCounterConflicts(t *testing.T) {
+	incr := inv(OpIncrement, value.Nil())
+	rd := inv(OpRead, value.Nil())
+	if !CounterConflicts(incr, incr) {
+		t.Error("increments must conflict (results depend on order)")
+	}
+	if !CounterConflicts(incr, rd) {
+		t.Error("increment/read must conflict")
+	}
+	if CounterConflicts(rd, rd) {
+		t.Error("read/read must not conflict")
+	}
+	// Semantic witness: increments do not commute.
+	if commutesFrom(CounterSpec{}.Init(), incr, incr) {
+		t.Error("increments commute; the optimality construction depends on them not commuting")
+	}
+	if CounterConflictsNameOnly(rd, rd) {
+		t.Error("name-only read/read must not conflict")
+	}
+}
+
+func TestCounterBundle(t *testing.T) {
+	ty := Counter()
+	if ty.Spec.Name() != "counter" {
+		t.Errorf("bundle name %q", ty.Spec.Name())
+	}
+	if ty.Invert != nil {
+		t.Error("counter must not advertise update-in-place recovery")
+	}
+	if !ty.IsWrite(OpIncrement) || ty.IsWrite(OpRead) {
+		t.Error("IsWrite misclassifies")
+	}
+}
+
+// TestCounterInvertIsNil documents that CounterInvert exists for symmetry
+// but always declines.
+func TestCounterInvertIsNil(t *testing.T) {
+	if got := CounterInvert(CounterSpec{}.Init(), inv(OpIncrement, value.Nil()), value.Int(1)); got != nil {
+		t.Errorf("CounterInvert = %v, want nil", got)
+	}
+}

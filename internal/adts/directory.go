@@ -1,0 +1,187 @@
+package adts
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+// Directory operation names and results.
+const (
+	OpBind   = "bind"   // bind(k,v) -> ok (rebinds if k is bound)
+	OpUnbind = "unbind" // unbind(k) -> ok
+	OpLookup = "lookup" // lookup(k) -> bound value | unbound
+)
+
+// Unbound is the lookup result for an unbound key.
+var Unbound = value.Str("unbound")
+
+// DirectorySpec is a key-value directory with integer keys and values —
+// the kind of naming/office-automation object the paper's introduction
+// motivates. Operations on distinct keys commute, which is the prototypical
+// payoff of argument-aware conflict analysis.
+type DirectorySpec struct{}
+
+var _ spec.SerialSpec = DirectorySpec{}
+
+// Name implements spec.SerialSpec.
+func (DirectorySpec) Name() string { return "directory" }
+
+// Init implements spec.SerialSpec: initially no key is bound.
+func (DirectorySpec) Init() spec.State { return directoryState(nil) }
+
+// directoryState is a sorted slice of bindings (persistent).
+type binding struct{ k, v int64 }
+
+type directoryState []binding
+
+var _ spec.State = directoryState(nil)
+
+// Key implements spec.State.
+func (s directoryState) Key() string {
+	parts := make([]string, len(s))
+	for i, b := range s {
+		parts[i] = fmt.Sprintf("%d:%d", b.k, b.v)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func (s directoryState) index(k int64) (int, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i].k >= k })
+	return i, i < len(s) && s[i].k == k
+}
+
+// Step implements spec.State.
+func (s directoryState) Step(in spec.Invocation) []spec.Outcome {
+	switch in.Op {
+	case OpBind:
+		k, v, okArg := in.Arg.AsPair()
+		if !okArg {
+			return nil
+		}
+		i, present := s.index(k)
+		out := make(directoryState, len(s), len(s)+1)
+		copy(out, s)
+		if present {
+			out[i] = binding{k, v}
+			return one(ok, out)
+		}
+		out = append(out, binding{})
+		copy(out[i+1:], out[i:len(out)-1])
+		out[i] = binding{k, v}
+		return one(ok, out)
+	case OpUnbind:
+		k, okArg := in.Arg.AsInt()
+		if !okArg {
+			return nil
+		}
+		i, present := s.index(k)
+		if !present {
+			return one(ok, s)
+		}
+		out := make(directoryState, 0, len(s)-1)
+		out = append(out, s[:i]...)
+		out = append(out, s[i+1:]...)
+		return one(ok, out)
+	case OpLookup:
+		k, okArg := in.Arg.AsInt()
+		if !okArg {
+			return nil
+		}
+		i, present := s.index(k)
+		if !present {
+			return one(Unbound, s)
+		}
+		return one(value.Int(s[i].v), s)
+	default:
+		return nil
+	}
+}
+
+// directoryKeyOf extracts the key an invocation touches.
+func directoryKeyOf(in spec.Invocation) (int64, bool) {
+	switch in.Op {
+	case OpBind:
+		k, _, okArg := in.Arg.AsPair()
+		return k, okArg
+	case OpUnbind, OpLookup:
+		return in.Arg.AsInt()
+	default:
+		return 0, false
+	}
+}
+
+// DirectoryConflicts: operations on distinct keys commute; on the same key,
+// two binds of identical pairs commute, two unbinds commute, and every
+// other mutator/observer combination conflicts.
+func DirectoryConflicts(p, q spec.Invocation) bool {
+	pk, okP := directoryKeyOf(p)
+	qk, okQ := directoryKeyOf(q)
+	if !okP || !okQ || pk != qk {
+		return false
+	}
+	if p.Op == OpLookup && q.Op == OpLookup {
+		return false
+	}
+	if p.Op == OpBind && q.Op == OpBind {
+		return p.Arg != q.Arg
+	}
+	if p.Op == OpUnbind && q.Op == OpUnbind {
+		return false
+	}
+	return true
+}
+
+// DirectoryConflictsNameOnly: without arguments, keys must be assumed
+// equal, so any mutator conflicts with everything except a same-named
+// idempotent mutator pair is still unsafe for bind (values may differ).
+func DirectoryConflictsNameOnly(p, q spec.Invocation) bool {
+	pm := DirectoryIsWrite(p.Op)
+	qm := DirectoryIsWrite(q.Op)
+	if !pm && !qm {
+		return false
+	}
+	if p.Op == OpUnbind && q.Op == OpUnbind {
+		return false
+	}
+	return true
+}
+
+// DirectoryIsWrite classifies directory operations.
+func DirectoryIsWrite(op string) bool { return op == OpBind || op == OpUnbind }
+
+// DirectoryInvert compensates binds and unbinds by restoring the previous
+// binding state of the key.
+func DirectoryInvert(pre spec.State, in spec.Invocation, _ value.Value) []spec.Invocation {
+	st, okState := pre.(directoryState)
+	if !okState {
+		return nil
+	}
+	k, hasKey := directoryKeyOf(in)
+	if !hasKey || !DirectoryIsWrite(in.Op) {
+		return nil
+	}
+	i, present := st.index(k)
+	switch {
+	case present:
+		return []spec.Invocation{inv(OpBind, value.Pair(k, st[i].v))}
+	case in.Op == OpBind:
+		return []spec.Invocation{inv(OpUnbind, value.Int(k))}
+	default:
+		return nil // unbind of an unbound key changed nothing
+	}
+}
+
+// Directory returns the full Type bundle for the directory.
+func Directory() Type {
+	return Type{
+		Spec:              DirectorySpec{},
+		Conflicts:         DirectoryConflicts,
+		ConflictsNameOnly: DirectoryConflictsNameOnly,
+		IsWrite:           DirectoryIsWrite,
+		Invert:            DirectoryInvert,
+	}
+}

@@ -1,0 +1,204 @@
+package adts
+
+import (
+	"testing"
+	"testing/quick"
+
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+func TestDirectorySerialBehaviour(t *testing.T) {
+	calls, st := mustReplay(t, DirectorySpec{}, []spec.Invocation{
+		inv(OpLookup, value.Int(1)),
+		inv(OpBind, value.Pair(1, 100)),
+		inv(OpLookup, value.Int(1)),
+		inv(OpBind, value.Pair(1, 200)), // rebind
+		inv(OpLookup, value.Int(1)),
+		inv(OpBind, value.Pair(0, 5)), // insert before
+		inv(OpUnbind, value.Int(1)),
+		inv(OpLookup, value.Int(1)),
+		inv(OpUnbind, value.Int(9)), // absent key ok
+	})
+	want := []value.Value{
+		Unbound,
+		value.Unit(),
+		value.Int(100),
+		value.Unit(),
+		value.Int(200),
+		value.Unit(),
+		value.Unit(),
+		Unbound,
+		value.Unit(),
+	}
+	for i, w := range want {
+		if calls[i].Result != w {
+			t.Errorf("call %d (%v): %v, want %v", i, calls[i].Inv, calls[i].Result, w)
+		}
+	}
+	if st.Key() != "{0:5}" {
+		t.Errorf("final state %s, want {0:5}", st.Key())
+	}
+}
+
+func TestDirectoryRejectsBadArgs(t *testing.T) {
+	st := DirectorySpec{}.Init()
+	bad := []spec.Invocation{
+		inv(OpBind, value.Int(1)),
+		inv(OpBind, value.Nil()),
+		inv(OpUnbind, value.Pair(1, 2)),
+		inv(OpLookup, value.Nil()),
+		inv("bogus", value.Nil()),
+	}
+	for _, in := range bad {
+		if outs := st.Step(in); outs != nil {
+			t.Errorf("Step(%v) accepted", in)
+		}
+	}
+}
+
+func TestDirectoryConflicts(t *testing.T) {
+	b1 := inv(OpBind, value.Pair(1, 10))
+	b1same := inv(OpBind, value.Pair(1, 10))
+	b1other := inv(OpBind, value.Pair(1, 20))
+	b2 := inv(OpBind, value.Pair(2, 10))
+	u1 := inv(OpUnbind, value.Int(1))
+	u2 := inv(OpUnbind, value.Int(2))
+	l1 := inv(OpLookup, value.Int(1))
+	l2 := inv(OpLookup, value.Int(2))
+	tests := []struct {
+		p, q spec.Invocation
+		want bool
+	}{
+		{b1, b2, false}, // distinct keys
+		{b1, u2, false},
+		{b1, l2, false},
+		{b1, b1same, false}, // identical binds commute
+		{b1, b1other, true},
+		{b1, u1, true},
+		{b1, l1, true},
+		{u1, u1, false}, // idempotent
+		{u1, l1, true},
+		{l1, l1, false},
+		{l1, l2, false},
+	}
+	for _, tt := range tests {
+		if got := DirectoryConflicts(tt.p, tt.q); got != tt.want {
+			t.Errorf("Conflicts(%v,%v) = %t, want %t", tt.p, tt.q, got, tt.want)
+		}
+		if got := DirectoryConflicts(tt.q, tt.p); got != tt.want {
+			t.Errorf("Conflicts symmetry broken for (%v,%v)", tt.q, tt.p)
+		}
+	}
+}
+
+// TestDirectoryConflictsSoundness: non-conflicting pairs commute from random
+// reachable states.
+func TestDirectoryConflictsSoundness(t *testing.T) {
+	f := func(binds []uint8, k1, v1, k2, v2 uint8) bool {
+		st := spec.State(DirectorySpec{}.Init())
+		for _, b := range binds {
+			out, err := spec.Apply(st, inv(OpBind, value.Pair(int64(b%4), int64(b/4%4))))
+			if err != nil {
+				return false
+			}
+			st = out.Next
+		}
+		ops := []spec.Invocation{
+			inv(OpBind, value.Pair(int64(k1%4), int64(v1%4))),
+			inv(OpBind, value.Pair(int64(k2%4), int64(v2%4))),
+			inv(OpUnbind, value.Int(int64(k1%4))),
+			inv(OpUnbind, value.Int(int64(k2%4))),
+			inv(OpLookup, value.Int(int64(k1%4))),
+			inv(OpLookup, value.Int(int64(k2%4))),
+		}
+		for _, p := range ops {
+			for _, q := range ops {
+				if DirectoryConflicts(p, q) {
+					continue
+				}
+				if !commutesFrom(st, p, q) {
+					t.Logf("pair (%v,%v) fails to commute from %s", p, q, st.Key())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectoryInvert(t *testing.T) {
+	st := DirectorySpec{}.Init()
+	// Bind of a fresh key is undone by unbind.
+	undo := DirectoryInvert(st, inv(OpBind, value.Pair(1, 10)), value.Unit())
+	if len(undo) != 1 || undo[0].Op != OpUnbind {
+		t.Errorf("invert fresh bind = %v", undo)
+	}
+	// Bind over an existing binding is undone by rebinding the old value.
+	out, _ := spec.Apply(st, inv(OpBind, value.Pair(1, 10)))
+	undo = DirectoryInvert(out.Next, inv(OpBind, value.Pair(1, 20)), value.Unit())
+	if len(undo) != 1 || undo[0].Op != OpBind || undo[0].Arg != value.Pair(1, 10) {
+		t.Errorf("invert rebind = %v", undo)
+	}
+	// Unbind of a bound key is undone by rebinding.
+	undo = DirectoryInvert(out.Next, inv(OpUnbind, value.Int(1)), value.Unit())
+	if len(undo) != 1 || undo[0].Op != OpBind || undo[0].Arg != value.Pair(1, 10) {
+		t.Errorf("invert unbind = %v", undo)
+	}
+	// Unbind of an absent key: nothing.
+	if undo := DirectoryInvert(st, inv(OpUnbind, value.Int(1)), value.Unit()); undo != nil {
+		t.Errorf("invert no-op unbind = %v", undo)
+	}
+	// Lookup: nothing.
+	if undo := DirectoryInvert(st, inv(OpLookup, value.Int(1)), Unbound); undo != nil {
+		t.Errorf("invert lookup = %v", undo)
+	}
+}
+
+func TestDirectoryInvertRoundTrip(t *testing.T) {
+	f := func(binds []uint8, opSel, k, v uint8) bool {
+		st := spec.State(DirectorySpec{}.Init())
+		for _, b := range binds {
+			out, err := spec.Apply(st, inv(OpBind, value.Pair(int64(b%4), int64(b/4%4))))
+			if err != nil {
+				return false
+			}
+			st = out.Next
+		}
+		var in spec.Invocation
+		if opSel%2 == 0 {
+			in = inv(OpBind, value.Pair(int64(k%4), int64(v%4)))
+		} else {
+			in = inv(OpUnbind, value.Int(int64(k%4)))
+		}
+		out, err := spec.Apply(st, in)
+		if err != nil {
+			return false
+		}
+		cur := out.Next
+		for _, u := range DirectoryInvert(st, in, out.Result) {
+			o, err := spec.Apply(cur, u)
+			if err != nil {
+				return false
+			}
+			cur = o.Next
+		}
+		return cur.Key() == st.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectoryBundle(t *testing.T) {
+	ty := Directory()
+	if ty.Spec.Name() != "directory" {
+		t.Errorf("bundle name %q", ty.Spec.Name())
+	}
+	if !ty.IsWrite(OpBind) || !ty.IsWrite(OpUnbind) || ty.IsWrite(OpLookup) {
+		t.Error("IsWrite misclassifies")
+	}
+}

@@ -1,0 +1,222 @@
+package adts
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+// IntSet operation names.
+const (
+	OpInsert = "insert" // insert(n) -> ok
+	OpDelete = "delete" // delete(n) -> ok
+	OpMember = "member" // member(n) -> true | false
+	OpSize   = "size"   // size -> int
+	OpPick   = "pick"   // pick -> any element (nondeterministic) | nil on empty
+)
+
+// IntSetSpec is the serial specification of the paper's integer-set object
+// (§2): a set of integers with insert, delete and membership operations,
+// initially empty. We add a size observer and a nondeterministic pick
+// operation (which may return any current element) to exercise the model's
+// support for nondeterministic operations.
+type IntSetSpec struct{}
+
+var _ spec.SerialSpec = IntSetSpec{}
+
+// Name implements spec.SerialSpec.
+func (IntSetSpec) Name() string { return "intset" }
+
+// Init implements spec.SerialSpec: the set is initially empty.
+func (IntSetSpec) Init() spec.State { return intSetState(nil) }
+
+// intSetState is a sorted slice of distinct elements. It is persistent:
+// Step returns fresh slices and never mutates the receiver.
+type intSetState []int64
+
+var _ spec.State = intSetState(nil)
+
+// Key implements spec.State.
+func (s intSetState) Key() string {
+	parts := make([]string, len(s))
+	for i, n := range s {
+		parts[i] = strconv.FormatInt(n, 10)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func (s intSetState) index(n int64) (int, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= n })
+	return i, i < len(s) && s[i] == n
+}
+
+func (s intSetState) with(n int64) intSetState {
+	i, present := s.index(n)
+	if present {
+		return s
+	}
+	out := make(intSetState, 0, len(s)+1)
+	out = append(out, s[:i]...)
+	out = append(out, n)
+	out = append(out, s[i:]...)
+	return out
+}
+
+func (s intSetState) without(n int64) intSetState {
+	i, present := s.index(n)
+	if !present {
+		return s
+	}
+	out := make(intSetState, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	out = append(out, s[i+1:]...)
+	return out
+}
+
+// Step implements spec.State.
+func (s intSetState) Step(in spec.Invocation) []spec.Outcome {
+	switch in.Op {
+	case OpInsert:
+		n, okArg := in.Arg.AsInt()
+		if !okArg {
+			return nil
+		}
+		return one(ok, s.with(n))
+	case OpDelete:
+		n, okArg := in.Arg.AsInt()
+		if !okArg {
+			return nil
+		}
+		return one(ok, s.without(n))
+	case OpMember:
+		n, okArg := in.Arg.AsInt()
+		if !okArg {
+			return nil
+		}
+		_, present := s.index(n)
+		return one(value.Bool(present), s)
+	case OpSize:
+		if !in.Arg.IsNil() {
+			return nil
+		}
+		return one(value.Int(int64(len(s))), s)
+	case OpPick:
+		if !in.Arg.IsNil() {
+			return nil
+		}
+		if len(s) == 0 {
+			return one(value.Nil(), s)
+		}
+		outs := make([]spec.Outcome, len(s))
+		for i, n := range s {
+			outs[i] = spec.Outcome{Result: value.Int(n), Next: s}
+		}
+		return outs
+	default:
+		return nil
+	}
+}
+
+// IntSetConflicts is the argument-aware commutativity predicate for the
+// integer set. Operations on distinct elements always commute; insert and
+// delete of the same element, or an observer of an element concurrent with
+// a mutator of that element, conflict. The size and pick observers conflict
+// with every mutator (their results can depend on any element).
+func IntSetConflicts(p, q spec.Invocation) bool {
+	if IntSetConflicts2(p, q) || IntSetConflicts2(q, p) {
+		return true
+	}
+	return false
+}
+
+// IntSetConflicts2 is the one-directional helper behind IntSetConflicts.
+func IntSetConflicts2(p, q spec.Invocation) bool {
+	pm, qm := intSetMutator(p.Op), intSetMutator(q.Op)
+	if !pm && !qm {
+		return false // two observers always commute
+	}
+	// At least one mutator. Same-element interactions:
+	pn, pHasArg := p.Arg.AsInt()
+	qn, qHasArg := q.Arg.AsInt()
+	switch {
+	case p.Op == OpSize || p.Op == OpPick:
+		return qm
+	case q.Op == OpSize || q.Op == OpPick:
+		return pm
+	case pHasArg && qHasArg && pn != qn:
+		return false // distinct elements commute
+	case p.Op == OpInsert && q.Op == OpInsert:
+		return false // idempotent: same final state, same results
+	case p.Op == OpDelete && q.Op == OpDelete:
+		return false
+	default:
+		// insert/delete, insert/member, delete/member of the same element.
+		return true
+	}
+}
+
+// IntSetConflictsNameOnly is the name-only conflict table: any mutator
+// conflicts with any operation other than a paired idempotent mutator,
+// because without arguments the elements must be assumed equal.
+func IntSetConflictsNameOnly(p, q spec.Invocation) bool {
+	pm, qm := intSetMutator(p.Op), intSetMutator(q.Op)
+	if !pm && !qm {
+		return false
+	}
+	if p.Op == OpInsert && q.Op == OpInsert {
+		return false
+	}
+	if p.Op == OpDelete && q.Op == OpDelete {
+		return false
+	}
+	return true
+}
+
+func intSetMutator(op string) bool { return op == OpInsert || op == OpDelete }
+
+// IntSetIsWrite classifies integer-set operations for read/write locking.
+func IntSetIsWrite(op string) bool { return intSetMutator(op) }
+
+// IntSetInvert produces compensating invocations for update-in-place
+// recovery: an insert that actually added the element is undone by a
+// delete, and vice versa; observers and no-op mutators need no
+// compensation.
+func IntSetInvert(pre spec.State, in spec.Invocation, _ value.Value) []spec.Invocation {
+	st, okState := pre.(intSetState)
+	if !okState {
+		return nil
+	}
+	n, hasArg := in.Arg.AsInt()
+	if !hasArg {
+		return nil
+	}
+	_, present := st.index(n)
+	switch in.Op {
+	case OpInsert:
+		if present {
+			return nil // already there: insert changed nothing
+		}
+		return []spec.Invocation{inv(OpDelete, value.Int(n))}
+	case OpDelete:
+		if !present {
+			return nil
+		}
+		return []spec.Invocation{inv(OpInsert, value.Int(n))}
+	default:
+		return nil
+	}
+}
+
+// IntSet returns the full Type bundle for the integer set.
+func IntSet() Type {
+	return Type{
+		Spec:              IntSetSpec{},
+		Conflicts:         IntSetConflicts,
+		ConflictsNameOnly: IntSetConflictsNameOnly,
+		IsWrite:           IntSetIsWrite,
+		Invert:            IntSetInvert,
+	}
+}

@@ -1,0 +1,323 @@
+package adts
+
+import (
+	"testing"
+	"testing/quick"
+
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+func mustReplay(t *testing.T, s spec.SerialSpec, invs []spec.Invocation) ([]spec.Call, spec.State) {
+	t.Helper()
+	calls, st, err := spec.Replay(s, invs)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return calls, st
+}
+
+func TestIntSetSerialBehaviour(t *testing.T) {
+	s := IntSetSpec{}
+	calls, st := mustReplay(t, s, []spec.Invocation{
+		inv(OpMember, value.Int(3)),
+		inv(OpInsert, value.Int(3)),
+		inv(OpMember, value.Int(3)),
+		inv(OpInsert, value.Int(1)),
+		inv(OpSize, value.Nil()),
+		inv(OpDelete, value.Int(3)),
+		inv(OpMember, value.Int(3)),
+		inv(OpDelete, value.Int(99)), // deleting an absent element is ok
+		inv(OpInsert, value.Int(1)),  // re-inserting is ok
+		inv(OpSize, value.Nil()),
+	})
+	wantResults := []value.Value{
+		value.Bool(false),
+		value.Unit(),
+		value.Bool(true),
+		value.Unit(),
+		value.Int(2),
+		value.Unit(),
+		value.Bool(false),
+		value.Unit(),
+		value.Unit(),
+		value.Int(1),
+	}
+	for i, w := range wantResults {
+		if calls[i].Result != w {
+			t.Errorf("call %d (%v): result %v, want %v", i, calls[i].Inv, calls[i].Result, w)
+		}
+	}
+	if st.Key() != "{1}" {
+		t.Errorf("final state %s, want {1}", st.Key())
+	}
+}
+
+func TestIntSetPickNondeterminism(t *testing.T) {
+	s := IntSetSpec{}
+	_, st := mustReplay(t, s, []spec.Invocation{
+		inv(OpInsert, value.Int(1)),
+		inv(OpInsert, value.Int(2)),
+	})
+	outs := st.Step(inv(OpPick, value.Nil()))
+	if len(outs) != 2 {
+		t.Fatalf("pick on {1,2} has %d outcomes, want 2", len(outs))
+	}
+	seen := map[value.Value]bool{}
+	for _, o := range outs {
+		seen[o.Result] = true
+	}
+	if !seen[value.Int(1)] || !seen[value.Int(2)] {
+		t.Errorf("pick outcomes %v, want {1,2}", outs)
+	}
+	// Pick on the empty set returns nil deterministically.
+	empty := s.Init().Step(inv(OpPick, value.Nil()))
+	if len(empty) != 1 || empty[0].Result != value.Nil() {
+		t.Errorf("pick on empty = %v", empty)
+	}
+}
+
+func TestIntSetRejectsBadArgs(t *testing.T) {
+	st := IntSetSpec{}.Init()
+	bad := []spec.Invocation{
+		inv(OpInsert, value.Nil()),
+		inv(OpInsert, value.Bool(true)),
+		inv(OpMember, value.Nil()),
+		inv(OpDelete, value.Str("x")),
+		inv(OpSize, value.Int(1)),
+		inv(OpPick, value.Int(1)),
+		inv("bogus", value.Nil()),
+	}
+	for _, in := range bad {
+		if outs := st.Step(in); outs != nil {
+			t.Errorf("Step(%v) = %v, want nil", in, outs)
+		}
+	}
+}
+
+func TestIntSetStateIsPersistent(t *testing.T) {
+	st := IntSetSpec{}.Init()
+	out, err := spec.Apply(st, inv(OpInsert, value.Int(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Key() != "{}" {
+		t.Errorf("initial state mutated to %s", st.Key())
+	}
+	if out.Next.Key() != "{3}" {
+		t.Errorf("next state %s, want {3}", out.Next.Key())
+	}
+}
+
+func TestIntSetConflictsTable(t *testing.T) {
+	i3 := inv(OpInsert, value.Int(3))
+	i4 := inv(OpInsert, value.Int(4))
+	d3 := inv(OpDelete, value.Int(3))
+	d4 := inv(OpDelete, value.Int(4))
+	m3 := inv(OpMember, value.Int(3))
+	m4 := inv(OpMember, value.Int(4))
+	size := inv(OpSize, value.Nil())
+	pick := inv(OpPick, value.Nil())
+
+	tests := []struct {
+		p, q spec.Invocation
+		want bool
+	}{
+		{i3, i3, false}, // idempotent
+		{i3, i4, false},
+		{i3, d3, true},
+		{i3, d4, false},
+		{i3, m3, true},
+		{i3, m4, false},
+		{d3, d3, false},
+		{d3, m3, true},
+		{d3, m4, false},
+		{m3, m3, false},
+		{m3, m4, false},
+		{size, i3, true},
+		{size, d3, true},
+		{size, m3, false},
+		{size, size, false},
+		{pick, i3, true},
+		{pick, m3, false},
+	}
+	for _, tt := range tests {
+		if got := IntSetConflicts(tt.p, tt.q); got != tt.want {
+			t.Errorf("Conflicts(%v,%v) = %t, want %t", tt.p, tt.q, got, tt.want)
+		}
+		if got := IntSetConflicts(tt.q, tt.p); got != tt.want {
+			t.Errorf("Conflicts(%v,%v) = %t, want %t (symmetry)", tt.q, tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestIntSetNameOnlyCoarserThanArgAware(t *testing.T) {
+	// The name-only table must conflict whenever the arg-aware table does
+	// (it has strictly less information).
+	ops := []spec.Invocation{
+		inv(OpInsert, value.Int(3)),
+		inv(OpInsert, value.Int(4)),
+		inv(OpDelete, value.Int(3)),
+		inv(OpMember, value.Int(3)),
+		inv(OpMember, value.Int(4)),
+		inv(OpSize, value.Nil()),
+		inv(OpPick, value.Nil()),
+	}
+	for _, p := range ops {
+		for _, q := range ops {
+			if IntSetConflicts(p, q) && !IntSetConflictsNameOnly(p, q) {
+				t.Errorf("name-only misses conflict (%v,%v)", p, q)
+			}
+		}
+	}
+	// And it must actually be coarser somewhere: distinct elements.
+	p := inv(OpInsert, value.Int(3))
+	q := inv(OpMember, value.Int(4))
+	if !IntSetConflictsNameOnly(p, q) {
+		t.Error("name-only table unexpectedly fine-grained for insert/member")
+	}
+}
+
+// TestIntSetConflictsSoundness is the semantic justification of the conflict
+// table: if the table says two invocations do not conflict, executing them
+// in either order from a random reachable state must give the same results
+// and the same final state (i.e. they commute).
+func TestIntSetConflictsSoundness(t *testing.T) {
+	ops := func(n1, n2 int64) []spec.Invocation {
+		return []spec.Invocation{
+			inv(OpInsert, value.Int(n1)),
+			inv(OpDelete, value.Int(n1)),
+			inv(OpMember, value.Int(n1)),
+			inv(OpInsert, value.Int(n2)),
+			inv(OpDelete, value.Int(n2)),
+			inv(OpMember, value.Int(n2)),
+			inv(OpSize, value.Nil()),
+		}
+	}
+	f := func(seed uint8, elems []uint8) bool {
+		// Build a reachable state.
+		st := spec.State(IntSetSpec{}.Init())
+		for _, e := range elems {
+			out, err := spec.Apply(st, inv(OpInsert, value.Int(int64(e%6))))
+			if err != nil {
+				return false
+			}
+			st = out.Next
+		}
+		n1 := int64(seed % 6)
+		n2 := int64((seed / 6) % 6)
+		for _, p := range ops(n1, n2) {
+			for _, q := range ops(n1, n2) {
+				if IntSetConflicts(p, q) {
+					continue
+				}
+				if !commutesFrom(st, p, q) {
+					t.Logf("non-conflicting pair (%v,%v) fails to commute from %s", p, q, st.Key())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// commutesFrom checks result- and state-commutativity of p then q versus q
+// then p from st (deterministic specs only).
+func commutesFrom(st spec.State, p, q spec.Invocation) bool {
+	o1, err1 := spec.Apply(st, p)
+	if err1 != nil {
+		return true // not applicable: vacuous
+	}
+	o2, err2 := spec.Apply(o1.Next, q)
+	if err2 != nil {
+		return true
+	}
+	o3, err3 := spec.Apply(st, q)
+	if err3 != nil {
+		return true
+	}
+	o4, err4 := spec.Apply(o3.Next, p)
+	if err4 != nil {
+		return true
+	}
+	return o1.Result == o4.Result && o2.Result == o3.Result && o2.Next.Key() == o4.Next.Key()
+}
+
+func TestIntSetInvert(t *testing.T) {
+	st := IntSetSpec{}.Init()
+	// Insert into empty: undone by delete.
+	undo := IntSetInvert(st, inv(OpInsert, value.Int(3)), value.Unit())
+	if len(undo) != 1 || undo[0].Op != OpDelete {
+		t.Errorf("invert insert = %v", undo)
+	}
+	// Insert of an existing element: no compensation.
+	out, _ := spec.Apply(st, inv(OpInsert, value.Int(3)))
+	if undo := IntSetInvert(out.Next, inv(OpInsert, value.Int(3)), value.Unit()); undo != nil {
+		t.Errorf("invert no-op insert = %v", undo)
+	}
+	// Delete of an existing element: undone by insert.
+	if undo := IntSetInvert(out.Next, inv(OpDelete, value.Int(3)), value.Unit()); len(undo) != 1 || undo[0].Op != OpInsert {
+		t.Errorf("invert delete = %v", undo)
+	}
+	// Delete of an absent element: no compensation.
+	if undo := IntSetInvert(st, inv(OpDelete, value.Int(3)), value.Unit()); undo != nil {
+		t.Errorf("invert no-op delete = %v", undo)
+	}
+	// Observers: no compensation.
+	if undo := IntSetInvert(st, inv(OpMember, value.Int(3)), value.Bool(false)); undo != nil {
+		t.Errorf("invert member = %v", undo)
+	}
+}
+
+// TestIntSetInvertRoundTrip: applying an op then its compensation restores
+// the original state key.
+func TestIntSetInvertRoundTrip(t *testing.T) {
+	f := func(pre []uint8, opSel uint8, argSel uint8) bool {
+		st := spec.State(IntSetSpec{}.Init())
+		for _, e := range pre {
+			out, err := spec.Apply(st, inv(OpInsert, value.Int(int64(e%5))))
+			if err != nil {
+				return false
+			}
+			st = out.Next
+		}
+		var in spec.Invocation
+		if opSel%2 == 0 {
+			in = inv(OpInsert, value.Int(int64(argSel%5)))
+		} else {
+			in = inv(OpDelete, value.Int(int64(argSel%5)))
+		}
+		out, err := spec.Apply(st, in)
+		if err != nil {
+			return false
+		}
+		cur := out.Next
+		for _, u := range IntSetInvert(st, in, out.Result) {
+			o, err := spec.Apply(cur, u)
+			if err != nil {
+				return false
+			}
+			cur = o.Next
+		}
+		return cur.Key() == st.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntSetTypeBundle(t *testing.T) {
+	ty := IntSet()
+	if ty.Spec.Name() != "intset" {
+		t.Errorf("bundle spec name %q", ty.Spec.Name())
+	}
+	if ty.Conflicts == nil || ty.ConflictsNameOnly == nil || ty.IsWrite == nil || ty.Invert == nil {
+		t.Error("bundle has nil members")
+	}
+	if !ty.IsWrite(OpInsert) || ty.IsWrite(OpMember) {
+		t.Error("IsWrite misclassifies")
+	}
+}

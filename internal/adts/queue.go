@@ -1,0 +1,105 @@
+package adts
+
+import (
+	"strconv"
+	"strings"
+
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+// FIFO queue operation names and results.
+const (
+	OpEnqueue = "enqueue" // enqueue(n) -> ok
+	OpDequeue = "dequeue" // dequeue -> front element | empty
+)
+
+// EmptyQueue is the result of dequeuing an empty queue.
+var EmptyQueue = value.Str("empty")
+
+// QueueSpec is the first-in-first-out queue of §5.1, with operations to
+// enqueue an integer onto the back and dequeue an integer from the front.
+type QueueSpec struct{}
+
+var _ spec.SerialSpec = QueueSpec{}
+
+// Name implements spec.SerialSpec.
+func (QueueSpec) Name() string { return "queue" }
+
+// Init implements spec.SerialSpec.
+func (QueueSpec) Init() spec.State { return queueState(nil) }
+
+// queueState is the queue contents, front first. Persistent: Step copies.
+type queueState []int64
+
+var _ spec.State = queueState(nil)
+
+// Key implements spec.State.
+func (s queueState) Key() string {
+	parts := make([]string, len(s))
+	for i, n := range s {
+		parts[i] = strconv.FormatInt(n, 10)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// Step implements spec.State.
+func (s queueState) Step(in spec.Invocation) []spec.Outcome {
+	switch in.Op {
+	case OpEnqueue:
+		n, okArg := in.Arg.AsInt()
+		if !okArg {
+			return nil
+		}
+		next := make(queueState, 0, len(s)+1)
+		next = append(next, s...)
+		next = append(next, n)
+		return one(ok, next)
+	case OpDequeue:
+		if !in.Arg.IsNil() {
+			return nil
+		}
+		if len(s) == 0 {
+			return one(EmptyQueue, s)
+		}
+		next := make(queueState, len(s)-1)
+		copy(next, s[1:])
+		return one(value.Int(s[0]), next)
+	default:
+		return nil
+	}
+}
+
+// QueueConflicts: as the paper observes, an operation to enqueue 1 does not
+// commute with an operation to enqueue 2 — the queue order differs — and
+// dequeue commutes with nothing. Enqueues of equal values commute (both
+// orders give the same contents and results).
+func QueueConflicts(p, q spec.Invocation) bool {
+	if p.Op == OpDequeue || q.Op == OpDequeue {
+		return true
+	}
+	// Both enqueues: conflict exactly when the values differ.
+	pn, _ := p.Arg.AsInt()
+	qn, _ := q.Arg.AsInt()
+	return pn != qn
+}
+
+// QueueConflictsNameOnly: without arguments, any two queue operations must
+// be assumed to conflict.
+func QueueConflictsNameOnly(p, q spec.Invocation) bool { return true }
+
+// QueueIsWrite classifies queue operations: both mutate.
+func QueueIsWrite(op string) bool { return true }
+
+// Queue returns the full Type bundle for the FIFO queue. There is no
+// inverter: dequeue cannot be compensated without splicing into the middle
+// of the queue, so the queue uses intentions-list recovery.
+func Queue() Type {
+	return Type{
+		Spec:              QueueSpec{},
+		Conflicts:         QueueConflicts,
+		ConflictsNameOnly: QueueConflictsNameOnly,
+		IsWrite:           QueueIsWrite,
+		Invert:            nil,
+	}
+}

@@ -1,0 +1,105 @@
+package adts
+
+import (
+	"testing"
+
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+func TestQueueSerialBehaviour(t *testing.T) {
+	calls, st := mustReplay(t, QueueSpec{}, []spec.Invocation{
+		inv(OpDequeue, value.Nil()), // empty
+		inv(OpEnqueue, value.Int(1)),
+		inv(OpEnqueue, value.Int(2)),
+		inv(OpDequeue, value.Nil()),
+		inv(OpEnqueue, value.Int(3)),
+		inv(OpDequeue, value.Nil()),
+		inv(OpDequeue, value.Nil()),
+		inv(OpDequeue, value.Nil()), // empty again
+	})
+	want := []value.Value{
+		EmptyQueue,
+		value.Unit(),
+		value.Unit(),
+		value.Int(1),
+		value.Unit(),
+		value.Int(2),
+		value.Int(3),
+		EmptyQueue,
+	}
+	for i, w := range want {
+		if calls[i].Result != w {
+			t.Errorf("call %d (%v): result %v, want %v", i, calls[i].Inv, calls[i].Result, w)
+		}
+	}
+	if st.Key() != "[]" {
+		t.Errorf("final state %s, want []", st.Key())
+	}
+}
+
+func TestQueueRejectsBadArgs(t *testing.T) {
+	st := QueueSpec{}.Init()
+	bad := []spec.Invocation{
+		inv(OpEnqueue, value.Nil()),
+		inv(OpDequeue, value.Int(1)),
+		inv("bogus", value.Nil()),
+	}
+	for _, in := range bad {
+		if outs := st.Step(in); outs != nil {
+			t.Errorf("Step(%v) = %v, want nil", in, outs)
+		}
+	}
+}
+
+// TestQueueConflictsPaperObservation: "an operation to enqueue the integer
+// 1 does not commute with an operation to enqueue the integer 2" (§5.1).
+func TestQueueConflictsPaperObservation(t *testing.T) {
+	e1 := inv(OpEnqueue, value.Int(1))
+	e2 := inv(OpEnqueue, value.Int(2))
+	dq := inv(OpDequeue, value.Nil())
+	if !QueueConflicts(e1, e2) {
+		t.Error("enqueue(1)/enqueue(2) reported commuting")
+	}
+	if QueueConflicts(e1, e1) {
+		t.Error("enqueue(1)/enqueue(1) reported conflicting (identical enqueues commute)")
+	}
+	if !QueueConflicts(e1, dq) || !QueueConflicts(dq, dq) {
+		t.Error("dequeue must conflict with everything")
+	}
+	// Name-only table conflicts everywhere.
+	if !QueueConflictsNameOnly(e1, e1) {
+		t.Error("name-only table must be conservative for enqueue/enqueue")
+	}
+	// Semantic witnesses.
+	st := QueueSpec{}.Init()
+	if commutesFrom(st, e1, e2) {
+		t.Error("enqueue(1)/enqueue(2) actually commute; table and semantics disagree")
+	}
+	if !commutesFrom(st, e1, e1) {
+		t.Error("identical enqueues fail to commute")
+	}
+}
+
+func TestQueueIsWrite(t *testing.T) {
+	if !QueueIsWrite(OpEnqueue) || !QueueIsWrite(OpDequeue) {
+		t.Error("queue ops must be writes")
+	}
+}
+
+func TestQueueTypeBundleHasNoInverter(t *testing.T) {
+	if Queue().Invert != nil {
+		t.Error("queue must not advertise update-in-place recovery")
+	}
+}
+
+func TestQueueStatePersistence(t *testing.T) {
+	st := QueueSpec{}.Init()
+	out, err := spec.Apply(st, inv(OpEnqueue, value.Int(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Key() != "[]" || out.Next.Key() != "[7]" {
+		t.Errorf("persistence violated: %s -> %s", st.Key(), out.Next.Key())
+	}
+}

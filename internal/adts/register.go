@@ -1,0 +1,94 @@
+package adts
+
+import (
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+// Register operation names.
+const (
+	OpRegRead  = "read"  // read -> current value
+	OpRegWrite = "write" // write(v) -> ok
+)
+
+// RegisterSpec is a read/write register — the data model assumed by the
+// classical concurrency-control literature the paper generalizes. Including
+// it lets the benchmarks compare type-specific protocols against the
+// read/write baseline on its home turf.
+type RegisterSpec struct{}
+
+var _ spec.SerialSpec = RegisterSpec{}
+
+// Name implements spec.SerialSpec.
+func (RegisterSpec) Name() string { return "register" }
+
+// Init implements spec.SerialSpec: the register initially holds 0.
+func (RegisterSpec) Init() spec.State { return registerState{val: value.Int(0)} }
+
+type registerState struct {
+	val value.Value
+}
+
+var _ spec.State = registerState{}
+
+// Key implements spec.State.
+func (s registerState) Key() string { return s.val.String() }
+
+// Step implements spec.State.
+func (s registerState) Step(in spec.Invocation) []spec.Outcome {
+	switch in.Op {
+	case OpRegRead:
+		if !in.Arg.IsNil() {
+			return nil
+		}
+		return one(s.val, s)
+	case OpRegWrite:
+		if in.Arg.IsNil() {
+			return nil
+		}
+		return one(ok, registerState{val: in.Arg})
+	default:
+		return nil
+	}
+}
+
+// RegisterConflicts: reads commute with reads; a write conflicts with a
+// read and with a write of a different value (blind writes of the same
+// value commute).
+func RegisterConflicts(p, q spec.Invocation) bool {
+	if p.Op == OpRegRead && q.Op == OpRegRead {
+		return false
+	}
+	if p.Op == OpRegWrite && q.Op == OpRegWrite {
+		return p.Arg != q.Arg
+	}
+	return true
+}
+
+// RegisterConflictsNameOnly is the classical read/write conflict table.
+func RegisterConflictsNameOnly(p, q spec.Invocation) bool {
+	return p.Op == OpRegWrite || q.Op == OpRegWrite
+}
+
+// RegisterIsWrite classifies register operations.
+func RegisterIsWrite(op string) bool { return op == OpRegWrite }
+
+// RegisterInvert compensates a write by writing back the previous value.
+func RegisterInvert(pre spec.State, in spec.Invocation, _ value.Value) []spec.Invocation {
+	st, okState := pre.(registerState)
+	if !okState || in.Op != OpRegWrite {
+		return nil
+	}
+	return []spec.Invocation{inv(OpRegWrite, st.val)}
+}
+
+// Register returns the full Type bundle for the register.
+func Register() Type {
+	return Type{
+		Spec:              RegisterSpec{},
+		Conflicts:         RegisterConflicts,
+		ConflictsNameOnly: RegisterConflictsNameOnly,
+		IsWrite:           RegisterIsWrite,
+		Invert:            RegisterInvert,
+	}
+}

@@ -1,0 +1,93 @@
+package adts
+
+import (
+	"testing"
+
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+func TestRegisterSerialBehaviour(t *testing.T) {
+	calls, st := mustReplay(t, RegisterSpec{}, []spec.Invocation{
+		inv(OpRegRead, value.Nil()),
+		inv(OpRegWrite, value.Int(7)),
+		inv(OpRegRead, value.Nil()),
+		inv(OpRegWrite, value.Str("s")),
+		inv(OpRegRead, value.Nil()),
+	})
+	want := []value.Value{
+		value.Int(0),
+		value.Unit(),
+		value.Int(7),
+		value.Unit(),
+		value.Str("s"),
+	}
+	for i, w := range want {
+		if calls[i].Result != w {
+			t.Errorf("call %d: %v, want %v", i, calls[i].Result, w)
+		}
+	}
+	if st.Key() != `"s"` {
+		t.Errorf("final state %s", st.Key())
+	}
+}
+
+func TestRegisterRejectsBadArgs(t *testing.T) {
+	st := RegisterSpec{}.Init()
+	if outs := st.Step(inv(OpRegRead, value.Int(1))); outs != nil {
+		t.Error("read with arg accepted")
+	}
+	if outs := st.Step(inv(OpRegWrite, value.Nil())); outs != nil {
+		t.Error("write of nil accepted")
+	}
+	if outs := st.Step(inv("bogus", value.Nil())); outs != nil {
+		t.Error("bogus op accepted")
+	}
+}
+
+func TestRegisterConflicts(t *testing.T) {
+	r := inv(OpRegRead, value.Nil())
+	w7 := inv(OpRegWrite, value.Int(7))
+	w7b := inv(OpRegWrite, value.Int(7))
+	w8 := inv(OpRegWrite, value.Int(8))
+	if RegisterConflicts(r, r) {
+		t.Error("read/read conflicts")
+	}
+	if !RegisterConflicts(r, w7) || !RegisterConflicts(w7, r) {
+		t.Error("read/write must conflict")
+	}
+	if !RegisterConflicts(w7, w8) {
+		t.Error("writes of different values must conflict")
+	}
+	if RegisterConflicts(w7, w7b) {
+		t.Error("identical blind writes commute")
+	}
+	// Name-only is the classical table: write conflicts with everything.
+	if !RegisterConflictsNameOnly(w7, w7b) {
+		t.Error("name-only write/write must conflict")
+	}
+	if RegisterConflictsNameOnly(r, r) {
+		t.Error("name-only read/read must not conflict")
+	}
+}
+
+func TestRegisterInvert(t *testing.T) {
+	st := RegisterSpec{}.Init()
+	undo := RegisterInvert(st, inv(OpRegWrite, value.Int(9)), value.Unit())
+	if len(undo) != 1 || undo[0].Op != OpRegWrite || undo[0].Arg != value.Int(0) {
+		t.Errorf("invert write = %v", undo)
+	}
+	if undo := RegisterInvert(st, inv(OpRegRead, value.Nil()), value.Int(0)); undo != nil {
+		t.Errorf("invert read = %v", undo)
+	}
+}
+
+func TestRegisterBundle(t *testing.T) {
+	ty := Register()
+	if ty.Spec.Name() != "register" {
+		t.Errorf("bundle name %q", ty.Spec.Name())
+	}
+	if !ty.IsWrite(OpRegWrite) || ty.IsWrite(OpRegRead) {
+		t.Error("IsWrite misclassifies")
+	}
+}

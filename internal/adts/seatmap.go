@@ -1,0 +1,170 @@
+package adts
+
+import (
+	"strings"
+
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+// Seat-map operation names and results.
+const (
+	OpReserve = "reserve" // reserve(s) -> ok | taken
+	OpRelease = "release" // release(s) -> ok
+	OpFree    = "free"    // free -> number of free seats
+)
+
+// Taken is the abnormal result of reserving an occupied seat.
+var Taken = value.Str("taken")
+
+// SeatMapSpec is an airline-reservation seat map — one of the motivating
+// applications in the paper's introduction. A fixed number of seats may be
+// reserved and released; reservations of distinct seats commute.
+type SeatMapSpec struct {
+	// Seats is the seat count; seats are numbered 0..Seats-1.
+	Seats int
+}
+
+var _ spec.SerialSpec = SeatMapSpec{}
+
+// Name implements spec.SerialSpec.
+func (SeatMapSpec) Name() string { return "seatmap" }
+
+// Init implements spec.SerialSpec: all seats initially free.
+func (s SeatMapSpec) Init() spec.State {
+	return seatMapState{taken: make([]bool, s.Seats)}
+}
+
+type seatMapState struct {
+	taken []bool
+}
+
+var _ spec.State = seatMapState{}
+
+// Key implements spec.State.
+func (s seatMapState) Key() string {
+	var sb strings.Builder
+	for _, t := range s.taken {
+		if t {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+func (s seatMapState) with(seat int, v bool) seatMapState {
+	out := make([]bool, len(s.taken))
+	copy(out, s.taken)
+	out[seat] = v
+	return seatMapState{taken: out}
+}
+
+// Step implements spec.State.
+func (s seatMapState) Step(in spec.Invocation) []spec.Outcome {
+	switch in.Op {
+	case OpReserve:
+		n, okArg := in.Arg.AsInt()
+		if !okArg || n < 0 || int(n) >= len(s.taken) {
+			return nil
+		}
+		if s.taken[n] {
+			return one(Taken, s)
+		}
+		return one(ok, s.with(int(n), true))
+	case OpRelease:
+		n, okArg := in.Arg.AsInt()
+		if !okArg || n < 0 || int(n) >= len(s.taken) {
+			return nil
+		}
+		return one(ok, s.with(int(n), false))
+	case OpFree:
+		if !in.Arg.IsNil() {
+			return nil
+		}
+		free := 0
+		for _, t := range s.taken {
+			if !t {
+				free++
+			}
+		}
+		return one(value.Int(int64(free)), s)
+	default:
+		return nil
+	}
+}
+
+// SeatMapConflicts: operations on distinct seats commute; reserve/reserve
+// of the same seat conflicts (the winner depends on order), as do
+// reserve/release of the same seat; the free observer conflicts with every
+// mutator.
+func SeatMapConflicts(p, q spec.Invocation) bool {
+	if p.Op == OpFree || q.Op == OpFree {
+		return SeatMapIsWrite(p.Op) || SeatMapIsWrite(q.Op)
+	}
+	pn, okP := p.Arg.AsInt()
+	qn, okQ := q.Arg.AsInt()
+	if !okP || !okQ || pn != qn {
+		return false
+	}
+	if p.Op == OpRelease && q.Op == OpRelease {
+		return false
+	}
+	return true
+}
+
+// SeatMapConflictsNameOnly: seats must be assumed equal.
+func SeatMapConflictsNameOnly(p, q spec.Invocation) bool {
+	pm, qm := SeatMapIsWrite(p.Op), SeatMapIsWrite(q.Op)
+	if !pm && !qm {
+		return false
+	}
+	if p.Op == OpRelease && q.Op == OpRelease {
+		return false
+	}
+	return true
+}
+
+// SeatMapIsWrite classifies seat-map operations.
+func SeatMapIsWrite(op string) bool { return op == OpReserve || op == OpRelease }
+
+// SeatMapInvert compensates mutators by restoring the seat's previous
+// occupancy.
+func SeatMapInvert(pre spec.State, in spec.Invocation, res value.Value) []spec.Invocation {
+	st, okState := pre.(seatMapState)
+	if !okState || !SeatMapIsWrite(in.Op) {
+		return nil
+	}
+	n, okArg := in.Arg.AsInt()
+	if !okArg || n < 0 || int(n) >= len(st.taken) {
+		return nil
+	}
+	was := st.taken[n]
+	switch in.Op {
+	case OpReserve:
+		if res != ok {
+			return nil // reservation failed, nothing changed
+		}
+		return []spec.Invocation{inv(OpRelease, value.Int(n))}
+	case OpRelease:
+		if !was {
+			return nil
+		}
+		return []spec.Invocation{inv(OpReserve, value.Int(n))}
+	default:
+		return nil
+	}
+}
+
+// SeatMap returns the full Type bundle for a seat map with the given number
+// of seats.
+func SeatMap(seats int) Type {
+	return Type{
+		Spec:              SeatMapSpec{Seats: seats},
+		Conflicts:         SeatMapConflicts,
+		ConflictsNameOnly: SeatMapConflictsNameOnly,
+		IsWrite:           SeatMapIsWrite,
+		Invert:            SeatMapInvert,
+	}
+}

@@ -1,0 +1,162 @@
+package adts
+
+import (
+	"testing"
+	"testing/quick"
+
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+func TestSeatMapSerialBehaviour(t *testing.T) {
+	calls, st := mustReplay(t, SeatMapSpec{Seats: 3}, []spec.Invocation{
+		inv(OpFree, value.Nil()),
+		inv(OpReserve, value.Int(0)),
+		inv(OpReserve, value.Int(0)), // taken
+		inv(OpReserve, value.Int(2)),
+		inv(OpFree, value.Nil()),
+		inv(OpRelease, value.Int(0)),
+		inv(OpFree, value.Nil()),
+		inv(OpRelease, value.Int(1)), // releasing a free seat is ok
+	})
+	want := []value.Value{
+		value.Int(3),
+		value.Unit(),
+		Taken,
+		value.Unit(),
+		value.Int(1),
+		value.Unit(),
+		value.Int(2),
+		value.Unit(),
+	}
+	for i, w := range want {
+		if calls[i].Result != w {
+			t.Errorf("call %d (%v): %v, want %v", i, calls[i].Inv, calls[i].Result, w)
+		}
+	}
+	if st.Key() != "001" {
+		t.Errorf("final state %s, want 001", st.Key())
+	}
+}
+
+func TestSeatMapRejectsBadArgs(t *testing.T) {
+	st := SeatMapSpec{Seats: 2}.Init()
+	bad := []spec.Invocation{
+		inv(OpReserve, value.Int(-1)),
+		inv(OpReserve, value.Int(2)),
+		inv(OpReserve, value.Nil()),
+		inv(OpRelease, value.Int(5)),
+		inv(OpFree, value.Int(0)),
+		inv("bogus", value.Nil()),
+	}
+	for _, in := range bad {
+		if outs := st.Step(in); outs != nil {
+			t.Errorf("Step(%v) accepted", in)
+		}
+	}
+}
+
+func TestSeatMapConflicts(t *testing.T) {
+	r0 := inv(OpReserve, value.Int(0))
+	r1 := inv(OpReserve, value.Int(1))
+	rel0 := inv(OpRelease, value.Int(0))
+	rel0b := inv(OpRelease, value.Int(0))
+	free := inv(OpFree, value.Nil())
+	tests := []struct {
+		p, q spec.Invocation
+		want bool
+	}{
+		{r0, r1, false},
+		{r0, r0, true},
+		{r0, rel0, true},
+		{rel0, rel0b, false}, // idempotent
+		{free, r0, true},
+		{free, rel0, true},
+		{free, free, false},
+	}
+	for _, tt := range tests {
+		if got := SeatMapConflicts(tt.p, tt.q); got != tt.want {
+			t.Errorf("Conflicts(%v,%v) = %t, want %t", tt.p, tt.q, got, tt.want)
+		}
+	}
+	if !SeatMapConflictsNameOnly(r0, r1) {
+		t.Error("name-only reserve/reserve must conflict")
+	}
+}
+
+func TestSeatMapConflictsSoundness(t *testing.T) {
+	f := func(taken uint8, s1, s2 uint8) bool {
+		sm := SeatMapSpec{Seats: 4}
+		st := spec.State(sm.Init())
+		for i := 0; i < 4; i++ {
+			if taken&(1<<i) != 0 {
+				out, err := spec.Apply(st, inv(OpReserve, value.Int(int64(i))))
+				if err != nil {
+					return false
+				}
+				st = out.Next
+			}
+		}
+		ops := []spec.Invocation{
+			inv(OpReserve, value.Int(int64(s1%4))),
+			inv(OpReserve, value.Int(int64(s2%4))),
+			inv(OpRelease, value.Int(int64(s1%4))),
+			inv(OpRelease, value.Int(int64(s2%4))),
+			inv(OpFree, value.Nil()),
+		}
+		for _, p := range ops {
+			for _, q := range ops {
+				if SeatMapConflicts(p, q) {
+					continue
+				}
+				if !commutesFrom(st, p, q) {
+					t.Logf("pair (%v,%v) fails to commute from %s", p, q, st.Key())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeatMapInvert(t *testing.T) {
+	sm := SeatMapSpec{Seats: 2}
+	st := sm.Init()
+	undo := SeatMapInvert(st, inv(OpReserve, value.Int(0)), value.Unit())
+	if len(undo) != 1 || undo[0].Op != OpRelease {
+		t.Errorf("invert reserve = %v", undo)
+	}
+	// Failed reserve: nothing changed.
+	out, _ := spec.Apply(st, inv(OpReserve, value.Int(0)))
+	if undo := SeatMapInvert(out.Next, inv(OpReserve, value.Int(0)), Taken); undo != nil {
+		t.Errorf("invert failed reserve = %v", undo)
+	}
+	// Release of a taken seat restores it.
+	undo = SeatMapInvert(out.Next, inv(OpRelease, value.Int(0)), value.Unit())
+	if len(undo) != 1 || undo[0].Op != OpReserve {
+		t.Errorf("invert release = %v", undo)
+	}
+	// Release of a free seat: nothing.
+	if undo := SeatMapInvert(st, inv(OpRelease, value.Int(0)), value.Unit()); undo != nil {
+		t.Errorf("invert no-op release = %v", undo)
+	}
+	// Out-of-range argument: decline.
+	if undo := SeatMapInvert(st, inv(OpReserve, value.Int(9)), value.Unit()); undo != nil {
+		t.Errorf("invert out-of-range = %v", undo)
+	}
+}
+
+func TestSeatMapBundle(t *testing.T) {
+	ty := SeatMap(5)
+	if ty.Spec.Name() != "seatmap" {
+		t.Errorf("bundle name %q", ty.Spec.Name())
+	}
+	st := ty.Spec.Init()
+	outs := st.Step(inv(OpFree, value.Nil()))
+	if len(outs) != 1 || outs[0].Result != value.Int(5) {
+		t.Errorf("free on fresh 5-seat map = %v", outs)
+	}
+}

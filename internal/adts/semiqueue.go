@@ -1,0 +1,120 @@
+package adts
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+// SemiQueue operation names reuse OpEnqueue/OpDequeue from the FIFO queue.
+
+// SemiQueueSpec is the *semiqueue* of [Weihl & Liskov 83], which the
+// paper's introduction cites as the motivating example for supporting
+// nondeterministic operations: like a queue, but dequeue may return ANY
+// element currently in the container, not necessarily the oldest.
+//
+// The weaker (nondeterministic) specification buys concurrency that no
+// implementation of the FIFO queue can offer: two dequeues commute (either
+// may take either element), and enqueues commute regardless of their
+// values, whereas FIFO enqueues of different values never do. This is the
+// paper's §1 point that "non-determinism may be needed to achieve a
+// reasonable level of concurrency among actions".
+type SemiQueueSpec struct{}
+
+var _ spec.SerialSpec = SemiQueueSpec{}
+
+// Name implements spec.SerialSpec.
+func (SemiQueueSpec) Name() string { return "semiqueue" }
+
+// Init implements spec.SerialSpec.
+func (SemiQueueSpec) Init() spec.State { return semiQueueState(nil) }
+
+// semiQueueState is the multiset of queued elements, kept sorted.
+// Persistent: Step copies.
+type semiQueueState []int64
+
+var _ spec.State = semiQueueState(nil)
+
+// Key implements spec.State.
+func (s semiQueueState) Key() string {
+	parts := make([]string, len(s))
+	for i, n := range s {
+		parts[i] = strconv.FormatInt(n, 10)
+	}
+	return "<" + strings.Join(parts, ",") + ">"
+}
+
+// Step implements spec.State.
+func (s semiQueueState) Step(in spec.Invocation) []spec.Outcome {
+	switch in.Op {
+	case OpEnqueue:
+		n, okArg := in.Arg.AsInt()
+		if !okArg {
+			return nil
+		}
+		i := sort.Search(len(s), func(i int) bool { return s[i] >= n })
+		next := make(semiQueueState, 0, len(s)+1)
+		next = append(next, s[:i]...)
+		next = append(next, n)
+		next = append(next, s[i:]...)
+		return one(ok, next)
+	case OpDequeue:
+		if !in.Arg.IsNil() {
+			return nil
+		}
+		if len(s) == 0 {
+			return one(EmptyQueue, s)
+		}
+		outs := make([]spec.Outcome, 0, len(s))
+		for i := range s {
+			if i > 0 && s[i] == s[i-1] {
+				continue // duplicate elements yield identical outcomes
+			}
+			next := make(semiQueueState, 0, len(s)-1)
+			next = append(next, s[:i]...)
+			next = append(next, s[i+1:]...)
+			outs = append(outs, spec.Outcome{Result: value.Int(s[i]), Next: next})
+		}
+		return outs
+	default:
+		return nil
+	}
+}
+
+// SemiQueueConflicts: enqueues always commute (the container is unordered
+// — unlike the FIFO queue, where enqueues of different values conflict).
+// Dequeues are only *state-dependently* concurrent: two dequeues of
+// distinct available elements commute, but two dequeues racing for the
+// last element do not, so the static table must conservatively conflict
+// them; the exact (state-based) guard recovers that concurrency by
+// choosing, among dequeue's nondeterministic outcomes, an element no
+// uncommitted transaction has taken.
+func SemiQueueConflicts(p, q spec.Invocation) bool {
+	if p.Op == OpEnqueue && q.Op == OpEnqueue {
+		return false
+	}
+	return true
+}
+
+// SemiQueueConflictsNameOnly coincides with the argument-aware table: the
+// semiqueue's conflict structure never depends on arguments.
+func SemiQueueConflictsNameOnly(p, q spec.Invocation) bool { return SemiQueueConflicts(p, q) }
+
+// SemiQueueIsWrite classifies semiqueue operations: both mutate.
+func SemiQueueIsWrite(string) bool { return true }
+
+// SemiQueue returns the full Type bundle. There is no inverter: a dequeue
+// taken by compensation could have been observed, so the semiqueue uses
+// intentions-list recovery.
+func SemiQueue() Type {
+	return Type{
+		Spec:              SemiQueueSpec{},
+		Conflicts:         SemiQueueConflicts,
+		ConflictsNameOnly: SemiQueueConflictsNameOnly,
+		IsWrite:           SemiQueueIsWrite,
+		Invert:            nil,
+	}
+}

@@ -1,0 +1,116 @@
+package adts
+
+import (
+	"testing"
+
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+func TestSemiQueueSerialBehaviour(t *testing.T) {
+	s := SemiQueueSpec{}
+	// Deterministic path: single elements.
+	calls, st := mustReplay(t, s, []spec.Invocation{
+		inv(OpDequeue, value.Nil()), // empty
+		inv(OpEnqueue, value.Int(5)),
+		inv(OpDequeue, value.Nil()),
+	})
+	if calls[0].Result != EmptyQueue {
+		t.Errorf("dequeue on empty = %v", calls[0].Result)
+	}
+	if calls[2].Result != value.Int(5) {
+		t.Errorf("dequeue = %v, want 5", calls[2].Result)
+	}
+	if st.Key() != "<>" {
+		t.Errorf("final state %s", st.Key())
+	}
+}
+
+func TestSemiQueueDequeueNondeterminism(t *testing.T) {
+	s := SemiQueueSpec{}
+	_, st := mustReplay(t, s, []spec.Invocation{
+		inv(OpEnqueue, value.Int(1)),
+		inv(OpEnqueue, value.Int(2)),
+		inv(OpEnqueue, value.Int(2)), // duplicate
+	})
+	outs := st.Step(inv(OpDequeue, value.Nil()))
+	if len(outs) != 2 {
+		t.Fatalf("dequeue on <1,2,2> has %d outcomes, want 2 (duplicates collapse)", len(outs))
+	}
+	seen := map[value.Value]bool{}
+	for _, o := range outs {
+		seen[o.Result] = true
+	}
+	if !seen[value.Int(1)] || !seen[value.Int(2)] {
+		t.Errorf("outcomes %v", outs)
+	}
+	// The spec admits observing either element: both feasible.
+	for _, want := range []int64{1, 2} {
+		trace := []spec.Call{
+			{Inv: inv(OpEnqueue, value.Int(1)), Result: ok},
+			{Inv: inv(OpEnqueue, value.Int(2)), Result: ok},
+			{Inv: inv(OpDequeue, value.Nil()), Result: value.Int(want)},
+		}
+		if !spec.Feasible(s, trace) {
+			t.Errorf("dequeue=%d infeasible", want)
+		}
+	}
+	// But not an element never enqueued.
+	bad := []spec.Call{
+		{Inv: inv(OpEnqueue, value.Int(1)), Result: ok},
+		{Inv: inv(OpDequeue, value.Nil()), Result: value.Int(9)},
+	}
+	if spec.Feasible(s, bad) {
+		t.Error("dequeue of a never-enqueued element accepted")
+	}
+}
+
+func TestSemiQueueRejectsBadArgs(t *testing.T) {
+	st := SemiQueueSpec{}.Init()
+	for _, in := range []spec.Invocation{
+		inv(OpEnqueue, value.Nil()),
+		inv(OpDequeue, value.Int(1)),
+		inv("bogus", value.Nil()),
+	} {
+		if outs := st.Step(in); outs != nil {
+			t.Errorf("Step(%v) accepted", in)
+		}
+	}
+}
+
+// TestSemiQueueConflictsVersusQueue captures the concurrency payoff cited
+// in the paper's §1: semiqueue enqueues always commute, FIFO enqueues of
+// different values never do.
+func TestSemiQueueConflictsVersusQueue(t *testing.T) {
+	e1 := inv(OpEnqueue, value.Int(1))
+	e2 := inv(OpEnqueue, value.Int(2))
+	dq := inv(OpDequeue, value.Nil())
+	if SemiQueueConflicts(e1, e2) {
+		t.Error("semiqueue enqueues of different values conflict")
+	}
+	if !QueueConflicts(e1, e2) {
+		t.Error("FIFO enqueues of different values do not conflict")
+	}
+	if !SemiQueueConflicts(dq, dq) {
+		t.Error("semiqueue dequeues must conservatively conflict in the static table")
+	}
+	if !SemiQueueConflicts(e1, dq) {
+		t.Error("enqueue/dequeue must conflict")
+	}
+	if SemiQueueConflictsNameOnly(e1, e2) {
+		t.Error("name-only table should match for the semiqueue")
+	}
+}
+
+func TestSemiQueueBundle(t *testing.T) {
+	ty := SemiQueue()
+	if ty.Spec.Name() != "semiqueue" {
+		t.Errorf("name %q", ty.Spec.Name())
+	}
+	if ty.Invert != nil {
+		t.Error("semiqueue must use intentions-list recovery")
+	}
+	if !ty.IsWrite(OpEnqueue) || !ty.IsWrite(OpDequeue) {
+		t.Error("IsWrite misclassifies")
+	}
+}

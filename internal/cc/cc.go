@@ -1,0 +1,94 @@
+// Package cc is the small kernel shared by the online concurrency-control
+// protocols: the transaction descriptor, the resource interface every
+// protocol object implements, the event-sink hook used to record histories
+// for offline checking, and the sentinel errors by which protocols ask the
+// runtime to abort a transaction.
+package cc
+
+import (
+	"errors"
+
+	"weihl83/internal/histories"
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+// Sentinel errors. Protocols return these (wrapped) from Invoke to tell the
+// runtime that the transaction must abort; the runtime distinguishes
+// retryable aborts (deadlock, timeout, timestamp conflicts) from permanent
+// failures (unknown operations).
+var (
+	// ErrDeadlock: the transaction was chosen as a deadlock victim.
+	ErrDeadlock = errors.New("deadlock victim")
+	// ErrTimeout: the transaction waited longer than the lock timeout.
+	ErrTimeout = errors.New("lock wait timeout")
+	// ErrDoomed: the transaction was aborted while blocked.
+	ErrDoomed = errors.New("transaction doomed")
+	// ErrConflict: a timestamp-ordering conflict (Reed's protocol aborts
+	// the invoker, §4.2.3).
+	ErrConflict = errors.New("timestamp conflict")
+	// ErrReadOnly: a read-only transaction invoked a mutating operation.
+	ErrReadOnly = errors.New("mutating operation in read-only transaction")
+	// ErrInvalidOp: the invocation is not permitted by the serial
+	// specification in any state (e.g. unknown operation or bad argument).
+	ErrInvalidOp = errors.New("invocation not permitted by specification")
+	// ErrUnknownTxn: the resource has no record of the transaction.
+	ErrUnknownTxn = errors.New("unknown transaction at resource")
+)
+
+// Retryable reports whether err is a transient protocol abort: the caller
+// should abort the transaction and may run it again.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrDeadlock) ||
+		errors.Is(err, ErrTimeout) ||
+		errors.Is(err, ErrDoomed) ||
+		errors.Is(err, ErrConflict)
+}
+
+// TxnInfo identifies a transaction to the protocol objects.
+type TxnInfo struct {
+	// ID is the activity identifier used in recorded histories.
+	ID histories.ActivityID
+	// TS is the transaction's a-priori timestamp: its initiation timestamp
+	// under static atomicity, or a read-only activity's snapshot timestamp
+	// under hybrid atomicity. Zero when the protocol assigns no timestamp
+	// up front.
+	TS histories.Timestamp
+	// Seq is a global birth sequence number; deadlock victim selection
+	// aborts the youngest (largest Seq) transaction in a cycle.
+	Seq int64
+	// ReadOnly marks hybrid-atomicity read-only activities.
+	ReadOnly bool
+}
+
+// Resource is an object managed by an online protocol. Invoke may block
+// (locking) and may return a sentinel error demanding an abort. The
+// two-phase commit sequence is Prepare on every resource, then Commit on
+// every resource (with the commit timestamp, if the protocol uses one);
+// Abort may be called at any point instead.
+type Resource interface {
+	// ObjectID returns the identifier under which events are recorded.
+	ObjectID() histories.ObjectID
+	// Invoke executes inv on behalf of txn and returns its result.
+	Invoke(txn *TxnInfo, inv spec.Invocation) (value.Value, error)
+	// Prepare readies txn's effects for commit. After a successful prepare
+	// the resource guarantees Commit cannot fail.
+	Prepare(txn *TxnInfo) error
+	// Commit makes txn's effects permanent. ts is the commit timestamp
+	// (hybrid atomicity) or zero.
+	Commit(txn *TxnInfo, ts histories.Timestamp)
+	// Abort discards txn's effects.
+	Abort(txn *TxnInfo)
+}
+
+// EventSink receives history events as they happen. Protocol objects call
+// it inside their critical sections so that the recorded order is a valid
+// observation of the computation. A nil EventSink disables recording.
+type EventSink func(histories.Event)
+
+// Emit calls the sink if it is non-nil.
+func (s EventSink) Emit(e histories.Event) {
+	if s != nil {
+		s(e)
+	}
+}

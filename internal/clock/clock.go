@@ -1,0 +1,110 @@
+// Package clock provides the timestamp substrate: a strictly monotone
+// timestamp source, a Lamport logical clock ([Lamport 78], which §4.3.3
+// cites as one way to generate hybrid commit timestamps), and a skewed
+// source that simulates poorly synchronized per-site clocks for the
+// static-atomicity stress experiments (E6).
+package clock
+
+import (
+	"math/rand"
+	"sync"
+
+	"weihl83/internal/histories"
+)
+
+// Source issues strictly increasing timestamps, starting at 1. It is safe
+// for concurrent use. The zero value is ready to use.
+type Source struct {
+	mu   sync.Mutex
+	last histories.Timestamp
+}
+
+// Next returns a timestamp strictly greater than every timestamp previously
+// returned or witnessed.
+func (s *Source) Next() histories.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.last++
+	return s.last
+}
+
+// Witness informs the source of an externally observed timestamp; later
+// Next calls return strictly greater values. It implements the Lamport
+// "receive" rule.
+func (s *Source) Witness(t histories.Timestamp) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t > s.last {
+		s.last = t
+	}
+}
+
+// Now returns the most recently issued timestamp without advancing.
+func (s *Source) Now() histories.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// Lamport is a Lamport logical clock: a Source plus the conventional
+// naming. Tick is the local-event rule; Witness the receive rule.
+type Lamport struct {
+	src Source
+}
+
+// Tick advances the clock for a local event and returns the new time.
+func (l *Lamport) Tick() histories.Timestamp { return l.src.Next() }
+
+// Witness merges an observed remote time into the clock.
+func (l *Lamport) Witness(t histories.Timestamp) { l.src.Witness(t) }
+
+// Skewed issues unique timestamps whose order may disagree with the order
+// in which they are requested, simulating timestamps "generated using
+// poorly synchronized clocks" (§4.2.3): each request draws base*spread plus
+// a random offset in [0, spread*maxSkew), so two requests issued close
+// together can be assigned timestamps in either order. Uniqueness is
+// enforced by a used-set. It is safe for concurrent use.
+type Skewed struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	n       int64
+	spread  int64
+	maxSkew int64
+	used    map[histories.Timestamp]bool
+}
+
+// NewSkewed returns a skewed source. maxSkew is the amount of disorder: 0
+// behaves like Source (modulo gaps); k lets a request be ordered before up
+// to ~k earlier requests.
+func NewSkewed(maxSkew int64, seed int64) *Skewed {
+	if maxSkew < 0 {
+		maxSkew = 0
+	}
+	return &Skewed{
+		rng:     rand.New(rand.NewSource(seed)),
+		spread:  maxSkew + 1,
+		maxSkew: maxSkew,
+		used:    make(map[histories.Timestamp]bool),
+	}
+}
+
+// Next returns a fresh unique timestamp with bounded disorder.
+func (s *Skewed) Next() histories.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	base := s.n * s.spread
+	jitter := int64(0)
+	if s.maxSkew > 0 {
+		jitter = s.rng.Int63n(2*s.maxSkew*s.spread) - s.maxSkew*s.spread
+	}
+	t := histories.Timestamp(base + jitter)
+	if t < 1 {
+		t = 1
+	}
+	for s.used[t] {
+		t++
+	}
+	s.used[t] = true
+	return t
+}

@@ -1,0 +1,121 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+
+	"weihl83/internal/histories"
+)
+
+func TestSourceMonotone(t *testing.T) {
+	var s Source
+	prev := histories.Timestamp(0)
+	for i := 0; i < 100; i++ {
+		ts := s.Next()
+		if ts <= prev {
+			t.Fatalf("Next() = %d after %d", ts, prev)
+		}
+		prev = ts
+	}
+	if s.Now() != prev {
+		t.Errorf("Now() = %d, want %d", s.Now(), prev)
+	}
+}
+
+func TestSourceWitness(t *testing.T) {
+	var s Source
+	s.Witness(100)
+	if ts := s.Next(); ts <= 100 {
+		t.Errorf("Next() after Witness(100) = %d", ts)
+	}
+	s.Witness(5) // lower witness must not go backwards
+	if ts := s.Next(); ts <= 100 {
+		t.Errorf("Next() went backwards: %d", ts)
+	}
+}
+
+func TestSourceConcurrentUnique(t *testing.T) {
+	var s Source
+	const n = 64
+	var wg sync.WaitGroup
+	out := make([][]histories.Timestamp, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				out[i] = append(out[i], s.Next())
+			}
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[histories.Timestamp]bool)
+	for _, ts := range out {
+		for _, v := range ts {
+			if seen[v] {
+				t.Fatalf("duplicate timestamp %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestLamport(t *testing.T) {
+	var l Lamport
+	t1 := l.Tick()
+	l.Witness(50)
+	t2 := l.Tick()
+	if t2 <= t1 || t2 <= 50 {
+		t.Errorf("Lamport ordering violated: %d then %d", t1, t2)
+	}
+}
+
+func TestSkewedUniqueness(t *testing.T) {
+	s := NewSkewed(5, 1)
+	seen := make(map[histories.Timestamp]bool)
+	for i := 0; i < 2000; i++ {
+		ts := s.Next()
+		if ts < 1 {
+			t.Fatalf("non-positive timestamp %d", ts)
+		}
+		if seen[ts] {
+			t.Fatalf("duplicate skewed timestamp %d", ts)
+		}
+		seen[ts] = true
+	}
+}
+
+func TestSkewedZeroBehavesMonotone(t *testing.T) {
+	s := NewSkewed(0, 1)
+	prev := histories.Timestamp(0)
+	for i := 0; i < 100; i++ {
+		ts := s.Next()
+		if ts <= prev {
+			t.Fatalf("skew-0 not monotone: %d after %d", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestSkewedActuallyReorders(t *testing.T) {
+	s := NewSkewed(10, 42)
+	inversions := 0
+	prev := s.Next()
+	for i := 0; i < 500; i++ {
+		ts := s.Next()
+		if ts < prev {
+			inversions++
+		}
+		prev = ts
+	}
+	if inversions == 0 {
+		t.Error("maxSkew=10 produced no inversions; the skew simulation is inert")
+	}
+}
+
+func TestSkewedNegativeClamped(t *testing.T) {
+	s := NewSkewed(-3, 1)
+	if ts := s.Next(); ts < 1 {
+		t.Errorf("negative skew produced %d", ts)
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"weihl83/internal/histories"
+)
+
+// Atomic reports whether h is atomic (§3): whether perm(h) — the
+// subsequence of h consisting of all events involving activities that
+// commit in h — is serializable. On success it returns a witness
+// serialization order of the committed activities.
+func (c *Checker) Atomic(h histories.History) ([]histories.ActivityID, error) {
+	order, err := c.Serializable(h.Perm())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrNotAtomic, err)
+	}
+	return order, nil
+}
+
+// DynamicAtomic reports whether h is dynamic atomic (§4.1): whether perm(h)
+// is serializable in every total order of the committed activities
+// consistent with precedes(h). A nil result means yes; otherwise the error
+// carries a counterexample order.
+//
+// The check is a DFS over the linear extensions of precedes(h) restricted
+// to committed activities, extending per-object specification state sets
+// one activity at a time. Any infeasible prefix extends to a full linear
+// extension (append the remaining activities in any consistent order), so
+// the first infeasible prefix found already refutes dynamic atomicity; the
+// DFS therefore fails fast with a witness.
+func (c *Checker) DynamicAtomic(h histories.History) error {
+	perm := h.Perm()
+	if len(perm) == 0 {
+		return nil
+	}
+	committed := h.Committed()
+	prec := h.Precedes()
+	byActivity := calls(perm)
+	init, err := c.initialStates(perm)
+	if err != nil {
+		return err
+	}
+
+	inSet := make(map[histories.ActivityID]bool, len(committed))
+	for _, a := range committed {
+		inSet[a] = true
+	}
+	indeg := make(map[histories.ActivityID]int, len(committed))
+	succ := make(map[histories.ActivityID][]histories.ActivityID)
+	for _, p := range prec.Pairs() {
+		a, b := p[0], p[1]
+		if !inSet[a] || !inSet[b] || a == b {
+			continue
+		}
+		succ[a] = append(succ[a], b)
+		indeg[b]++
+	}
+
+	if len(committed) > 64 {
+		return fmt.Errorf("%w: %d committed activities exceed the 64-activity search bound", ErrNotDynamicAtomic, len(committed))
+	}
+	used := make(map[histories.ActivityID]bool, len(committed))
+	order := make([]histories.ActivityID, 0, len(committed))
+	type memoKey struct {
+		mask uint64
+		st   string
+	}
+	// verified memoizes (chosen-set, state-sets) nodes whose every
+	// completion has already been shown feasible, so different interleaved
+	// prefixes reaching the same states are not re-explored.
+	verified := make(map[memoKey]bool)
+	var mask uint64
+
+	var counterexample []histories.ActivityID
+	var whichErr error
+	var dfs func(ps *perObjectStates) bool
+	dfs = func(ps *perObjectStates) bool {
+		if len(order) == len(committed) {
+			return true
+		}
+		mk := memoKey{mask, ps.key()}
+		if verified[mk] {
+			return true
+		}
+		for i, a := range committed {
+			if used[a] || indeg[a] > 0 {
+				continue
+			}
+			next := ps.extend(byActivity, a)
+			if next == nil {
+				// This prefix — and hence some full linear extension — is
+				// infeasible: h is not dynamic atomic.
+				counterexample = append(append([]histories.ActivityID(nil), order...), a)
+				whichErr = fmt.Errorf("%w: perm(h) is not serializable in an order beginning %v (consistent with precedes(h))",
+					ErrNotDynamicAtomic, counterexample)
+				return false
+			}
+			used[a] = true
+			order = append(order, a)
+			mask |= 1 << i
+			for _, b := range succ[a] {
+				indeg[b]--
+			}
+			ok := dfs(next)
+			for _, b := range succ[a] {
+				indeg[b]++
+			}
+			mask &^= 1 << i
+			order = order[:len(order)-1]
+			used[a] = false
+			if !ok {
+				return false
+			}
+		}
+		verified[mk] = true
+		return true
+	}
+	if !dfs(init) {
+		return whichErr
+	}
+	return nil
+}
+
+// tsSource selects which events may carry an activity's timestamp.
+type tsSource int
+
+const (
+	// tsInitiateOnly: static atomicity — timestamps are chosen at
+	// initiation, before any operations (§4.2.1).
+	tsInitiateOnly tsSource = iota + 1
+	// tsInitiateOrCommit: hybrid atomicity — updates choose timestamps at
+	// commit, read-only activities at initiation (§4.3.1).
+	tsInitiateOrCommit
+)
+
+// timestampOf returns a's timestamp in h according to the source rule.
+func timestampOf(h histories.History, a histories.ActivityID, src tsSource) (histories.Timestamp, bool) {
+	for _, e := range h {
+		if e.Activity != a {
+			continue
+		}
+		switch e.Kind {
+		case histories.KindInitiate:
+			return e.TS, true
+		case histories.KindCommit:
+			if src == tsInitiateOrCommit && e.TS != histories.TSNone {
+				return e.TS, true
+			}
+		}
+	}
+	return histories.TSNone, false
+}
+
+// timestampOrderOfCommitted returns the committed activities of h sorted by
+// their timestamps, or an error if a committed activity chose none.
+func timestampOrderOfCommitted(h histories.History, src tsSource) ([]histories.ActivityID, error) {
+	committed := h.Committed()
+	type at struct {
+		a  histories.ActivityID
+		ts histories.Timestamp
+	}
+	pairs := make([]at, 0, len(committed))
+	for _, a := range committed {
+		ts, ok := timestampOf(h, a, src)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoTimestamp, a)
+		}
+		pairs = append(pairs, at{a, ts})
+	}
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && pairs[j-1].ts > pairs[j].ts; j-- {
+			pairs[j-1], pairs[j] = pairs[j], pairs[j-1]
+		}
+	}
+	out := make([]histories.ActivityID, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.a
+	}
+	return out, nil
+}
+
+// StaticAtomic reports whether h is static atomic (§4.2.2): whether perm(h)
+// is serializable in timestamp order, where every activity chose its
+// timestamp at initiation. The caller is expected to have validated h with
+// histories.WellFormedStatic.
+func (c *Checker) StaticAtomic(h histories.History) error {
+	perm := h.Perm()
+	order, err := timestampOrderOfCommitted(h, tsInitiateOnly)
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrNotStaticAtomic, err)
+	}
+	if err := c.SerializableInOrder(perm, order); err != nil {
+		return fmt.Errorf("%w: timestamp order %v: %w", ErrNotStaticAtomic, order, err)
+	}
+	return nil
+}
+
+// HybridAtomic reports whether h is hybrid atomic (§4.3.2): whether perm(h)
+// is serializable in timestamp order, where update activities chose
+// timestamps at commit and read-only activities at initiation. The caller
+// is expected to have validated h with histories.WellFormedHybrid.
+func (c *Checker) HybridAtomic(h histories.History) error {
+	perm := h.Perm()
+	// Committed activities are updates (timestamped commits) plus read-only
+	// activities that committed; read-only activities carry their timestamp
+	// on their initiate events, which TimestampOf already consults.
+	order, err := timestampOrderOfCommitted(h, tsInitiateOrCommit)
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrNotHybridAtomic, err)
+	}
+	if err := c.SerializableInOrder(perm, order); err != nil {
+		return fmt.Errorf("%w: timestamp order %v: %w", ErrNotHybridAtomic, order, err)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/core"
+	"weihl83/internal/histories"
+	"weihl83/internal/value"
+)
+
+// bigCounterHistory builds a serial counter history with n committed
+// activities.
+func bigCounterHistory(n int) histories.History {
+	var h histories.History
+	for i := 1; i <= n; i++ {
+		a := histories.ActivityID(fmt.Sprintf("a%03d", i))
+		h = append(h,
+			histories.Invoke("c", a, "increment", value.Nil()),
+			histories.Return("c", a, value.Int(int64(i))),
+			histories.Commit("c", a),
+		)
+	}
+	return h
+}
+
+func TestSearchBoundsAreEnforced(t *testing.T) {
+	c := newPaperChecker()
+	h := bigCounterHistory(65)
+	if _, err := c.Serializable(h); !errors.Is(err, core.ErrNotSerializable) {
+		t.Errorf("Serializable over 64 activities = %v, want bound error", err)
+	}
+	if err := c.DynamicAtomic(h); !errors.Is(err, core.ErrNotDynamicAtomic) {
+		t.Errorf("DynamicAtomic over 64 activities = %v, want bound error", err)
+	}
+}
+
+// TestLargeTotallyOrderedHistoryIsFast: precedes totally orders a serial
+// history, so the ∀-check degenerates to a single replay even at 60
+// activities — the memoized DP must handle it instantly.
+func TestLargeTotallyOrderedHistoryIsFast(t *testing.T) {
+	c := newPaperChecker()
+	h := bigCounterHistory(60)
+	if err := c.DynamicAtomic(h); err != nil {
+		t.Errorf("serial counter history rejected: %v", err)
+	}
+	if _, err := c.Atomic(h); err != nil {
+		t.Errorf("serial counter history not atomic: %v", err)
+	}
+}
+
+// TestManyIndependentActivities: activities on disjoint objects serialize
+// in any order; the memoized search must cope with the factorial order
+// space (14 activities, 2^14 memo states at worst).
+func TestManyIndependentActivities(t *testing.T) {
+	c := core.NewChecker()
+	var h histories.History
+	for i := 0; i < 14; i++ {
+		x := histories.ObjectID(fmt.Sprintf("c%02d", i))
+		a := histories.ActivityID(fmt.Sprintf("a%02d", i))
+		c.Register(x, adts.CounterSpec{})
+		h = append(h,
+			histories.Invoke(x, a, "increment", value.Nil()),
+			histories.Return(x, a, value.Int(1)),
+		)
+	}
+	// Interleave commits after all returns: precedes stays empty.
+	for i := 0; i < 14; i++ {
+		h = append(h, histories.Commit(histories.ObjectID(fmt.Sprintf("c%02d", i)), histories.ActivityID(fmt.Sprintf("a%02d", i))))
+	}
+	if err := c.DynamicAtomic(h); err != nil {
+		t.Errorf("independent activities rejected: %v", err)
+	}
+}

@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/core"
+	"weihl83/internal/histories"
+)
+
+func TestEmptyHistoryIsEverything(t *testing.T) {
+	c := core.NewChecker()
+	var h histories.History
+	if err := c.SerializableInOrder(h, nil); err != nil {
+		t.Errorf("empty SerializableInOrder: %v", err)
+	}
+	if _, err := c.Serializable(h); err != nil {
+		t.Errorf("empty Serializable: %v", err)
+	}
+	if _, err := c.Atomic(h); err != nil {
+		t.Errorf("empty Atomic: %v", err)
+	}
+	if err := c.DynamicAtomic(h); err != nil {
+		t.Errorf("empty DynamicAtomic: %v", err)
+	}
+}
+
+func TestMissingSpecError(t *testing.T) {
+	c := core.NewChecker()
+	h := histories.MustParse(`
+<insert(3),z,a>
+<ok,z,a>
+<commit,z,a>
+`)
+	if _, err := c.Atomic(h); !errors.Is(err, core.ErrNoSpec) {
+		t.Errorf("Atomic without spec = %v, want ErrNoSpec", err)
+	}
+	if err := c.DynamicAtomic(h); !errors.Is(err, core.ErrNoSpec) {
+		t.Errorf("DynamicAtomic without spec = %v, want ErrNoSpec", err)
+	}
+}
+
+func TestOrderMissingActivity(t *testing.T) {
+	c := newPaperChecker()
+	h := histories.MustParse(`
+<insert(3),x,a>
+<ok,x,a>
+<commit,x,a>
+`)
+	err := c.SerializableInOrder(h, []histories.ActivityID{"b"})
+	if !errors.Is(err, core.ErrNotSerializable) {
+		t.Errorf("order missing activity: %v", err)
+	}
+}
+
+func TestErrorsWrapSentinels(t *testing.T) {
+	c := newPaperChecker()
+	// Not atomic.
+	h := findSeq(t, "S3-not-atomic").History()
+	if _, err := c.Atomic(h); !errors.Is(err, core.ErrNotAtomic) {
+		t.Errorf("Atomic error %v does not wrap ErrNotAtomic", err)
+	}
+	// Not dynamic.
+	h = findSeq(t, "S4.1-atomic-not-dynamic").History()
+	if err := c.DynamicAtomic(h); !errors.Is(err, core.ErrNotDynamicAtomic) {
+		t.Errorf("DynamicAtomic error %v does not wrap ErrNotDynamicAtomic", err)
+	}
+	// Not static.
+	h = findSeq(t, "S4.2-atomic-not-static").History()
+	if err := c.StaticAtomic(h); !errors.Is(err, core.ErrNotStaticAtomic) {
+		t.Errorf("StaticAtomic error %v does not wrap ErrNotStaticAtomic", err)
+	}
+	// Missing timestamps.
+	h = findSeq(t, "S3-not-atomic").History()
+	if err := c.StaticAtomic(h); !errors.Is(err, core.ErrNoTimestamp) {
+		t.Errorf("StaticAtomic error %v does not wrap ErrNoTimestamp", err)
+	}
+	// Not hybrid.
+	h = findSeq(t, "S4.3-atomic-not-hybrid").History()
+	if err := c.HybridAtomic(h); !errors.Is(err, core.ErrNotHybridAtomic) {
+		t.Errorf("HybridAtomic error %v does not wrap ErrNotHybridAtomic", err)
+	}
+}
+
+func TestPendingInvocationsImposeNoConstraint(t *testing.T) {
+	c := newPaperChecker()
+	// b's insert never returns; a commits having observed the set empty.
+	h := histories.MustParse(`
+<insert(3),x,b>
+<member(3),x,a>
+<false,x,a>
+<commit,x,a>
+`)
+	if _, err := c.Atomic(h); err != nil {
+		t.Errorf("history with pending invocation: %v", err)
+	}
+}
+
+func TestSerializationOrdersMultiObject(t *testing.T) {
+	c := newPaperChecker()
+	// a and b touch different objects; both orders work.
+	h := histories.MustParse(`
+<insert(3),x,a>
+<ok,x,a>
+<deposit(5),y,b>
+<ok,y,b>
+<commit,x,a>
+<commit,y,b>
+`)
+	orders, err := c.SerializationOrders(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orders) != 2 {
+		t.Errorf("orders = %v, want both", orders)
+	}
+}
+
+func TestCheckReport(t *testing.T) {
+	c := newPaperChecker()
+	h := findSeq(t, "S4.2-static-atomic").History()
+	r := c.Check(h)
+	if r.WellFormed != nil || r.WellFormedStatic != nil {
+		t.Errorf("well-formedness verdicts: %v / %v", r.WellFormed, r.WellFormedStatic)
+	}
+	if r.Atomic != nil || len(r.AtomicOrder) == 0 {
+		t.Errorf("atomic verdict: %v, order %v", r.Atomic, r.AtomicOrder)
+	}
+	if r.StaticAtomic != nil {
+		t.Errorf("static verdict: %v", r.StaticAtomic)
+	}
+	if r.DynamicAtomic == nil {
+		t.Error("dynamic verdict: expected failure for this sequence")
+	}
+	s := r.String()
+	for _, want := range []string{"well-formed", "atomic", "dynamic atomic", "static atomic", "hybrid atomic", "witness order"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report rendering missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "NO") || !strings.Contains(s, "yes") {
+		t.Errorf("report rendering missing verdicts:\n%s", s)
+	}
+}
+
+func TestRegisterReplaces(t *testing.T) {
+	c := core.NewChecker()
+	c.Register("x", adts.AccountSpec{})
+	c.Register("x", adts.IntSetSpec{})
+	h := histories.MustParse(`
+<insert(3),x,a>
+<ok,x,a>
+<commit,x,a>
+`)
+	if _, err := c.Atomic(h); err != nil {
+		t.Errorf("replaced spec not used: %v", err)
+	}
+}

@@ -1,0 +1,127 @@
+// Package core implements the paper's primary contribution: the formal
+// definitions of serializability, atomicity, and the three optimal local
+// atomicity properties — dynamic, static and hybrid atomicity — as exact
+// decision procedures over event histories.
+//
+// A Checker binds each object appearing in a history to its serial
+// specification (the explicit description of the object's acceptable serial
+// sequences, §3). All checks then follow the paper's definitions directly:
+//
+//   - Serializable(h): h is equivalent to an acceptable serial sequence.
+//   - SerializableInOrder(h, T): the serial arrangement of h's activities
+//     in order T is acceptable. Per Lemma 3, this is checked object by
+//     object.
+//   - Atomic(h): perm(h) is serializable (§3).
+//   - DynamicAtomic(h): perm(h) is serializable in every total order of the
+//     committed activities consistent with precedes(h) (§4.1).
+//   - StaticAtomic(h): perm(h) is serializable in timestamp order, with
+//     timestamps chosen at initiation (§4.2.2).
+//   - HybridAtomic(h): perm(h) is serializable in timestamp order, with
+//     update timestamps chosen at commit and read-only timestamps at
+//     initiation (§4.3.2).
+//
+// The procedures are exact (they explore all serialization orders /
+// linear extensions, with per-object state-set pruning) and are therefore
+// exponential in the number of committed activities in the worst case.
+// They are intended for specifications, tests and protocol validation on
+// bounded histories, which is how the paper itself uses the definitions.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"weihl83/internal/histories"
+	"weihl83/internal/spec"
+)
+
+// Sentinel errors for the property checks; use errors.Is.
+var (
+	// ErrNotSerializable reports that no acceptable equivalent serial
+	// sequence exists (for the order set being considered).
+	ErrNotSerializable = errors.New("not serializable")
+	// ErrNotAtomic reports that perm(h) is not serializable.
+	ErrNotAtomic = errors.New("not atomic")
+	// ErrNotDynamicAtomic reports that perm(h) fails to serialize in some
+	// total order consistent with precedes(h).
+	ErrNotDynamicAtomic = errors.New("not dynamic atomic")
+	// ErrNotStaticAtomic reports that perm(h) fails to serialize in
+	// initiation-timestamp order.
+	ErrNotStaticAtomic = errors.New("not static atomic")
+	// ErrNotHybridAtomic reports that perm(h) fails to serialize in
+	// hybrid-timestamp order.
+	ErrNotHybridAtomic = errors.New("not hybrid atomic")
+	// ErrNoSpec reports that the history uses an object the checker has no
+	// specification for.
+	ErrNoSpec = errors.New("no specification registered for object")
+	// ErrNoTimestamp reports that a committed activity chose no timestamp,
+	// so a timestamp order does not exist.
+	ErrNoTimestamp = errors.New("committed activity has no timestamp")
+)
+
+// Checker decides the paper's atomicity properties for histories over a
+// fixed set of specified objects.
+type Checker struct {
+	specs map[histories.ObjectID]spec.SerialSpec
+}
+
+// NewChecker returns a checker with no objects registered.
+func NewChecker() *Checker {
+	return &Checker{specs: make(map[histories.ObjectID]spec.SerialSpec)}
+}
+
+// Register binds object x to serial specification s. Registering the same
+// object twice replaces the binding.
+func (c *Checker) Register(x histories.ObjectID, s spec.SerialSpec) {
+	c.specs[x] = s
+}
+
+// specFor returns the spec for x or ErrNoSpec.
+func (c *Checker) specFor(x histories.ObjectID) (spec.SerialSpec, error) {
+	s, ok := c.specs[x]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSpec, x)
+	}
+	return s, nil
+}
+
+// calls extracts, for each activity and object, the activity's sequence of
+// completed calls (invocation paired with its termination result) at that
+// object, in invocation order. Invocations still pending at the end of the
+// history have no observed result and impose no constraint; they are
+// skipped.
+func calls(h histories.History) map[histories.ActivityID]map[histories.ObjectID][]spec.Call {
+	out := make(map[histories.ActivityID]map[histories.ObjectID][]spec.Call)
+	type pendingInv struct {
+		obj histories.ObjectID
+		inv spec.Invocation
+		set bool
+	}
+	pending := make(map[histories.ActivityID]pendingInv)
+	for _, e := range h {
+		switch e.Kind {
+		case histories.KindInvoke:
+			pending[e.Activity] = pendingInv{
+				obj: e.Object,
+				inv: spec.Invocation{Op: e.Op, Arg: e.Arg},
+				set: true,
+			}
+		case histories.KindReturn:
+			p := pending[e.Activity]
+			if !p.set || p.obj != e.Object {
+				continue // ill-formed return; well-formedness checks report it
+			}
+			m := out[e.Activity]
+			if m == nil {
+				m = make(map[histories.ObjectID][]spec.Call)
+				out[e.Activity] = m
+			}
+			m[e.Object] = append(m[e.Object], spec.Call{Inv: p.inv, Result: e.Result})
+			pending[e.Activity] = pendingInv{}
+		}
+	}
+	return out
+}
+
+// objectsOf returns the objects of h in first-appearance order.
+func objectsOf(h histories.History) []histories.ObjectID { return h.Objects() }

@@ -1,0 +1,117 @@
+package core_test
+
+import (
+	"testing"
+
+	"weihl83/internal/core"
+	"weihl83/internal/histories"
+	"weihl83/internal/paper"
+)
+
+// newPaperChecker returns a checker bound to the catalogue's objects.
+func newPaperChecker() *core.Checker { return paper.NewChecker() }
+
+// findSeq returns the catalogued sequence with the given name.
+func findSeq(t *testing.T, name string) paper.Sequence {
+	t.Helper()
+	for _, ps := range paper.Sequences {
+		if ps.Name == name {
+			return ps
+		}
+	}
+	t.Fatalf("no paper sequence named %q", name)
+	return paper.Sequence{}
+}
+
+func assertVerdict(t *testing.T, section, check string, err error, want paper.Verdict) {
+	t.Helper()
+	switch want {
+	case paper.Holds:
+		if err != nil {
+			t.Errorf("%s: %s = %v, want it to hold", section, check, err)
+		}
+	case paper.Fails:
+		if err == nil {
+			t.Errorf("%s: %s holds, want it to fail", section, check)
+		}
+	case paper.NotApplicable:
+	}
+}
+
+// TestPaperSequences is experiment E1: every example sequence in the paper
+// receives exactly the verdicts the paper assigns.
+func TestPaperSequences(t *testing.T) {
+	for _, ps := range paper.Sequences {
+		ps := ps
+		t.Run(ps.Name, func(t *testing.T) {
+			c := newPaperChecker()
+			h := ps.History()
+
+			assertVerdict(t, ps.Section, "WellFormed", h.WellFormed(), ps.WellFormed)
+			_, atomicErr := c.Atomic(h)
+			assertVerdict(t, ps.Section, "Atomic", atomicErr, ps.Atomic)
+			assertVerdict(t, ps.Section, "DynamicAtomic", c.DynamicAtomic(h), ps.DynamicAtomic)
+			assertVerdict(t, ps.Section, "StaticAtomic", c.StaticAtomic(h), ps.StaticAtomic)
+			assertVerdict(t, ps.Section, "HybridAtomic", c.HybridAtomic(h), ps.HybridAtomic)
+		})
+	}
+}
+
+// TestPaperSerializationOrders pins the exact order sets the paper states.
+func TestPaperSerializationOrders(t *testing.T) {
+	c := newPaperChecker()
+
+	// §5.1 concurrent withdrawals: "serializable in the orders a-b-c and
+	// a-c-b".
+	h := findSeq(t, "S5.1-concurrent-withdrawals").History()
+	orders, err := c.SerializationOrders(h.Perm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, o := range orders {
+		got[orderKey(o)] = true
+	}
+	if len(got) != 2 || !got["a b c"] || !got["a c b"] {
+		t.Errorf("withdrawals: orders %v, want exactly {a-b-c, a-c-b}", orders)
+	}
+
+	// §5.1 queue: "both equivalent serial executions of a, b, and c (in the
+	// orders a-b-c and b-a-c) are acceptable".
+	h = findSeq(t, "S5.1-queue").History()
+	orders, err = c.SerializationOrders(h.Perm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = map[string]bool{}
+	for _, o := range orders {
+		got[orderKey(o)] = true
+	}
+	if !got["a b c"] || !got["b a c"] || len(got) != 2 {
+		t.Errorf("queue: orders %v, want exactly {a-b-c, b-a-c}", orders)
+	}
+
+	// §4.1: the atomic-but-not-dynamic example is serializable a-b-c but
+	// not b-a-c or b-c-a.
+	h = findSeq(t, "S4.1-atomic-not-dynamic").History()
+	if err := c.SerializableInOrder(h.Perm(), []histories.ActivityID{"a", "b", "c"}); err != nil {
+		t.Errorf("a-b-c should be acceptable: %v", err)
+	}
+	if err := c.SerializableInOrder(h.Perm(), []histories.ActivityID{"b", "a", "c"}); err == nil {
+		t.Error("b-a-c should be rejected")
+	}
+	if err := c.SerializableInOrder(h.Perm(), []histories.ActivityID{"b", "c", "a"}); err == nil {
+		t.Error("b-c-a should be rejected")
+	}
+}
+
+func orderKey(o []histories.ActivityID) string {
+	s := ""
+	for i, a := range o {
+		if i > 0 {
+			s += " "
+		}
+		s += string(a)
+	}
+	return s
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"weihl83/internal/histories"
+)
+
+// Report is the verdict of every property check on one history. It backs
+// cmd/atomcheck and cmd/papertest.
+type Report struct {
+	WellFormed       error
+	WellFormedStatic error
+	WellFormedHybrid error
+	Atomic           error
+	AtomicOrder      []histories.ActivityID // witness order when Atomic == nil
+	DynamicAtomic    error
+	StaticAtomic     error
+	HybridAtomic     error
+}
+
+// Check runs every property check on h and collects the verdicts. Checks
+// that do not apply to the history's event vocabulary (e.g. static
+// atomicity on a history without initiate events) still run; their verdict
+// simply reports the missing timestamps.
+func (c *Checker) Check(h histories.History) Report {
+	var r Report
+	r.WellFormed = h.WellFormed()
+	r.WellFormedStatic = h.WellFormedStatic()
+	r.WellFormedHybrid = h.WellFormedHybrid()
+	r.AtomicOrder, r.Atomic = c.Atomic(h)
+	r.DynamicAtomic = c.DynamicAtomic(h)
+	r.StaticAtomic = c.StaticAtomic(h)
+	r.HybridAtomic = c.HybridAtomic(h)
+	return r
+}
+
+// verdict renders a check result as yes/no.
+func verdict(err error) string {
+	if err == nil {
+		return "yes"
+	}
+	return "NO"
+}
+
+// String renders the report as an aligned table.
+func (r Report) String() string {
+	var sb strings.Builder
+	row := func(name string, err error) {
+		fmt.Fprintf(&sb, "  %-18s %s", name, verdict(err))
+		if err != nil {
+			fmt.Fprintf(&sb, "  (%v)", err)
+		}
+		sb.WriteByte('\n')
+	}
+	row("well-formed", r.WellFormed)
+	row("wf-static", r.WellFormedStatic)
+	row("wf-hybrid", r.WellFormedHybrid)
+	row("atomic", r.Atomic)
+	if r.Atomic == nil && len(r.AtomicOrder) > 0 {
+		fmt.Fprintf(&sb, "  %-18s %v\n", "  witness order", r.AtomicOrder)
+	}
+	row("dynamic atomic", r.DynamicAtomic)
+	row("static atomic", r.StaticAtomic)
+	row("hybrid atomic", r.HybridAtomic)
+	return sb.String()
+}

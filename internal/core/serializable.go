@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"weihl83/internal/histories"
+	"weihl83/internal/spec"
+)
+
+// SerializableInOrder reports whether h is serializable in the order given
+// (§3): whether the serial arrangement of h's activities in that order —
+// which is equivalent to h by construction — is acceptable to every
+// object's specification. Activities of h missing from order make h
+// unserializable in that order (their events cannot appear in the serial
+// sequence). A nil result means yes; otherwise the error explains which
+// object rejects the arrangement.
+func (c *Checker) SerializableInOrder(h histories.History, order []histories.ActivityID) error {
+	if len(h) == 0 {
+		return nil
+	}
+	inOrder := make(map[histories.ActivityID]bool, len(order))
+	for _, a := range order {
+		inOrder[a] = true
+	}
+	for _, a := range h.Activities() {
+		if !inOrder[a] {
+			return fmt.Errorf("%w: activity %s of the history is not in the order", ErrNotSerializable, a)
+		}
+	}
+	byActivity := calls(h)
+	for _, x := range objectsOf(h) {
+		s, err := c.specFor(x)
+		if err != nil {
+			return err
+		}
+		var trace []spec.Call
+		for _, a := range order {
+			trace = append(trace, byActivity[a][x]...)
+		}
+		if !spec.Feasible(s, trace) {
+			return fmt.Errorf("%w: object %s rejects the serial arrangement %v (trace %v)",
+				ErrNotSerializable, x, order, trace)
+		}
+	}
+	return nil
+}
+
+// perObjectStates is the search state of the incremental serializability
+// DFS: for each object, the set of specification states reachable after the
+// activities serialized so far.
+type perObjectStates struct {
+	objects []histories.ObjectID
+	states  map[histories.ObjectID][]spec.State
+}
+
+func (c *Checker) initialStates(h histories.History) (*perObjectStates, error) {
+	ps := &perObjectStates{
+		objects: objectsOf(h),
+		states:  make(map[histories.ObjectID][]spec.State),
+	}
+	for _, x := range ps.objects {
+		s, err := c.specFor(x)
+		if err != nil {
+			return nil, err
+		}
+		ps.states[x] = []spec.State{s.Init()}
+	}
+	return ps, nil
+}
+
+// extend applies activity a's calls at every object; it returns nil if some
+// object finds the extension infeasible.
+func (ps *perObjectStates) extend(byActivity map[histories.ActivityID]map[histories.ObjectID][]spec.Call, a histories.ActivityID) *perObjectStates {
+	next := &perObjectStates{
+		objects: ps.objects,
+		states:  make(map[histories.ObjectID][]spec.State, len(ps.states)),
+	}
+	for _, x := range ps.objects {
+		trace := byActivity[a][x]
+		if len(trace) == 0 {
+			next.states[x] = ps.states[x]
+			continue
+		}
+		sts := spec.FeasibleFrom(ps.states[x], trace)
+		if sts == nil {
+			return nil
+		}
+		next.states[x] = sts
+	}
+	return next
+}
+
+// key returns a canonical encoding of the per-object state sets, used to
+// memoize the serialization searches.
+func (ps *perObjectStates) key() string {
+	var sb strings.Builder
+	for _, x := range ps.objects {
+		sb.WriteString(string(x))
+		sb.WriteByte('=')
+		keys := make([]string, 0, len(ps.states[x]))
+		for _, st := range ps.states[x] {
+			keys = append(keys, st.Key())
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sb.WriteString(k)
+			sb.WriteByte('|')
+		}
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// Serializable reports whether h is serializable in some total order of its
+// activities (§3), returning a witness order. The search is a DFS over
+// activity permutations with per-object state-set pruning and memoization
+// on (chosen-set, state-sets): two permutations of the same activity set
+// that reach the same specification states need not both be extended.
+func (c *Checker) Serializable(h histories.History) ([]histories.ActivityID, error) {
+	if len(h) == 0 {
+		return nil, nil
+	}
+	acts := h.Activities()
+	if len(acts) > 64 {
+		return nil, fmt.Errorf("%w: %d activities exceed the 64-activity search bound", ErrNotSerializable, len(acts))
+	}
+	sort.Slice(acts, func(i, j int) bool { return acts[i] < acts[j] })
+	byActivity := calls(h)
+	init, err := c.initialStates(h)
+	if err != nil {
+		return nil, err
+	}
+	used := make(map[histories.ActivityID]bool, len(acts))
+	order := make([]histories.ActivityID, 0, len(acts))
+	type memoKey struct {
+		mask uint64
+		st   string
+	}
+	visited := make(map[memoKey]bool)
+	var mask uint64
+
+	var dfs func(ps *perObjectStates) bool
+	dfs = func(ps *perObjectStates) bool {
+		if len(order) == len(acts) {
+			return true
+		}
+		mk := memoKey{mask, ps.key()}
+		if visited[mk] {
+			return false
+		}
+		visited[mk] = true
+		for i, a := range acts {
+			if used[a] {
+				continue
+			}
+			next := ps.extend(byActivity, a)
+			if next == nil {
+				continue
+			}
+			used[a] = true
+			order = append(order, a)
+			mask |= 1 << i
+			if dfs(next) {
+				return true
+			}
+			mask &^= 1 << i
+			order = order[:len(order)-1]
+			used[a] = false
+		}
+		return false
+	}
+	if !dfs(init) {
+		return nil, fmt.Errorf("%w: no acceptable serial arrangement of activities %v exists", ErrNotSerializable, acts)
+	}
+	return append([]histories.ActivityID(nil), order...), nil
+}
+
+// SerializationOrders returns every total order of h's activities in which
+// h is serializable. It is used by the paper-example tests to assert
+// exactly which serializations the examples admit (e.g. "serializable in
+// the orders a-b-c and a-c-b", §5.1).
+func (c *Checker) SerializationOrders(h histories.History) ([][]histories.ActivityID, error) {
+	if len(h) == 0 {
+		return nil, nil
+	}
+	acts := h.Activities()
+	sort.Slice(acts, func(i, j int) bool { return acts[i] < acts[j] })
+	byActivity := calls(h)
+	init, err := c.initialStates(h)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]histories.ActivityID
+	used := make(map[histories.ActivityID]bool, len(acts))
+	order := make([]histories.ActivityID, 0, len(acts))
+
+	var dfs func(ps *perObjectStates)
+	dfs = func(ps *perObjectStates) {
+		if len(order) == len(acts) {
+			out = append(out, append([]histories.ActivityID(nil), order...))
+			return
+		}
+		for _, a := range acts {
+			if used[a] {
+				continue
+			}
+			next := ps.extend(byActivity, a)
+			if next == nil {
+				continue
+			}
+			used[a] = true
+			order = append(order, a)
+			dfs(next)
+			order = order[:len(order)-1]
+			used[a] = false
+		}
+	}
+	dfs(init)
+	return out, nil
+}

@@ -1,0 +1,106 @@
+// Package dist is the distributed-system substrate: the paper's setting is
+// "long-lived, on-line data ... particularly in a distributed system" (the
+// Argus project, §6), so this package runs the protocols across simulated
+// sites connected by a message network with configurable latency.
+//
+// A Site hosts protocol resources and a write-ahead log on its own stable
+// storage; it can crash (losing all volatile state) and recover (rebuilding
+// committed states from the log and resolving in-doubt transactions against
+// the coordinator's decision log). A RemoteResource is a cc.Resource proxy
+// that ships invocations, prepares, commits and aborts to a site as
+// messages, so the unchanged transaction runtime (internal/tx) drives
+// distributed two-phase commit.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// SiteID names a site.
+type SiteID string
+
+// ErrSiteDown reports a message sent to a crashed site.
+var ErrSiteDown = errors.New("dist: site is down")
+
+// Network connects sites with randomized message latency. It is a
+// simulation: messages are delivered reliably and in arbitrary order
+// (each message sleeps an independent latency before delivery), which is
+// enough to exercise every interleaving the protocols must tolerate.
+type Network struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	minDelay time.Duration
+	maxDelay time.Duration
+	sites    map[SiteID]*Site
+}
+
+// NewNetwork returns a network with per-message latency drawn uniformly
+// from [minDelay, maxDelay].
+func NewNetwork(minDelay, maxDelay time.Duration, seed int64) *Network {
+	if maxDelay < minDelay {
+		maxDelay = minDelay
+	}
+	return &Network{
+		rng:      rand.New(rand.NewSource(seed)),
+		minDelay: minDelay,
+		maxDelay: maxDelay,
+		sites:    make(map[SiteID]*Site),
+	}
+}
+
+// register attaches a site.
+func (n *Network) register(s *Site) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.sites[s.id]; dup {
+		return fmt.Errorf("dist: duplicate site %s", s.id)
+	}
+	n.sites[s.id] = s
+	return nil
+}
+
+// Site returns the registered site.
+func (n *Network) Site(id SiteID) (*Site, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.sites[id]
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown site %s", id)
+	}
+	return s, nil
+}
+
+// delay sleeps a random message latency.
+func (n *Network) delay() {
+	n.mu.Lock()
+	d := n.minDelay
+	if n.maxDelay > n.minDelay {
+		d += time.Duration(n.rng.Int63n(int64(n.maxDelay - n.minDelay)))
+	}
+	n.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// call delivers a request to a site and returns its reply, simulating the
+// round trip. The handler runs on the callee's "server side"; a crashed
+// site refuses.
+func call[Req any, Resp any](n *Network, site SiteID, req Req, handle func(s *Site, req Req) (Resp, error)) (Resp, error) {
+	var zero Resp
+	s, err := n.Site(site)
+	if err != nil {
+		return zero, err
+	}
+	n.delay() // request latency
+	if !s.Up() {
+		return zero, fmt.Errorf("%w: %s", ErrSiteDown, site)
+	}
+	resp, err := handle(s, req)
+	n.delay() // response latency
+	return resp, err
+}

@@ -1,0 +1,74 @@
+package dist
+
+import (
+	"errors"
+
+	"weihl83/internal/cc"
+	"weihl83/internal/histories"
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+// RemoteResource is a cc.Resource proxy for an object hosted at another
+// site: every operation becomes a message round trip. It lets the
+// unchanged transaction runtime (internal/tx) execute distributed
+// transactions with two-phase commit across sites.
+type RemoteResource struct {
+	net  *Network
+	site SiteID
+	obj  histories.ObjectID
+}
+
+var _ cc.Resource = (*RemoteResource)(nil)
+
+// NewRemoteResource returns a proxy for obj at site.
+func NewRemoteResource(net *Network, site SiteID, obj histories.ObjectID) *RemoteResource {
+	return &RemoteResource{net: net, site: site, obj: obj}
+}
+
+// ObjectID implements cc.Resource.
+func (r *RemoteResource) ObjectID() histories.ObjectID { return r.obj }
+
+// Invoke implements cc.Resource: a site crash while the request is in
+// flight surfaces as a retryable doom (the transaction aborts and may run
+// again once the site recovers).
+func (r *RemoteResource) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, error) {
+	type req struct{}
+	v, err := call(r.net, r.site, req{}, func(s *Site, _ req) (value.Value, error) {
+		return s.handleInvoke(r.obj, txn, inv)
+	})
+	if errors.Is(err, ErrSiteDown) {
+		return value.Nil(), errors.Join(cc.ErrDoomed, err)
+	}
+	return v, err
+}
+
+// Prepare implements cc.Resource: the participant's vote. A failure (site
+// down, doomed transaction) vetoes the commit.
+func (r *RemoteResource) Prepare(txn *cc.TxnInfo) error {
+	type req struct{}
+	_, err := call(r.net, r.site, req{}, func(s *Site, _ req) (struct{}, error) {
+		return struct{}{}, s.handlePrepare(r.obj, txn)
+	})
+	return err
+}
+
+// Commit implements cc.Resource. Delivery to a crashed participant is
+// dropped: the coordinator's decision log plus the participant's logged
+// intentions redo the commit during recovery, which is the point of
+// write-ahead logging in two-phase commit.
+func (r *RemoteResource) Commit(txn *cc.TxnInfo, _ histories.Timestamp) {
+	type req struct{}
+	_, _ = call(r.net, r.site, req{}, func(s *Site, _ req) (struct{}, error) {
+		return struct{}{}, s.handleCommit(r.obj, txn)
+	})
+}
+
+// Abort implements cc.Resource. Delivery to a crashed participant is
+// dropped: recovery presumes abort for undecided transactions.
+func (r *RemoteResource) Abort(txn *cc.TxnInfo) {
+	type req struct{}
+	_, _ = call(r.net, r.site, req{}, func(s *Site, _ req) (struct{}, error) {
+		return struct{}{}, s.handleAbort(r.obj, txn)
+	})
+}

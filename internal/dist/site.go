@@ -1,0 +1,326 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/cc"
+	"weihl83/internal/histories"
+	"weihl83/internal/locking"
+	"weihl83/internal/recovery"
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+// DecisionLog is the coordinator's stable record of commit decisions,
+// consulted by recovering participants to resolve in-doubt transactions
+// (presumed abort: no commit record means abort).
+type DecisionLog struct {
+	mu        sync.Mutex
+	committed map[histories.ActivityID]bool
+}
+
+// NewDecisionLog returns an empty decision log.
+func NewDecisionLog() *DecisionLog {
+	return &DecisionLog{committed: make(map[histories.ActivityID]bool)}
+}
+
+// RecordCommit durably records the decision to commit.
+func (d *DecisionLog) RecordCommit(txn histories.ActivityID) {
+	d.mu.Lock()
+	d.committed[txn] = true
+	d.mu.Unlock()
+}
+
+// Committed reports whether txn was decided committed. Anything else is
+// presumed aborted.
+func (d *DecisionLog) Committed(txn histories.ActivityID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.committed[txn]
+}
+
+// SiteConfig configures a site.
+type SiteConfig struct {
+	// ID names the site. Required.
+	ID SiteID
+	// Network to attach to. Required.
+	Network *Network
+	// Decisions is the (globally reachable) coordinator decision log used
+	// during recovery. Required.
+	Decisions *DecisionLog
+	// Sink receives history events from the site's objects.
+	Sink cc.EventSink
+}
+
+// Site hosts locking-protocol objects, a write-ahead log on its own
+// stable storage, and crash/recover machinery. Objects at a site use
+// deferred update (intentions lists), the recovery technique the paper
+// pairs with the locking protocols.
+type Site struct {
+	id   SiteID
+	net  *Network
+	dec  *DecisionLog
+	sink cc.EventSink
+
+	mu       sync.Mutex
+	up       bool
+	disk     *recovery.Disk // stable: survives crashes
+	types    map[histories.ObjectID]adts.Type
+	guards   map[histories.ObjectID]func(adts.Type) locking.Guard
+	objects  map[histories.ObjectID]*locking.Object // volatile
+	detector *locking.Detector                      // volatile
+	prepared map[histories.ActivityID]map[histories.ObjectID]bool
+}
+
+// NewSite creates a site and attaches it to the network.
+func NewSite(cfg SiteConfig) (*Site, error) {
+	if cfg.ID == "" || cfg.Network == nil || cfg.Decisions == nil {
+		return nil, errors.New("dist: SiteConfig needs ID, Network and Decisions")
+	}
+	s := &Site{
+		id:       cfg.ID,
+		net:      cfg.Network,
+		dec:      cfg.Decisions,
+		sink:     cfg.Sink,
+		up:       true,
+		disk:     &recovery.Disk{},
+		types:    make(map[histories.ObjectID]adts.Type),
+		guards:   make(map[histories.ObjectID]func(adts.Type) locking.Guard),
+		objects:  make(map[histories.ObjectID]*locking.Object),
+		detector: locking.NewDetector(),
+		prepared: make(map[histories.ActivityID]map[histories.ObjectID]bool),
+	}
+	if err := cfg.Network.register(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ID returns the site identifier.
+func (s *Site) ID() SiteID { return s.id }
+
+// Up reports whether the site is running.
+func (s *Site) Up() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.up
+}
+
+// Disk exposes the site's stable storage (for tests).
+func (s *Site) Disk() *recovery.Disk { return s.disk }
+
+// AddObject hosts a new object at the site. guard builds the conflict rule
+// from the type (so recovery can rebuild it); nil selects the
+// argument-aware commutativity table.
+func (s *Site) AddObject(id histories.ObjectID, t adts.Type, guard func(adts.Type) locking.Guard) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.up {
+		return fmt.Errorf("%w: %s", ErrSiteDown, s.id)
+	}
+	if _, dup := s.types[id]; dup {
+		return fmt.Errorf("dist: duplicate object %s at %s", id, s.id)
+	}
+	if guard == nil {
+		guard = func(t adts.Type) locking.Guard {
+			return locking.TableGuard{Conflicts: t.Conflicts}
+		}
+	}
+	o, err := s.buildObject(id, t, guard, nil)
+	if err != nil {
+		return err
+	}
+	s.types[id] = t
+	s.guards[id] = guard
+	s.objects[id] = o
+	return nil
+}
+
+func (s *Site) buildObject(id histories.ObjectID, t adts.Type, guard func(adts.Type) locking.Guard, initial spec.State) (*locking.Object, error) {
+	return locking.New(locking.Config{
+		ID:       id,
+		Type:     t,
+		Guard:    guard(t),
+		Detector: s.detector,
+		Sink:     s.sink,
+		Initial:  initial,
+	})
+}
+
+// Crash takes the site down, discarding every volatile structure: active
+// transactions, lock tables, committed in-memory states. Only the disk
+// survives.
+func (s *Site) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.up = false
+	s.objects = nil
+	s.detector = nil
+	s.prepared = nil
+}
+
+// Recover brings the site back: committed states are rebuilt from the
+// write-ahead log (redo of logged intentions in commit order), and every
+// transaction that was prepared here but lacks a local commit or abort
+// record is resolved against the coordinator's decision log — commit if
+// decided, otherwise presumed abort.
+func (s *Site) Recover() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.up {
+		return fmt.Errorf("dist: site %s is already up", s.id)
+	}
+	// Resolve in-doubt transactions first, appending the missing decision
+	// records so the redo pass below sees a complete log.
+	recs := s.disk.Records()
+	inDoubt := make(map[histories.ActivityID]bool)
+	for _, r := range recs {
+		switch r.Kind {
+		case recovery.RecordIntentions:
+			inDoubt[r.Txn] = true
+		case recovery.RecordCommit, recovery.RecordAbort:
+			delete(inDoubt, r.Txn)
+		}
+	}
+	for txn := range inDoubt {
+		if s.dec.Committed(txn) {
+			s.disk.Append(recovery.Record{Kind: recovery.RecordCommit, Txn: txn})
+		} else {
+			s.disk.Append(recovery.Record{Kind: recovery.RecordAbort, Txn: txn})
+		}
+	}
+	specs := make(map[histories.ObjectID]spec.SerialSpec, len(s.types))
+	for id, t := range s.types {
+		specs[id] = t.Spec
+	}
+	states, err := recovery.Restart(s.disk, specs)
+	if err != nil {
+		return fmt.Errorf("dist: recovering %s: %w", s.id, err)
+	}
+	s.detector = locking.NewDetector()
+	s.objects = make(map[histories.ObjectID]*locking.Object, len(s.types))
+	s.prepared = make(map[histories.ActivityID]map[histories.ObjectID]bool)
+	for id, t := range s.types {
+		o, err := s.buildObject(id, t, s.guards[id], states[id])
+		if err != nil {
+			return fmt.Errorf("dist: recovering %s/%s: %w", s.id, id, err)
+		}
+		s.objects[id] = o
+	}
+	s.up = true
+	return nil
+}
+
+// object looks up a hosted object on a running site.
+func (s *Site) object(id histories.ObjectID) (*locking.Object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.up {
+		return nil, fmt.Errorf("%w: %s", ErrSiteDown, s.id)
+	}
+	o, ok := s.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("dist: no object %s at %s", id, s.id)
+	}
+	return o, nil
+}
+
+// --- server-side message handlers ---------------------------------------
+
+func (s *Site) handleInvoke(obj histories.ObjectID, txn *cc.TxnInfo, inv spec.Invocation) (value.Value, error) {
+	o, err := s.object(obj)
+	if err != nil {
+		return value.Nil(), err
+	}
+	s.registerTxn(txn)
+	return o.Invoke(txn, inv)
+}
+
+func (s *Site) registerTxn(txn *cc.TxnInfo) {
+	s.mu.Lock()
+	det := s.detector
+	s.mu.Unlock()
+	if det != nil {
+		det.Register(txn.ID, txn.Seq)
+	}
+}
+
+// handlePrepare forces the transaction's intentions at obj to the site's
+// log and marks it prepared (the participant's "yes" vote).
+func (s *Site) handlePrepare(obj histories.ObjectID, txn *cc.TxnInfo) error {
+	o, err := s.object(obj)
+	if err != nil {
+		return err
+	}
+	if err := o.Prepare(txn); err != nil {
+		return err
+	}
+	s.disk.Append(recovery.Record{
+		Kind:   recovery.RecordIntentions,
+		Txn:    txn.ID,
+		Object: obj,
+		Calls:  o.PendingCalls(txn),
+	})
+	s.mu.Lock()
+	if s.prepared != nil {
+		m := s.prepared[txn.ID]
+		if m == nil {
+			m = make(map[histories.ObjectID]bool)
+			s.prepared[txn.ID] = m
+		}
+		m[obj] = true
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// handleCommit applies the decision at one object. If the site crashed
+// after preparing, the volatile intentions are gone; recovery has already
+// redone them from the log, so the commit is a no-op there — idempotence
+// comes from the write-ahead log, not the in-memory object.
+func (s *Site) handleCommit(obj histories.ObjectID, txn *cc.TxnInfo) error {
+	o, err := s.object(obj)
+	if err != nil {
+		return err
+	}
+	s.disk.Append(recovery.Record{Kind: recovery.RecordCommit, Txn: txn.ID})
+	o.Commit(txn, histories.TSNone)
+	s.forget(txn)
+	return nil
+}
+
+func (s *Site) handleAbort(obj histories.ObjectID, txn *cc.TxnInfo) error {
+	o, err := s.object(obj)
+	if err != nil {
+		return err
+	}
+	s.disk.Append(recovery.Record{Kind: recovery.RecordAbort, Txn: txn.ID})
+	o.Abort(txn)
+	s.forget(txn)
+	return nil
+}
+
+func (s *Site) forget(txn *cc.TxnInfo) {
+	s.mu.Lock()
+	if s.prepared != nil {
+		delete(s.prepared, txn.ID)
+	}
+	det := s.detector
+	s.mu.Unlock()
+	if det != nil {
+		det.Forget(txn.ID)
+	}
+}
+
+// CommittedStateKey returns the committed state key of a hosted object
+// (for tests).
+func (s *Site) CommittedStateKey(id histories.ObjectID) (string, error) {
+	o, err := s.object(id)
+	if err != nil {
+		return "", err
+	}
+	return o.Base().Key(), nil
+}

@@ -1,0 +1,184 @@
+// Package histories implements the paper's model of computation: events,
+// event sequences (histories), well-formedness, projections, perm(h),
+// updates(h), the precedes(h) relation, and timestamp orders.
+//
+// A computation is a finite sequence of events. An event is the invocation
+// of an operation on an object by an activity, the termination (return) of
+// an invocation, the commit or abort of an activity at an object, or — for
+// static and hybrid atomicity — the initiation of an activity at an object
+// with a timestamp (§2, §4.2.1, §4.3.1 of the paper).
+package histories
+
+import (
+	"fmt"
+	"strings"
+
+	"weihl83/internal/value"
+)
+
+// ActivityID names an activity (transaction). The paper writes update
+// activities as a, b, c and read-only activities as r, s, t.
+type ActivityID string
+
+// ObjectID names an object.
+type ObjectID string
+
+// Timestamp is a logical timestamp drawn from a countable well-ordered set;
+// following the paper we use natural numbers. TSNone (zero) means "no
+// timestamp".
+type Timestamp int64
+
+// TSNone is the absent timestamp.
+const TSNone Timestamp = 0
+
+// Kind discriminates event variants.
+type Kind int
+
+// Event kinds.
+const (
+	KindInvoke   Kind = iota + 1 // <op(args),x,a>
+	KindReturn                   // <result,x,a>
+	KindCommit                   // <commit,x,a> or <commit(t),x,a>
+	KindAbort                    // <abort,x,a>
+	KindInitiate                 // <initiate(t),x,a>
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindInvoke:
+		return "invoke"
+	case KindReturn:
+		return "return"
+	case KindCommit:
+		return "commit"
+	case KindAbort:
+		return "abort"
+	case KindInitiate:
+		return "initiate"
+	default:
+		return "invalid"
+	}
+}
+
+// Event is one step of a computation. Exactly the fields relevant to Kind
+// are set:
+//
+//   - KindInvoke: Op and Arg
+//   - KindReturn: Result
+//   - KindCommit: TS (TSNone for plain commits, the chosen timestamp for the
+//     hybrid-atomicity commit(t) events)
+//   - KindInitiate: TS
+//
+// Events are comparable with ==; two histories are equivalent exactly when
+// each activity's projected subsequence is ==-equal (§3).
+type Event struct {
+	Kind     Kind
+	Object   ObjectID
+	Activity ActivityID
+	Op       string      // operation name, for KindInvoke
+	Arg      value.Value // operation argument, for KindInvoke
+	Result   value.Value // operation result, for KindReturn
+	TS       Timestamp   // timestamp, for KindInitiate and timestamped commits
+}
+
+// Invoke returns the event <op(arg),x,a>.
+func Invoke(x ObjectID, a ActivityID, op string, arg value.Value) Event {
+	return Event{Kind: KindInvoke, Object: x, Activity: a, Op: op, Arg: arg}
+}
+
+// Return returns the event <result,x,a>.
+func Return(x ObjectID, a ActivityID, result value.Value) Event {
+	return Event{Kind: KindReturn, Object: x, Activity: a, Result: result}
+}
+
+// Commit returns the event <commit,x,a>.
+func Commit(x ObjectID, a ActivityID) Event {
+	return Event{Kind: KindCommit, Object: x, Activity: a}
+}
+
+// CommitTS returns the hybrid-atomicity event <commit(t),x,a>: the commit of
+// update activity a at object x with timestamp t (§4.3.1).
+func CommitTS(x ObjectID, a ActivityID, t Timestamp) Event {
+	return Event{Kind: KindCommit, Object: x, Activity: a, TS: t}
+}
+
+// Abort returns the event <abort,x,a>.
+func Abort(x ObjectID, a ActivityID) Event {
+	return Event{Kind: KindAbort, Object: x, Activity: a}
+}
+
+// Initiate returns the event <initiate(t),x,a>.
+func Initiate(x ObjectID, a ActivityID, t Timestamp) Event {
+	return Event{Kind: KindInitiate, Object: x, Activity: a, TS: t}
+}
+
+// String renders the event in the paper's angle-bracket notation, e.g.
+// <insert(3),x,a>, <ok,x,a>, <commit(2),x,a>.
+func (e Event) String() string {
+	var head string
+	switch e.Kind {
+	case KindInvoke:
+		switch {
+		case e.Arg.IsNil():
+			head = e.Op
+		case e.Arg.Kind() == value.KindPair:
+			// Pairs render as two arguments: transfer(1,2), not
+			// transfer((1,2)).
+			a, b, _ := e.Arg.AsPair()
+			head = fmt.Sprintf("%s(%d,%d)", e.Op, a, b)
+		default:
+			head = fmt.Sprintf("%s(%s)", e.Op, e.Arg)
+		}
+	case KindReturn:
+		head = e.Result.String()
+		if head == "" {
+			head = "nil"
+		}
+	case KindCommit:
+		if e.TS != TSNone {
+			head = fmt.Sprintf("commit(%d)", e.TS)
+		} else {
+			head = "commit"
+		}
+	case KindAbort:
+		head = "abort"
+	case KindInitiate:
+		head = fmt.Sprintf("initiate(%d)", e.TS)
+	default:
+		head = "invalid"
+	}
+	return fmt.Sprintf("<%s,%s,%s>", head, e.Object, e.Activity)
+}
+
+// History is a finite sequence of events — an observation of a computation.
+type History []Event
+
+// String renders the history one event per line, in the style of the
+// paper's displayed sequences.
+func (h History) String() string {
+	var sb strings.Builder
+	for i, e := range h {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(e.String())
+	}
+	return sb.String()
+}
+
+// Clone returns a copy of h sharing no storage with it.
+func (h History) Clone() History {
+	out := make(History, len(h))
+	copy(out, h)
+	return out
+}
+
+// Append returns h with events appended; it never mutates h's backing array
+// in a way visible to other aliases (it always copies).
+func (h History) Append(events ...Event) History {
+	out := make(History, 0, len(h)+len(events))
+	out = append(out, h...)
+	out = append(out, events...)
+	return out
+}

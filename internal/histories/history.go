@@ -1,0 +1,245 @@
+package histories
+
+import "sort"
+
+// Object returns h|x: the subsequence of h consisting of all events in which
+// object x participates (§2).
+func (h History) Object(x ObjectID) History {
+	var out History
+	for _, e := range h {
+		if e.Object == x {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Activity returns h|a: the subsequence of h consisting of all events in
+// which activity a participates (§2).
+func (h History) Activity(a ActivityID) History {
+	var out History
+	for _, e := range h {
+		if e.Activity == a {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Restrict returns the subsequence of h consisting of events whose activity
+// satisfies keep.
+func (h History) Restrict(keep func(ActivityID) bool) History {
+	var out History
+	for _, e := range h {
+		if keep(e.Activity) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Perm returns perm(h): the subsequence of h consisting of all events
+// involving activities that commit in h, and no others (§3).
+func (h History) Perm() History {
+	committed := h.committedSet()
+	return h.Restrict(func(a ActivityID) bool { return committed[a] })
+}
+
+// committedSet returns the set of activities with at least one commit event
+// in h.
+func (h History) committedSet() map[ActivityID]bool {
+	set := make(map[ActivityID]bool)
+	for _, e := range h {
+		if e.Kind == KindCommit {
+			set[e.Activity] = true
+		}
+	}
+	return set
+}
+
+// Committed returns the activities that commit in h, ordered by their first
+// commit event.
+func (h History) Committed() []ActivityID {
+	seen := make(map[ActivityID]bool)
+	var out []ActivityID
+	for _, e := range h {
+		if e.Kind == KindCommit && !seen[e.Activity] {
+			seen[e.Activity] = true
+			out = append(out, e.Activity)
+		}
+	}
+	return out
+}
+
+// Aborted returns the activities that abort in h, ordered by their first
+// abort event.
+func (h History) Aborted() []ActivityID {
+	seen := make(map[ActivityID]bool)
+	var out []ActivityID
+	for _, e := range h {
+		if e.Kind == KindAbort && !seen[e.Activity] {
+			seen[e.Activity] = true
+			out = append(out, e.Activity)
+		}
+	}
+	return out
+}
+
+// Activities returns every activity participating in h, in order of first
+// appearance.
+func (h History) Activities() []ActivityID {
+	seen := make(map[ActivityID]bool)
+	var out []ActivityID
+	for _, e := range h {
+		if !seen[e.Activity] {
+			seen[e.Activity] = true
+			out = append(out, e.Activity)
+		}
+	}
+	return out
+}
+
+// Objects returns every object participating in h, in order of first
+// appearance.
+func (h History) Objects() []ObjectID {
+	seen := make(map[ObjectID]bool)
+	var out []ObjectID
+	for _, e := range h {
+		if !seen[e.Object] {
+			seen[e.Object] = true
+			out = append(out, e.Object)
+		}
+	}
+	return out
+}
+
+// IsSerial reports whether events for different activities are not
+// interleaved in h (§3): once a second activity's events begin, the first
+// activity's events may not resume.
+func (h History) IsSerial() bool {
+	seen := make(map[ActivityID]bool)
+	var cur ActivityID
+	for _, e := range h {
+		if e.Activity == cur {
+			continue
+		}
+		if seen[e.Activity] {
+			return false // activity resumed after being interleaved away
+		}
+		seen[e.Activity] = true
+		cur = e.Activity
+	}
+	return true
+}
+
+// Equivalent reports whether h and k are equivalent: every activity has the
+// same view in both, i.e. h|a == k|a for every activity a (§3). Activities
+// appearing in only one of the two make them inequivalent (the projection in
+// the other is empty while theirs is not).
+func (h History) Equivalent(k History) bool {
+	if len(h) != len(k) {
+		return false
+	}
+	acts := make(map[ActivityID]bool)
+	for _, e := range h {
+		acts[e.Activity] = true
+	}
+	for _, e := range k {
+		acts[e.Activity] = true
+	}
+	for a := range acts {
+		ha, ka := h.Activity(a), k.Activity(a)
+		if len(ha) != len(ka) {
+			return false
+		}
+		for i := range ha {
+			if ha[i] != ka[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SerialArrangement returns the serial sequence with the activities of h
+// arranged in the order given, each activity contributing its projection
+// h|a as one contiguous block. Activities of h not listed in order are
+// omitted. The result is, by construction, equivalent to the subsequence of
+// h restricted to the listed activities.
+func (h History) SerialArrangement(order []ActivityID) History {
+	var out History
+	for _, a := range order {
+		out = append(out, h.Activity(a)...)
+	}
+	return out
+}
+
+// TimestampOf returns the timestamp chosen by activity a in h, taken from
+// its initiate events (static and hybrid read-only activities) or its
+// timestamped commit events (hybrid updates). The second result is false if
+// a chose no timestamp in h.
+func (h History) TimestampOf(a ActivityID) (Timestamp, bool) {
+	for _, e := range h {
+		if e.Activity != a {
+			continue
+		}
+		if e.Kind == KindInitiate || (e.Kind == KindCommit && e.TS != TSNone) {
+			return e.TS, true
+		}
+	}
+	return TSNone, false
+}
+
+// TimestampOrder returns the activities of h that chose timestamps, sorted
+// in ascending timestamp order. Activities without timestamps are omitted.
+func (h History) TimestampOrder() []ActivityID {
+	type at struct {
+		a  ActivityID
+		ts Timestamp
+	}
+	var pairs []at
+	seen := make(map[ActivityID]bool)
+	for _, e := range h {
+		if seen[e.Activity] {
+			continue
+		}
+		if ts, ok := h.TimestampOf(e.Activity); ok {
+			seen[e.Activity] = true
+			pairs = append(pairs, at{e.Activity, ts})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].ts < pairs[j].ts })
+	out := make([]ActivityID, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.a
+	}
+	return out
+}
+
+// ReadOnlyActivities returns the activities of h that are marked read-only
+// by an initiate event, in order of first appearance. Under hybrid
+// atomicity, read-only activities choose timestamps at initiation while
+// updates choose them at commit (§4.3.1), so in a hybrid history an
+// initiate event identifies its activity as read-only.
+func (h History) ReadOnlyActivities() []ActivityID {
+	seen := make(map[ActivityID]bool)
+	var out []ActivityID
+	for _, e := range h {
+		if e.Kind == KindInitiate && !seen[e.Activity] {
+			seen[e.Activity] = true
+			out = append(out, e.Activity)
+		}
+	}
+	return out
+}
+
+// Updates returns updates(h): the subsequence of h consisting of all events
+// involving update activities — those not marked read-only by an initiate
+// event (§4.3.2).
+func (h History) Updates() History {
+	ro := make(map[ActivityID]bool)
+	for _, a := range h.ReadOnlyActivities() {
+		ro[a] = true
+	}
+	return h.Restrict(func(a ActivityID) bool { return !ro[a] })
+}

@@ -1,0 +1,206 @@
+package histories
+
+import (
+	"reflect"
+	"testing"
+
+	"weihl83/internal/value"
+)
+
+// paperAtomicH is the §3 example used to illustrate perm(h): activities a
+// and b commit, c aborts.
+const paperAtomicH = `
+<member(3),x,a>
+<insert(3),x,b>
+<ok,x,b>
+<true,x,a>
+<commit,x,b>
+<delete(3),x,c>
+<ok,x,c>
+<commit,x,a>
+<abort,x,c>
+`
+
+func TestProjections(t *testing.T) {
+	h := MustParse(paperAtomicH)
+	hx := h.Object("x")
+	if len(hx) != len(h) {
+		t.Errorf("h|x has %d events, want %d (all events involve x)", len(hx), len(h))
+	}
+	ha := h.Activity("a")
+	want := MustParse(`
+<member(3),x,a>
+<true,x,a>
+<commit,x,a>
+`)
+	if !reflect.DeepEqual(ha, want) {
+		t.Errorf("h|a = %v, want %v", ha, want)
+	}
+	if got := h.Object("nosuch"); got != nil {
+		t.Errorf("h|nosuch = %v, want empty", got)
+	}
+}
+
+func TestPermDropsNonCommitted(t *testing.T) {
+	h := MustParse(paperAtomicH)
+	perm := h.Perm()
+	want := MustParse(`
+<member(3),x,a>
+<insert(3),x,b>
+<ok,x,b>
+<true,x,a>
+<commit,x,b>
+<commit,x,a>
+`)
+	if !reflect.DeepEqual(perm, want) {
+		t.Errorf("perm(h) =\n%v\nwant\n%v", perm, want)
+	}
+}
+
+func TestCommittedAbortedActivities(t *testing.T) {
+	h := MustParse(paperAtomicH)
+	if got := h.Committed(); !reflect.DeepEqual(got, []ActivityID{"b", "a"}) {
+		t.Errorf("Committed() = %v", got)
+	}
+	if got := h.Aborted(); !reflect.DeepEqual(got, []ActivityID{"c"}) {
+		t.Errorf("Aborted() = %v", got)
+	}
+	if got := h.Activities(); !reflect.DeepEqual(got, []ActivityID{"a", "b", "c"}) {
+		t.Errorf("Activities() = %v", got)
+	}
+	if got := h.Objects(); !reflect.DeepEqual(got, []ObjectID{"x"}) {
+		t.Errorf("Objects() = %v", got)
+	}
+}
+
+func TestIsSerial(t *testing.T) {
+	serial := MustParse(`
+<insert(3),x,b>
+<ok,x,b>
+<commit,x,b>
+<member(3),x,a>
+<true,x,a>
+<commit,x,a>
+`)
+	if !serial.IsSerial() {
+		t.Error("serial sequence reported as non-serial")
+	}
+	interleaved := MustParse(paperAtomicH)
+	if interleaved.IsSerial() {
+		t.Error("interleaved sequence reported as serial")
+	}
+	if !(History{}).IsSerial() {
+		t.Error("empty history is serial")
+	}
+}
+
+func TestEquivalence(t *testing.T) {
+	h := MustParse(paperAtomicH).Perm()
+	// The serial arrangement in order b,a used by the paper.
+	serial := h.SerialArrangement([]ActivityID{"b", "a"})
+	if !serial.IsSerial() {
+		t.Fatal("SerialArrangement produced a non-serial history")
+	}
+	if !h.Equivalent(serial) {
+		t.Error("perm(h) not equivalent to its serial arrangement")
+	}
+	if !serial.Equivalent(h) {
+		t.Error("equivalence not symmetric")
+	}
+	// Changing a result breaks equivalence.
+	mutated := serial.Clone()
+	for i, e := range mutated {
+		if e.Kind == KindReturn && e.Result == value.Bool(true) {
+			mutated[i].Result = value.Bool(false)
+		}
+	}
+	if h.Equivalent(mutated) {
+		t.Error("histories with different results reported equivalent")
+	}
+	// Dropping an event breaks equivalence.
+	if h.Equivalent(serial[:len(serial)-1]) {
+		t.Error("shorter history reported equivalent")
+	}
+	// An activity present on one side only breaks equivalence even at equal
+	// lengths.
+	left := MustParse("<commit,x,a>\n<commit,x,b>")
+	right := MustParse("<commit,x,a>\n<commit,x,c>")
+	if left.Equivalent(right) {
+		t.Error("histories over different activity sets reported equivalent")
+	}
+}
+
+func TestSerialArrangementOmitsUnlisted(t *testing.T) {
+	h := MustParse(paperAtomicH)
+	s := h.SerialArrangement([]ActivityID{"b"})
+	if len(s) != 3 {
+		t.Errorf("arrangement of just b has %d events, want 3", len(s))
+	}
+}
+
+func TestCloneAndAppendDoNotAlias(t *testing.T) {
+	h := MustParse("<commit,x,a>")
+	c := h.Clone()
+	c[0] = Abort("x", "a")
+	if h[0].Kind != KindCommit {
+		t.Error("Clone aliases the original")
+	}
+	grown := h.Append(Commit("y", "b"))
+	if len(grown) != 2 || len(h) != 1 {
+		t.Error("Append mutated the receiver")
+	}
+}
+
+func TestTimestampOf(t *testing.T) {
+	h := MustParse(`
+<initiate(5),x,r>
+<insert(3),x,a>
+<ok,x,a>
+<commit(7),x,a>
+<commit,x,b>
+`)
+	if ts, ok := h.TimestampOf("r"); !ok || ts != 5 {
+		t.Errorf("TimestampOf(r) = %d, %t", ts, ok)
+	}
+	if ts, ok := h.TimestampOf("a"); !ok || ts != 7 {
+		t.Errorf("TimestampOf(a) = %d, %t", ts, ok)
+	}
+	if _, ok := h.TimestampOf("b"); ok {
+		t.Error("TimestampOf(b) found a timestamp for a plain commit")
+	}
+	if got := h.TimestampOrder(); !reflect.DeepEqual(got, []ActivityID{"r", "a"}) {
+		t.Errorf("TimestampOrder() = %v", got)
+	}
+}
+
+func TestReadOnlyAndUpdates(t *testing.T) {
+	h := MustParse(`
+<insert(3),x,a>
+<ok,x,a>
+<commit(2),x,a>
+<initiate(1),x,r>
+<member(3),x,r>
+<false,x,r>
+<commit,x,r>
+`)
+	if got := h.ReadOnlyActivities(); !reflect.DeepEqual(got, []ActivityID{"r"}) {
+		t.Errorf("ReadOnlyActivities() = %v", got)
+	}
+	u := h.Updates()
+	want := MustParse(`
+<insert(3),x,a>
+<ok,x,a>
+<commit(2),x,a>
+`)
+	if !reflect.DeepEqual(u, want) {
+		t.Errorf("Updates() = %v, want %v", u, want)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	h := MustParse(paperAtomicH)
+	onlyC := h.Restrict(func(a ActivityID) bool { return a == "c" })
+	if len(onlyC) != 3 {
+		t.Errorf("Restrict to c: %d events, want 3", len(onlyC))
+	}
+}

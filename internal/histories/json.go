@@ -1,0 +1,66 @@
+package histories
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"weihl83/internal/value"
+)
+
+// jsonEvent is the wire form of an Event, used by cmd/atomcheck and the
+// history export facilities.
+type jsonEvent struct {
+	Kind     string      `json:"kind"`
+	Object   string      `json:"object"`
+	Activity string      `json:"activity"`
+	Op       string      `json:"op,omitempty"`
+	Arg      value.Value `json:"arg,omitempty"`
+	Result   value.Value `json:"result,omitempty"`
+	TS       int64       `json:"ts,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonEvent{
+		Kind:     e.Kind.String(),
+		Object:   string(e.Object),
+		Activity: string(e.Activity),
+		Op:       e.Op,
+		Arg:      e.Arg,
+		Result:   e.Result,
+		TS:       int64(e.TS),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var je jsonEvent
+	if err := json.Unmarshal(data, &je); err != nil {
+		return fmt.Errorf("histories: decode event: %w", err)
+	}
+	var kind Kind
+	switch je.Kind {
+	case "invoke":
+		kind = KindInvoke
+	case "return":
+		kind = KindReturn
+	case "commit":
+		kind = KindCommit
+	case "abort":
+		kind = KindAbort
+	case "initiate":
+		kind = KindInitiate
+	default:
+		return fmt.Errorf("histories: unknown event kind %q", je.Kind)
+	}
+	*e = Event{
+		Kind:     kind,
+		Object:   ObjectID(je.Object),
+		Activity: ActivityID(je.Activity),
+		Op:       je.Op,
+		Arg:      je.Arg,
+		Result:   je.Result,
+		TS:       Timestamp(je.TS),
+	}
+	return nil
+}

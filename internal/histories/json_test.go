@@ -1,0 +1,41 @@
+package histories
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestHistoryJSONRoundTrip(t *testing.T) {
+	h := MustParse(`
+<initiate(1),x,r>
+<insert(3),x,a>
+<ok,x,a>
+<member(3),x,r>
+<true,x,r>
+<commit(2),x,a>
+<commit,x,r>
+<abort,y,c>
+`)
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got History
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(h, got) {
+		t.Errorf("round trip mismatch:\n%v\nvs\n%v", h, got)
+	}
+}
+
+func TestEventJSONUnknownKind(t *testing.T) {
+	var e Event
+	if err := json.Unmarshal([]byte(`{"kind":"wat","object":"x","activity":"a"}`), &e); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := json.Unmarshal([]byte(`[]`), &e); err == nil {
+		t.Error("non-object accepted")
+	}
+}

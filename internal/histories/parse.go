@@ -1,0 +1,191 @@
+package histories
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"weihl83/internal/value"
+)
+
+// Parse reads a history written in the paper's angle-bracket notation, one
+// event per line (blank lines and lines starting with # or // are ignored):
+//
+//	<insert(3),x,a>
+//	<ok,x,a>
+//	<member(7),x,a>
+//	<false,x,a>
+//	<commit,x,a>
+//	<commit(2),x,a>
+//	<initiate(1),x,r>
+//	<abort,x,c>
+//	<dequeue,x,c>
+//	<1,x,c>
+//
+// Disambiguation between invocations and returns follows the paper's usage:
+// "commit", "abort" and "initiate(t)" are control events; "ok", "true",
+// "false", "insufficient_funds" and bare integers are returns; everything
+// else is an invocation (possibly with a parenthesized argument, as in
+// "insert(3)", or bare, as in "increment" and "dequeue").
+func Parse(text string) (History, error) {
+	var h History
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		e, err := ParseEvent(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		h = append(h, e)
+	}
+	return h, nil
+}
+
+// MustParse is Parse for tests and package-level example tables: it panics
+// on malformed input.
+func MustParse(text string) History {
+	h, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// resultWords are the bare identifiers the parser treats as operation
+// results rather than operation names.
+var resultWords = map[string]value.Value{
+	"ok":                 value.Unit(),
+	"true":               value.Bool(true),
+	"false":              value.Bool(false),
+	"insufficient_funds": value.Str("insufficient_funds"),
+	"nil":                value.Nil(),
+}
+
+// ParseEvent parses a single angle-bracket event.
+func ParseEvent(s string) (Event, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "<") || !strings.HasSuffix(s, ">") {
+		return Event{}, fmt.Errorf("histories: event %q is not of the form <head,object,activity>", s)
+	}
+	body := s[1 : len(s)-1]
+	// Split on the final two commas: the head may itself contain commas
+	// inside the argument list, e.g. <transfer(1,2),x,a>.
+	last := strings.LastIndexByte(body, ',')
+	if last < 0 {
+		return Event{}, fmt.Errorf("histories: event %q has no activity field", s)
+	}
+	mid := strings.LastIndexByte(body[:last], ',')
+	if mid < 0 {
+		return Event{}, fmt.Errorf("histories: event %q has no object field", s)
+	}
+	head := strings.TrimSpace(body[:mid])
+	obj := ObjectID(strings.TrimSpace(body[mid+1 : last]))
+	act := ActivityID(strings.TrimSpace(body[last+1:]))
+	if head == "" || obj == "" || act == "" {
+		return Event{}, fmt.Errorf("histories: event %q has an empty field", s)
+	}
+
+	name, arg, hasParen, err := splitHead(head)
+	if err != nil {
+		return Event{}, err
+	}
+	if name == "" {
+		return Event{}, fmt.Errorf("histories: event %q has an empty operation name", s)
+	}
+	switch name {
+	case "commit":
+		if hasParen {
+			ts, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil {
+				return Event{}, fmt.Errorf("histories: bad commit timestamp in %q: %w", s, err)
+			}
+			return CommitTS(obj, act, Timestamp(ts)), nil
+		}
+		return Commit(obj, act), nil
+	case "abort":
+		return Abort(obj, act), nil
+	case "initiate":
+		if !hasParen {
+			return Event{}, fmt.Errorf("histories: initiate event %q needs a timestamp", s)
+		}
+		ts, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("histories: bad initiate timestamp in %q: %w", s, err)
+		}
+		return Initiate(obj, act, Timestamp(ts)), nil
+	}
+	if !hasParen {
+		if v, ok := resultWords[name]; ok {
+			return Return(obj, act, v), nil
+		}
+		if n, err := strconv.ParseInt(name, 10, 64); err == nil {
+			return Return(obj, act, value.Int(n)), nil
+		}
+		if strings.HasPrefix(name, "\"") {
+			unq, err := strconv.Unquote(name)
+			if err != nil {
+				return Event{}, fmt.Errorf("histories: bad string result in %q: %w", s, err)
+			}
+			return Return(obj, act, value.Str(unq)), nil
+		}
+		return Invoke(obj, act, name, value.Nil()), nil
+	}
+	av, err := parseArg(arg)
+	if err != nil {
+		return Event{}, fmt.Errorf("histories: bad argument in %q: %w", s, err)
+	}
+	return Invoke(obj, act, name, av), nil
+}
+
+// splitHead splits "insert(3)" into ("insert", "3", true) and "increment"
+// into ("increment", "", false).
+func splitHead(head string) (name, arg string, hasParen bool, err error) {
+	open := strings.IndexByte(head, '(')
+	if open < 0 {
+		return head, "", false, nil
+	}
+	if !strings.HasSuffix(head, ")") {
+		return "", "", false, fmt.Errorf("histories: unbalanced parentheses in %q", head)
+	}
+	return head[:open], head[open+1 : len(head)-1], true, nil
+}
+
+// parseArg parses an invocation argument: empty, an integer, a pair of
+// integers, true/false, or a quoted string.
+func parseArg(s string) (value.Value, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return value.Nil(), nil
+	}
+	if s == "true" {
+		return value.Bool(true), nil
+	}
+	if s == "false" {
+		return value.Bool(false), nil
+	}
+	if strings.HasPrefix(s, "\"") {
+		unq, err := strconv.Unquote(s)
+		if err != nil {
+			return value.Nil(), err
+		}
+		return value.Str(unq), nil
+	}
+	if i := strings.IndexByte(s, ','); i >= 0 {
+		a, err := strconv.ParseInt(strings.TrimSpace(s[:i]), 10, 64)
+		if err != nil {
+			return value.Nil(), err
+		}
+		b, err := strconv.ParseInt(strings.TrimSpace(s[i+1:]), 10, 64)
+		if err != nil {
+			return value.Nil(), err
+		}
+		return value.Pair(a, b), nil
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return value.Nil(), err
+	}
+	return value.Int(n), nil
+}

@@ -1,0 +1,131 @@
+package histories
+
+import (
+	"testing"
+
+	"weihl83/internal/value"
+)
+
+func TestParseEventForms(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Event
+	}{
+		{"<insert(3),x,a>", Invoke("x", "a", "insert", value.Int(3))},
+		{"<member(7),x,a>", Invoke("x", "a", "member", value.Int(7))},
+		{"<increment,y,a1>", Invoke("y", "a1", "increment", value.Nil())},
+		{"<dequeue,x,c>", Invoke("x", "c", "dequeue", value.Nil())},
+		{"<transfer(1,2),x,a>", Invoke("x", "a", "transfer", value.Pair(1, 2))},
+		{"<ok,x,b>", Return("x", "b", value.Unit())},
+		{"<true,x,a>", Return("x", "a", value.Bool(true))},
+		{"<false,x,a>", Return("x", "a", value.Bool(false))},
+		{"<insufficient_funds,y,b>", Return("y", "b", value.Str("insufficient_funds"))},
+		{"<42,y,a1>", Return("y", "a1", value.Int(42))},
+		{"<-1,y,a>", Return("y", "a", value.Int(-1))},
+		{"<commit,x,a>", Commit("x", "a")},
+		{"<commit(2),x,a>", CommitTS("x", "a", 2)},
+		{"<abort,x,c>", Abort("x", "c")},
+		{"<initiate(1),x,r>", Initiate("x", "r", 1)},
+	}
+	for _, tt := range tests {
+		got, err := ParseEvent(tt.in)
+		if err != nil {
+			t.Errorf("ParseEvent(%q): %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseEvent(%q) = %+v, want %+v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseEventErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"<>",
+		"<commit>",
+		"<commit,x>",
+		"commit,x,a",
+		"<insert(3,x,a>",
+		"<initiate,x,a>",
+		"<commit(zebra),x,a>",
+		"<initiate(zebra),x,a>",
+		"<insert(zebra),x,a>",
+		"<,x,a>",
+	}
+	for _, s := range bad {
+		if _, err := ParseEvent(s); err == nil {
+			t.Errorf("ParseEvent(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	text := `
+# a comment
+<member(3),x,a>
+<insert(3),x,b>
+<ok,x,b>
+<true,x,a>
+<commit,x,b>
+
+// another comment
+<delete(3),x,c>
+<ok,x,c>
+<commit,x,a>
+<abort,x,c>
+`
+	h := MustParse(text)
+	if len(h) != 9 {
+		t.Fatalf("parsed %d events, want 9", len(h))
+	}
+	// Re-parse the rendered form; must be identical.
+	h2, err := Parse(h.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(h2) != len(h) {
+		t.Fatalf("re-parse length %d, want %d", len(h2), len(h))
+	}
+	for i := range h {
+		if h[i] != h2[i] {
+			t.Errorf("event %d: %v != %v", i, h[i], h2[i])
+		}
+	}
+}
+
+func TestParseLineError(t *testing.T) {
+	if _, err := Parse("<ok,x,a>\n<bogus"); err == nil {
+		t.Error("Parse with bad line succeeded")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("<bogus")
+}
+
+func TestEventString(t *testing.T) {
+	tests := []struct {
+		e    Event
+		want string
+	}{
+		{Invoke("x", "a", "insert", value.Int(3)), "<insert(3),x,a>"},
+		{Invoke("y", "a1", "increment", value.Nil()), "<increment,y,a1>"},
+		{Return("x", "a", value.Bool(true)), "<true,x,a>"},
+		{Return("x", "a", value.Nil()), "<nil,x,a>"},
+		{Commit("x", "a"), "<commit,x,a>"},
+		{CommitTS("x", "a", 5), "<commit(5),x,a>"},
+		{Abort("x", "c"), "<abort,x,c>"},
+		{Initiate("x", "r", 1), "<initiate(1),x,r>"},
+	}
+	for _, tt := range tests {
+		if got := tt.e.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

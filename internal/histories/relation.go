@@ -1,0 +1,201 @@
+package histories
+
+import "sort"
+
+// Relation is a binary relation on activities, used for precedes(h) (§4.1).
+type Relation struct {
+	pairs map[ActivityID]map[ActivityID]bool
+}
+
+// NewRelation returns an empty relation.
+func NewRelation() Relation {
+	return Relation{pairs: make(map[ActivityID]map[ActivityID]bool)}
+}
+
+// Add inserts the pair <a,b>.
+func (r Relation) Add(a, b ActivityID) {
+	m := r.pairs[a]
+	if m == nil {
+		m = make(map[ActivityID]bool)
+		r.pairs[a] = m
+	}
+	m[b] = true
+}
+
+// Contains reports whether <a,b> is in the relation.
+func (r Relation) Contains(a, b ActivityID) bool {
+	return r.pairs[a][b]
+}
+
+// Len returns the number of pairs in the relation.
+func (r Relation) Len() int {
+	n := 0
+	for _, m := range r.pairs {
+		n += len(m)
+	}
+	return n
+}
+
+// Pairs returns the relation's pairs in a deterministic order.
+func (r Relation) Pairs() [][2]ActivityID {
+	var out [][2]ActivityID
+	for a, m := range r.pairs {
+		for b := range m {
+			out = append(out, [2]ActivityID{a, b})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// TransitiveClosure returns the transitive closure of r.
+func (r Relation) TransitiveClosure() Relation {
+	out := NewRelation()
+	nodes := make(map[ActivityID]bool)
+	for a, m := range r.pairs {
+		nodes[a] = true
+		for b := range m {
+			nodes[b] = true
+			out.Add(a, b)
+		}
+	}
+	for k := range nodes {
+		for i := range nodes {
+			if !out.Contains(i, k) {
+				continue
+			}
+			for j := range nodes {
+				if out.Contains(k, j) {
+					out.Add(i, j)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IsAcyclic reports whether r (viewed as a directed graph) has no cycles.
+func (r Relation) IsAcyclic() bool {
+	tc := r.TransitiveClosure()
+	for a := range tc.pairs {
+		if tc.Contains(a, a) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConsistentWith reports whether the total order given (earliest first) is a
+// linear extension of r restricted to the listed activities: no pair <a,b>
+// in r has b before a in the order.
+func (r Relation) ConsistentWith(order []ActivityID) bool {
+	pos := make(map[ActivityID]int, len(order))
+	for i, a := range order {
+		pos[a] = i
+	}
+	for a, m := range r.pairs {
+		pa, oka := pos[a]
+		if !oka {
+			continue
+		}
+		for b := range m {
+			pb, okb := pos[b]
+			if okb && pb <= pa {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LinearExtensions enumerates every total order of the given activities that
+// is consistent with r, invoking yield for each. If yield returns false the
+// enumeration stops early. The number of extensions can be factorial in the
+// number of activities; callers control the blow-up by bounding the
+// activity set (our checkers are exact decision procedures for the small
+// histories used in specifications and tests).
+func (r Relation) LinearExtensions(activities []ActivityID, yield func([]ActivityID) bool) {
+	// Restrict the relation to the requested activities and count
+	// in-degrees.
+	inSet := make(map[ActivityID]bool, len(activities))
+	for _, a := range activities {
+		inSet[a] = true
+	}
+	indeg := make(map[ActivityID]int, len(activities))
+	for _, a := range activities {
+		indeg[a] = 0
+	}
+	succ := make(map[ActivityID][]ActivityID)
+	for a, m := range r.pairs {
+		if !inSet[a] {
+			continue
+		}
+		for b := range m {
+			if !inSet[b] || a == b {
+				continue
+			}
+			succ[a] = append(succ[a], b)
+			indeg[b]++
+		}
+	}
+	order := make([]ActivityID, 0, len(activities))
+	used := make(map[ActivityID]bool, len(activities))
+	// Sort once for deterministic enumeration order.
+	sorted := append([]ActivityID(nil), activities...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var rec func() bool
+	rec = func() bool {
+		if len(order) == len(sorted) {
+			return yield(append([]ActivityID(nil), order...))
+		}
+		for _, a := range sorted {
+			if used[a] || indeg[a] > 0 {
+				continue
+			}
+			used[a] = true
+			order = append(order, a)
+			for _, b := range succ[a] {
+				indeg[b]--
+			}
+			ok := rec()
+			for _, b := range succ[a] {
+				indeg[b]++
+			}
+			order = order[:len(order)-1]
+			used[a] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec()
+}
+
+// Precedes returns precedes(h): the relation containing <a,b> if and only
+// if there exists an operation invoked by b that terminates after a commits
+// (§4.1). For well-formed h the result is acyclic (the paper's observation
+// that precedes(h) is a partial order).
+func (h History) Precedes() Relation {
+	r := NewRelation()
+	committedSoFar := make(map[ActivityID]bool)
+	for _, e := range h {
+		switch e.Kind {
+		case KindCommit:
+			committedSoFar[e.Activity] = true
+		case KindReturn:
+			for a := range committedSoFar {
+				if a != e.Activity {
+					r.Add(a, e.Activity)
+				}
+			}
+		}
+	}
+	return r
+}

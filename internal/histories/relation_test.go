@@ -1,0 +1,252 @@
+package histories
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"weihl83/internal/value"
+)
+
+func TestPrecedesEmptyWhenNoCommitBeforeReturn(t *testing.T) {
+	// §4.1: operations of a and b all terminate before either commits, so
+	// precedes(h) is empty.
+	h := MustParse(`
+<insert(3),x,a>
+<ok,x,a>
+<insert(4),x,b>
+<ok,x,b>
+<commit,x,a>
+<commit,x,b>
+`)
+	if got := h.Precedes().Len(); got != 0 {
+		t.Errorf("precedes(h) has %d pairs, want 0", got)
+	}
+}
+
+func TestPrecedesSinglePair(t *testing.T) {
+	// §4.1: an operation invoked by b terminates after a commits, so
+	// precedes(h) contains exactly <a,b>.
+	h := MustParse(`
+<insert(3),x,a>
+<ok,x,a>
+<commit,x,a>
+<insert(4),x,b>
+<ok,x,b>
+<commit,x,b>
+`)
+	prec := h.Precedes()
+	if prec.Len() != 1 || !prec.Contains("a", "b") {
+		t.Errorf("precedes(h) = %v, want exactly {<a,b>}", prec.Pairs())
+	}
+}
+
+func TestPrecedesPaperDynamicExample(t *testing.T) {
+	// The §4.1 example: precedes(h) contains only <b,c>.
+	h := MustParse(`
+<member(3),x,a>
+<insert(3),x,b>
+<ok,x,b>
+<false,x,a>
+<member(3),x,c>
+<commit,x,b>
+<true,x,c>
+<commit,x,a>
+<commit,x,c>
+`)
+	prec := h.Precedes()
+	if prec.Len() != 1 || !prec.Contains("b", "c") {
+		t.Errorf("precedes(h) = %v, want exactly {<b,c>}", prec.Pairs())
+	}
+}
+
+func TestPrecedesPartialOrderOnWellFormed(t *testing.T) {
+	// Lemma-adjacent sanity: for random well-formed histories, precedes(h)
+	// is acyclic, and precedes(h|x) ⊆ precedes(h) (Lemma 2).
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		h := randomWellFormed(rng)
+		if err := h.WellFormed(); err != nil {
+			t.Fatalf("generator produced ill-formed history: %v\n%v", err, h)
+		}
+		prec := h.Precedes()
+		if !prec.IsAcyclic() {
+			t.Fatalf("precedes(h) cyclic for well-formed h:\n%v", h)
+		}
+		for _, x := range h.Objects() {
+			sub := h.Object(x).Precedes()
+			for _, p := range sub.Pairs() {
+				if !prec.Contains(p[0], p[1]) {
+					t.Fatalf("Lemma 2 violated: <%s,%s> in precedes(h|%s) but not precedes(h)\n%v", p[0], p[1], x, h)
+				}
+			}
+		}
+	}
+}
+
+// randomWellFormed generates a random well-formed history: a handful of
+// activities interleave complete invocations on a couple of objects, then
+// each commits, aborts, or stays active.
+func randomWellFormed(rng *rand.Rand) History {
+	objects := []ObjectID{"x", "y"}
+	acts := []ActivityID{"a", "b", "c", "d"}
+	type actState struct {
+		done    bool
+		invoked int
+	}
+	states := make(map[ActivityID]*actState, len(acts))
+	for _, a := range acts {
+		states[a] = &actState{}
+	}
+	var h History
+	for steps := 0; steps < 30; steps++ {
+		a := acts[rng.Intn(len(acts))]
+		st := states[a]
+		if st.done {
+			continue
+		}
+		switch rng.Intn(5) {
+		case 0, 1, 2: // complete one invocation
+			x := objects[rng.Intn(len(objects))]
+			h = append(h,
+				Invoke(x, a, "insert", value.Int(int64(rng.Intn(5)))),
+				Return(x, a, value.Unit()),
+			)
+			st.invoked++
+		case 3: // commit at every object used (or just one)
+			h = append(h, Commit(objects[rng.Intn(len(objects))], a))
+			st.done = true
+		case 4: // abort
+			h = append(h, Abort(objects[rng.Intn(len(objects))], a))
+			st.done = true
+		}
+	}
+	return h
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	r := NewRelation()
+	r.Add("a", "b")
+	r.Add("b", "c")
+	tc := r.TransitiveClosure()
+	if !tc.Contains("a", "c") {
+		t.Error("closure missing <a,c>")
+	}
+	if tc.Contains("c", "a") {
+		t.Error("closure contains spurious <c,a>")
+	}
+	if !tc.IsAcyclic() {
+		t.Error("acyclic relation reported cyclic")
+	}
+	r.Add("c", "a")
+	if r.IsAcyclic() {
+		t.Error("cyclic relation reported acyclic")
+	}
+}
+
+func TestConsistentWith(t *testing.T) {
+	r := NewRelation()
+	r.Add("b", "c")
+	tests := []struct {
+		order []ActivityID
+		want  bool
+	}{
+		{[]ActivityID{"a", "b", "c"}, true},
+		{[]ActivityID{"b", "a", "c"}, true},
+		{[]ActivityID{"b", "c", "a"}, true},
+		{[]ActivityID{"a", "c", "b"}, false},
+		{[]ActivityID{"c", "b", "a"}, false},
+		// Orders not mentioning a constrained activity are vacuously fine.
+		{[]ActivityID{"a"}, true},
+	}
+	for _, tt := range tests {
+		if got := r.ConsistentWith(tt.order); got != tt.want {
+			t.Errorf("ConsistentWith(%v) = %t, want %t", tt.order, got, tt.want)
+		}
+	}
+}
+
+func TestLinearExtensions(t *testing.T) {
+	r := NewRelation()
+	r.Add("b", "c")
+	var got [][]ActivityID
+	r.LinearExtensions([]ActivityID{"a", "b", "c"}, func(o []ActivityID) bool {
+		got = append(got, o)
+		return true
+	})
+	want := [][]ActivityID{
+		{"a", "b", "c"},
+		{"b", "a", "c"},
+		{"b", "c", "a"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("LinearExtensions = %v, want %v", got, want)
+	}
+}
+
+func TestLinearExtensionsEarlyStop(t *testing.T) {
+	r := NewRelation()
+	count := 0
+	r.LinearExtensions([]ActivityID{"a", "b", "c"}, func(o []ActivityID) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early stop yielded %d orders, want 1", count)
+	}
+}
+
+func TestLinearExtensionsCountQuick(t *testing.T) {
+	// With an empty relation the number of extensions of n activities is n!.
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%5) + 1
+		acts := make([]ActivityID, n)
+		for i := range acts {
+			acts[i] = ActivityID(rune('a' + i))
+		}
+		count := 0
+		NewRelation().LinearExtensions(acts, func([]ActivityID) bool {
+			count++
+			return true
+		})
+		fact := 1
+		for i := 2; i <= n; i++ {
+			fact *= i
+		}
+		return count == fact
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearExtensionsRespectRelation(t *testing.T) {
+	r := NewRelation()
+	r.Add("a", "b")
+	r.Add("a", "c")
+	r.Add("b", "d")
+	count := 0
+	r.LinearExtensions([]ActivityID{"a", "b", "c", "d"}, func(o []ActivityID) bool {
+		count++
+		if !r.ConsistentWith(o) {
+			t.Errorf("extension %v inconsistent with relation", o)
+		}
+		return true
+	})
+	// a first; then the linear extensions of {b<d, c}: bcd, bdc, cbd = 3.
+	if count != 3 {
+		t.Errorf("found %d extensions, want 3", count)
+	}
+}
+
+func TestRelationPairsDeterministic(t *testing.T) {
+	r := NewRelation()
+	r.Add("b", "a")
+	r.Add("a", "b")
+	r.Add("a", "a")
+	want := [][2]ActivityID{{"a", "a"}, {"a", "b"}, {"b", "a"}}
+	if got := r.Pairs(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Pairs() = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,79 @@
+package histories
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Timeline renders a history as per-activity lanes, one column per event,
+// which makes interleavings and commit points visible at a glance:
+//
+//	a | member(3)          ........ false ................. commit .
+//	b | ......... insert(3) ok ............ commit ............... .
+//
+// It is used by cmd/atomcheck's -trace flag and in test failure output.
+func Timeline(h History) string {
+	acts := h.Activities()
+	if len(acts) == 0 {
+		return "(empty history)"
+	}
+	width := 0
+	cells := make([]string, len(h))
+	for i, e := range h {
+		cells[i] = cellOf(e)
+		if len(cells[i]) > width {
+			width = len(cells[i])
+		}
+	}
+	var sb strings.Builder
+	nameWidth := 0
+	for _, a := range acts {
+		if len(a) > nameWidth {
+			nameWidth = len(a)
+		}
+	}
+	for _, a := range acts {
+		fmt.Fprintf(&sb, "%-*s |", nameWidth, a)
+		for i, e := range h {
+			if e.Activity == a {
+				fmt.Fprintf(&sb, " %-*s", width, cells[i])
+			} else {
+				fmt.Fprintf(&sb, " %-*s", width, strings.Repeat(".", len(cells[i])))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// cellOf renders one event compactly (without the <...,x,a> wrapper; the
+// object is appended with @ when the history spans several objects).
+func cellOf(e Event) string {
+	var head string
+	switch e.Kind {
+	case KindInvoke:
+		inv := e.Op
+		if !e.Arg.IsNil() {
+			inv = fmt.Sprintf("%s(%s)", e.Op, e.Arg)
+		}
+		head = inv
+	case KindReturn:
+		head = e.Result.String()
+		if head == "" {
+			head = "nil"
+		}
+	case KindCommit:
+		if e.TS != TSNone {
+			head = fmt.Sprintf("commit(%d)", e.TS)
+		} else {
+			head = "commit"
+		}
+	case KindAbort:
+		head = "abort"
+	case KindInitiate:
+		head = fmt.Sprintf("init(%d)", e.TS)
+	default:
+		head = "?"
+	}
+	return head + "@" + string(e.Object)
+}

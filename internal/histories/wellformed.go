@@ -1,0 +1,238 @@
+package histories
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotWellFormed tags all well-formedness violations; use errors.Is to
+// detect them and the error text for the specific rule violated.
+var ErrNotWellFormed = errors.New("history is not well-formed")
+
+func violation(i int, e Event, format string, args ...any) error {
+	return fmt.Errorf("%w: event %d %s: %s", ErrNotWellFormed, i, e, fmt.Sprintf(format, args...))
+}
+
+// activityPhase tracks the per-activity state used by the well-formedness
+// scans.
+type activityPhase struct {
+	pending   bool     // an invocation is outstanding
+	pendingAt ObjectID // object of the outstanding invocation
+	committed bool     // at least one commit event seen
+	aborted   bool     // at least one abort event seen
+	commitAt  map[ObjectID]bool
+	abortAt   map[ObjectID]bool
+}
+
+// WellFormed checks the basic well-formedness conditions of §2:
+//
+//  1. an activity must wait until one invocation terminates before invoking
+//     another operation;
+//  2. no activity both commits and aborts (at the same or different
+//     objects);
+//  3. an activity cannot commit while waiting for an invocation to
+//     terminate;
+//  4. an activity cannot invoke any operations after it commits.
+//
+// It additionally enforces the structural facts those rules presuppose: a
+// return event must terminate a pending invocation by the same activity at
+// the same object, and commit/abort events are not repeated at one object.
+// It returns nil if h is well-formed and an error wrapping ErrNotWellFormed
+// otherwise.
+func (h History) WellFormed() error {
+	_, err := h.scan()
+	return err
+}
+
+func (h History) scan() (map[ActivityID]*activityPhase, error) {
+	phases := make(map[ActivityID]*activityPhase)
+	get := func(a ActivityID) *activityPhase {
+		p := phases[a]
+		if p == nil {
+			p = &activityPhase{
+				commitAt: make(map[ObjectID]bool),
+				abortAt:  make(map[ObjectID]bool),
+			}
+			phases[a] = p
+		}
+		return p
+	}
+	for i, e := range h {
+		p := get(e.Activity)
+		switch e.Kind {
+		case KindInvoke:
+			if p.pending {
+				return nil, violation(i, e, "activity %s invokes before its previous invocation terminates", e.Activity)
+			}
+			if p.committed {
+				return nil, violation(i, e, "activity %s invokes an operation after committing", e.Activity)
+			}
+			p.pending = true
+			p.pendingAt = e.Object
+		case KindReturn:
+			if !p.pending {
+				return nil, violation(i, e, "return with no pending invocation by %s", e.Activity)
+			}
+			if p.pendingAt != e.Object {
+				return nil, violation(i, e, "return at %s but %s's pending invocation is at %s", e.Object, e.Activity, p.pendingAt)
+			}
+			p.pending = false
+		case KindCommit:
+			if p.pending {
+				return nil, violation(i, e, "activity %s commits while waiting for an invocation to terminate", e.Activity)
+			}
+			if p.aborted {
+				return nil, violation(i, e, "activity %s both aborts and commits", e.Activity)
+			}
+			if p.commitAt[e.Object] {
+				return nil, violation(i, e, "activity %s commits twice at %s", e.Activity, e.Object)
+			}
+			p.committed = true
+			p.commitAt[e.Object] = true
+		case KindAbort:
+			if p.committed {
+				return nil, violation(i, e, "activity %s both commits and aborts", e.Activity)
+			}
+			if p.abortAt[e.Object] {
+				return nil, violation(i, e, "activity %s aborts twice at %s", e.Activity, e.Object)
+			}
+			p.aborted = true
+			p.abortAt[e.Object] = true
+		case KindInitiate:
+			// Timestamp rules are checked by WellFormedStatic and
+			// WellFormedHybrid; the basic scan only requires that the event
+			// is structurally sound.
+			if e.TS == TSNone {
+				return nil, violation(i, e, "initiate event without a timestamp")
+			}
+		default:
+			return nil, violation(i, e, "unknown event kind %d", e.Kind)
+		}
+	}
+	return phases, nil
+}
+
+// WellFormedStatic checks basic well-formedness plus the static-atomicity
+// constraints of §4.2.1:
+//
+//  1. an activity must initiate at an object before invoking any operations
+//     at the object;
+//  2. initiation events for distinct activities have distinct timestamps;
+//  3. any two initiation events for the same activity have the same
+//     timestamp.
+func (h History) WellFormedStatic() error {
+	if err := h.WellFormed(); err != nil {
+		return err
+	}
+	tsOf := make(map[ActivityID]Timestamp)
+	owner := make(map[Timestamp]ActivityID)
+	initiated := make(map[ActivityID]map[ObjectID]bool)
+	for i, e := range h {
+		switch e.Kind {
+		case KindInitiate:
+			if prev, ok := tsOf[e.Activity]; ok && prev != e.TS {
+				return violation(i, e, "activity %s initiates with timestamp %d after initiating with %d", e.Activity, e.TS, prev)
+			}
+			if a, ok := owner[e.TS]; ok && a != e.Activity {
+				return violation(i, e, "timestamp %d already used by activity %s", e.TS, a)
+			}
+			tsOf[e.Activity] = e.TS
+			owner[e.TS] = e.Activity
+			if initiated[e.Activity] == nil {
+				initiated[e.Activity] = make(map[ObjectID]bool)
+			}
+			initiated[e.Activity][e.Object] = true
+		case KindInvoke:
+			if !initiated[e.Activity][e.Object] {
+				return violation(i, e, "activity %s invokes at %s before initiating there", e.Activity, e.Object)
+			}
+		}
+	}
+	return nil
+}
+
+// WellFormedHybrid checks basic well-formedness plus the hybrid-atomicity
+// constraints of §4.3.1:
+//
+//  1. a read-only activity (one that chooses its timestamp by initiating)
+//     must initiate at an object before invoking any operations there;
+//  2. any two timestamp events — commit(t) events of updates and initiate(t)
+//     events of read-only activities — for distinct activities have distinct
+//     timestamps;
+//  3. any two timestamp events for the same activity have the same
+//     timestamp;
+//  4. update commit timestamps are consistent with precedes(h): if
+//     <a,b> ∈ precedes(h) and both updates chose timestamps, then a's
+//     timestamp is smaller than b's (the paper's §4.3.1 counterexample
+//     treats a precedes-inconsistent assignment as ill-formed).
+func (h History) WellFormedHybrid() error {
+	if err := h.WellFormed(); err != nil {
+		return err
+	}
+	tsOf := make(map[ActivityID]Timestamp)
+	owner := make(map[Timestamp]ActivityID)
+	initiated := make(map[ActivityID]map[ObjectID]bool)
+	// An activity is read-only exactly when it chooses its timestamp by
+	// initiating; identify them up front so that an invocation placed
+	// before the (late) initiate event is caught.
+	readOnly := make(map[ActivityID]bool)
+	for _, a := range h.ReadOnlyActivities() {
+		readOnly[a] = true
+	}
+	record := func(i int, e Event) error {
+		if prev, ok := tsOf[e.Activity]; ok && prev != e.TS {
+			return violation(i, e, "activity %s chooses timestamp %d after choosing %d", e.Activity, e.TS, prev)
+		}
+		if a, ok := owner[e.TS]; ok && a != e.Activity {
+			return violation(i, e, "timestamp %d already used by activity %s", e.TS, a)
+		}
+		tsOf[e.Activity] = e.TS
+		owner[e.TS] = e.Activity
+		return nil
+	}
+	for i, e := range h {
+		switch e.Kind {
+		case KindInitiate:
+			if err := record(i, e); err != nil {
+				return err
+			}
+			if initiated[e.Activity] == nil {
+				initiated[e.Activity] = make(map[ObjectID]bool)
+			}
+			initiated[e.Activity][e.Object] = true
+		case KindCommit:
+			if e.TS == TSNone {
+				continue
+			}
+			if readOnly[e.Activity] {
+				return violation(i, e, "read-only activity %s has a timestamped commit", e.Activity)
+			}
+			if err := record(i, e); err != nil {
+				return err
+			}
+		case KindInvoke:
+			if readOnly[e.Activity] && !initiated[e.Activity][e.Object] {
+				return violation(i, e, "read-only activity %s invokes at %s before initiating there", e.Activity, e.Object)
+			}
+		}
+	}
+	// Timestamps of updates must be consistent with precedes(h).
+	prec := h.Precedes()
+	for a, succs := range prec.pairs {
+		ta, oka := tsOf[a]
+		if !oka || readOnly[a] {
+			continue
+		}
+		for b := range succs {
+			tb, okb := tsOf[b]
+			if !okb || readOnly[b] {
+				continue
+			}
+			if ta >= tb {
+				return fmt.Errorf("%w: <%s,%s> ∈ precedes(h) but timestamp %d of %s is not less than timestamp %d of %s",
+					ErrNotWellFormed, a, b, ta, a, tb, b)
+			}
+		}
+	}
+	return nil
+}

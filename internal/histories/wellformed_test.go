@@ -1,0 +1,372 @@
+package histories
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestWellFormedAcceptsPaperSequences(t *testing.T) {
+	good := []string{
+		paperAtomicH,
+		// §4.2.1 example of a well-formed sequence with initiation.
+		`
+<initiate(1),x,a>
+<member(2),x,a>
+<false,x,a>
+<commit,x,a>
+`,
+		// §4.3.1 example of a well-formed hybrid sequence.
+		`
+<insert(3),x,a>
+<ok,x,a>
+<commit(2),x,a>
+<initiate(1),x,r>
+<member(3),x,r>
+<false,x,r>
+<commit,x,r>
+`,
+		// Commit at two different objects is allowed.
+		`
+<insert(1),x,a>
+<ok,x,a>
+<insert(2),y,a>
+<ok,y,a>
+<commit,x,a>
+<commit,y,a>
+`,
+		// Abort at two different objects is allowed.
+		`
+<insert(1),x,a>
+<ok,x,a>
+<abort,x,a>
+<abort,y,a>
+`,
+	}
+	for i, text := range good {
+		h := MustParse(text)
+		if err := h.WellFormed(); err != nil {
+			t.Errorf("case %d: WellFormed() = %v, want nil", i, err)
+		}
+	}
+}
+
+func TestWellFormedViolations(t *testing.T) {
+	tests := []struct {
+		name string
+		text string
+	}{
+		{
+			"invoke before previous terminates",
+			`
+<insert(1),x,a>
+<insert(2),x,a>
+`,
+		},
+		{
+			"invoke at another object before previous terminates",
+			`
+<insert(1),x,a>
+<insert(2),y,a>
+`,
+		},
+		{
+			"commit and abort",
+			`
+<commit,x,a>
+<abort,y,a>
+`,
+		},
+		{
+			"abort then commit",
+			`
+<abort,y,a>
+<commit,x,a>
+`,
+		},
+		{
+			"commit while invocation pending",
+			`
+<insert(1),x,a>
+<commit,x,a>
+`,
+		},
+		{
+			"invoke after commit",
+			`
+<commit,x,a>
+<insert(1),x,a>
+`,
+		},
+		{
+			"return with no pending invocation",
+			`
+<ok,x,a>
+`,
+		},
+		{
+			"return at wrong object",
+			`
+<insert(1),x,a>
+<ok,y,a>
+`,
+		},
+		{
+			"double commit at one object",
+			`
+<commit,x,a>
+<commit,x,a>
+`,
+		},
+		{
+			"double abort at one object",
+			`
+<abort,x,a>
+<abort,x,a>
+`,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			h := MustParse(tt.text)
+			err := h.WellFormed()
+			if err == nil {
+				t.Fatalf("WellFormed() = nil, want violation")
+			}
+			if !errors.Is(err, ErrNotWellFormed) {
+				t.Errorf("error %v does not wrap ErrNotWellFormed", err)
+			}
+		})
+	}
+}
+
+func TestWellFormedInitiateNeedsTimestamp(t *testing.T) {
+	h := History{Initiate("x", "a", TSNone)}
+	if err := h.WellFormed(); err == nil {
+		t.Error("initiate without timestamp accepted")
+	}
+}
+
+// TestWellFormedStaticPaperCounterexample is the §4.2.1 ill-formed
+// sequence: a initiates with two timestamps, b reuses a's timestamp, and a
+// invokes at y before initiating there.
+func TestWellFormedStaticPaperCounterexample(t *testing.T) {
+	h := MustParse(`
+<initiate(1),x,a>
+<member(2),y,a>
+<false,y,a>
+<initiate(2),y,a>
+<initiate(1),y,b>
+<commit,x,a>
+`)
+	err := h.WellFormedStatic()
+	if err == nil {
+		t.Fatal("paper's ill-formed static sequence accepted")
+	}
+	if !errors.Is(err, ErrNotWellFormed) {
+		t.Errorf("error %v does not wrap ErrNotWellFormed", err)
+	}
+}
+
+func TestWellFormedStaticViolationTable(t *testing.T) {
+	tests := []struct {
+		name string
+		text string
+		ok   bool
+	}{
+		{
+			"paper's good example",
+			`
+<initiate(1),x,a>
+<member(2),x,a>
+<false,x,a>
+<commit,x,a>
+`,
+			true,
+		},
+		{
+			"two activities distinct timestamps",
+			`
+<initiate(2),x,a>
+<insert(3),x,a>
+<ok,x,a>
+<commit,x,a>
+<initiate(1),x,b>
+<member(3),x,b>
+<false,x,b>
+<commit,x,b>
+`,
+			true,
+		},
+		{
+			"same activity may initiate at several objects with one timestamp",
+			`
+<initiate(3),x,a>
+<initiate(3),y,a>
+<insert(1),x,a>
+<ok,x,a>
+<insert(2),y,a>
+<ok,y,a>
+<commit,x,a>
+<commit,y,a>
+`,
+			true,
+		},
+		{
+			"invoke before initiating",
+			`
+<member(2),x,a>
+<false,x,a>
+`,
+			false,
+		},
+		{
+			"duplicate timestamp across activities",
+			`
+<initiate(1),x,a>
+<initiate(1),x,b>
+`,
+			false,
+		},
+		{
+			"same activity two timestamps",
+			`
+<initiate(1),x,a>
+<initiate(2),y,a>
+`,
+			false,
+		},
+		{
+			"basic violation still caught",
+			`
+<initiate(1),x,a>
+<insert(1),x,a>
+<insert(2),x,a>
+`,
+			false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			h := MustParse(tt.text)
+			err := h.WellFormedStatic()
+			if tt.ok && err != nil {
+				t.Errorf("WellFormedStatic() = %v, want nil", err)
+			}
+			if !tt.ok && err == nil {
+				t.Error("WellFormedStatic() = nil, want violation")
+			}
+		})
+	}
+}
+
+func TestWellFormedHybridViolationTable(t *testing.T) {
+	tests := []struct {
+		name string
+		text string
+		ok   bool
+	}{
+		{
+			"paper's good example",
+			`
+<insert(3),x,a>
+<ok,x,a>
+<commit(2),x,a>
+<initiate(1),x,r>
+<member(3),x,r>
+<false,x,r>
+<commit,x,r>
+`,
+			true,
+		},
+		{
+			// §4.3.1's ill-formed sequence, reconstructed: <a,b> is in
+			// precedes(h) but b's timestamp is below a's, and r reuses a's
+			// timestamp.
+			"timestamps inconsistent with precedes and duplicated",
+			`
+<insert(3),x,a>
+<ok,x,a>
+<commit(2),x,a>
+<insert(4),x,b>
+<ok,x,b>
+<commit(1),x,b>
+<initiate(2),x,r>
+`,
+			false,
+		},
+		{
+			"timestamp inconsistent with precedes only",
+			`
+<insert(3),x,a>
+<ok,x,a>
+<commit(5),x,a>
+<insert(4),x,b>
+<ok,x,b>
+<commit(4),x,b>
+`,
+			false,
+		},
+		{
+			"duplicate timestamp between update and read-only",
+			`
+<insert(3),x,a>
+<ok,x,a>
+<commit(2),x,a>
+<initiate(2),x,r>
+`,
+			false,
+		},
+		{
+			"read-only invokes before initiating",
+			`
+<member(3),x,r>
+<false,x,r>
+<initiate(1),x,r>
+`,
+			false,
+		},
+		{
+			"update needs no initiation",
+			`
+<insert(3),x,a>
+<ok,x,a>
+<commit(1),x,a>
+`,
+			true,
+		},
+		{
+			"read-only with timestamped commit",
+			`
+<initiate(1),x,r>
+<member(3),x,r>
+<false,x,r>
+<commit(3),x,r>
+`,
+			false,
+		},
+		{
+			"concurrent updates may commit in either timestamp order",
+			`
+<insert(3),x,a>
+<ok,x,a>
+<insert(4),x,b>
+<ok,x,b>
+<commit(2),x,b>
+<commit(1),x,a>
+`,
+			true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			h := MustParse(tt.text)
+			err := h.WellFormedHybrid()
+			if tt.ok && err != nil {
+				t.Errorf("WellFormedHybrid() = %v, want nil", err)
+			}
+			if !tt.ok && err == nil {
+				t.Error("WellFormedHybrid() = nil, want violation")
+			}
+		})
+	}
+}

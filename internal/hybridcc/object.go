@@ -1,0 +1,285 @@
+// Package hybridcc implements hybrid atomicity online (§4.3): update
+// transactions are processed with dynamic atomicity (the locking object of
+// internal/locking), choose their timestamps at commit from a shared
+// monotone clock (so the timestamp order is consistent with precedes, as
+// §4.3.3 requires), and append their committed intentions to a version log;
+// read-only transactions choose a timestamp at initiation and compute every
+// query from the log prefix below their timestamp — without acquiring
+// locks, without ever aborting, and without delaying any update.
+package hybridcc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/cc"
+	"weihl83/internal/histories"
+	"weihl83/internal/locking"
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+// Config configures a hybrid object.
+type Config struct {
+	// ID is the object's identifier in recorded histories. Required.
+	ID histories.ObjectID
+	// Type is the abstract data type. Required.
+	Type adts.Type
+	// Guard is the conflict rule for the update (locking) side. Required.
+	Guard locking.Guard
+	// Detector handles update-side deadlocks. Required (hybrid updates are
+	// locking transactions).
+	Detector *locking.Detector
+	// Sink receives history events; nil disables recording.
+	Sink cc.EventSink
+}
+
+// version is one committed update's section of the log.
+type version struct {
+	ts    histories.Timestamp
+	state spec.State // state after applying this and all earlier versions
+}
+
+// Object is a hybrid-atomicity object. It implements cc.Resource: updates
+// are delegated to an inner locking object; read-only transactions are
+// served from the version log.
+type Object struct {
+	id    histories.ObjectID
+	ty    adts.Type
+	sink  cc.EventSink
+	inner *locking.Object
+
+	mu       sync.Mutex
+	gen      chan struct{}
+	versions []version // ascending ts; state snapshots after each commit
+	prepared map[histories.ActivityID]bool
+	seenRO   map[histories.ActivityID]bool
+	broken   error
+
+	queries int64
+	roWaits int64
+}
+
+var _ cc.Resource = (*Object)(nil)
+
+// New validates cfg and returns a hybrid object.
+func New(cfg Config) (*Object, error) {
+	if cfg.Detector == nil {
+		return nil, errors.New("hybridcc: Config.Detector is required")
+	}
+	inner, err := locking.New(locking.Config{
+		ID:       cfg.ID,
+		Type:     cfg.Type,
+		Guard:    cfg.Guard,
+		Detector: cfg.Detector,
+		Sink:     cfg.Sink,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hybridcc: %w", err)
+	}
+	return &Object{
+		id:       cfg.ID,
+		ty:       cfg.Type,
+		sink:     cfg.Sink,
+		inner:    inner,
+		gen:      make(chan struct{}),
+		prepared: make(map[histories.ActivityID]bool),
+		seenRO:   make(map[histories.ActivityID]bool),
+	}, nil
+}
+
+// ObjectID implements cc.Resource.
+func (o *Object) ObjectID() histories.ObjectID { return o.id }
+
+// Inner exposes the update-side locking object (for stats and tests).
+func (o *Object) Inner() *locking.Object { return o.inner }
+
+// PendingCalls reports an update transaction's intentions at this object
+// (write-ahead logging); read-only transactions have none.
+func (o *Object) PendingCalls(txn *cc.TxnInfo) []spec.Call {
+	if txn.ReadOnly {
+		return nil
+	}
+	return o.inner.PendingCalls(txn)
+}
+
+// Err reports internal invariant violations from either side.
+func (o *Object) Err() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.broken != nil {
+		return o.broken
+	}
+	return o.inner.Err()
+}
+
+// Stats returns (read-only queries served, read-only waits entered).
+func (o *Object) Stats() (queries, roWaits int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.queries, o.roWaits
+}
+
+func (o *Object) changed() {
+	close(o.gen)
+	o.gen = make(chan struct{})
+}
+
+// Invoke implements cc.Resource.
+func (o *Object) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, error) {
+	if txn.ReadOnly {
+		return o.query(txn, inv)
+	}
+	return o.inner.Invoke(txn, inv)
+}
+
+// query serves a read-only transaction from the version-log prefix below
+// its timestamp. It blocks only while some update is between prepare and
+// commit at this object (such an update may already hold a commit
+// timestamp below the reader's); it never blocks any update and never
+// aborts.
+func (o *Object) query(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, error) {
+	if txn.TS == histories.TSNone {
+		return value.Nil(), fmt.Errorf("hybridcc: read-only transaction %s has no timestamp", txn.ID)
+	}
+	if o.ty.IsWrite(inv.Op) {
+		return value.Nil(), fmt.Errorf("hybridcc: %s invokes %s: %w", txn.ID, inv.Op, cc.ErrReadOnly)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.seenRO[txn.ID] {
+		o.seenRO[txn.ID] = true
+		o.sink.Emit(histories.Initiate(o.id, txn.ID, txn.TS))
+	}
+	o.sink.Emit(histories.Invoke(o.id, txn.ID, inv.Op, inv.Arg))
+	for len(o.prepared) > 0 {
+		o.roWaits++
+		ch := o.gen
+		o.mu.Unlock()
+		<-ch
+		o.mu.Lock()
+	}
+	st := o.stateBelow(txn.TS)
+	out, err := spec.Apply(st, inv)
+	if err != nil {
+		return value.Nil(), fmt.Errorf("hybridcc: %s at %s: %w: %v", txn.ID, o.id, cc.ErrInvalidOp, err)
+	}
+	o.queries++
+	o.sink.Emit(histories.Return(o.id, txn.ID, out.Result))
+	return out.Result, nil
+}
+
+// stateBelow returns the state containing exactly the committed updates
+// with timestamps below ts. Callers must hold o.mu.
+func (o *Object) stateBelow(ts histories.Timestamp) spec.State {
+	i := sort.Search(len(o.versions), func(i int) bool { return o.versions[i].ts >= ts })
+	if i == 0 {
+		return o.ty.Spec.Init()
+	}
+	return o.versions[i-1].state
+}
+
+// Prepare implements cc.Resource.
+func (o *Object) Prepare(txn *cc.TxnInfo) error {
+	if txn.ReadOnly {
+		return nil
+	}
+	if err := o.inner.Prepare(txn); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	o.prepared[txn.ID] = true
+	o.mu.Unlock()
+	return nil
+}
+
+// Commit implements cc.Resource. For updates, ts must be the commit
+// timestamp issued by the shared clock; the caller (the transaction
+// runtime) serialises commits so that versions arrive in ascending
+// timestamp order.
+func (o *Object) Commit(txn *cc.TxnInfo, ts histories.Timestamp) {
+	if txn.ReadOnly {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		if !o.seenRO[txn.ID] {
+			return
+		}
+		delete(o.seenRO, txn.ID)
+		o.sink.Emit(histories.Commit(o.id, txn.ID))
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	calls := o.inner.PendingCalls(txn)
+	o.inner.Commit(txn, ts)
+	if len(calls) > 0 {
+		prev := o.ty.Spec.Init()
+		if n := len(o.versions); n > 0 {
+			last := o.versions[n-1]
+			if ts <= last.ts {
+				o.corrupt(fmt.Errorf("hybridcc: commit timestamp %d at %s not above log head %d", ts, o.id, last.ts))
+				delete(o.prepared, txn.ID)
+				o.changed()
+				return
+			}
+			prev = last.state
+		}
+		st, err := applyCalls(prev, calls)
+		if err != nil {
+			o.corrupt(fmt.Errorf("hybridcc: version replay at %s: %w", o.id, err))
+		} else {
+			o.versions = append(o.versions, version{ts: ts, state: st})
+		}
+	}
+	delete(o.prepared, txn.ID)
+	o.changed()
+}
+
+// Abort implements cc.Resource.
+func (o *Object) Abort(txn *cc.TxnInfo) {
+	if txn.ReadOnly {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		if !o.seenRO[txn.ID] {
+			return
+		}
+		delete(o.seenRO, txn.ID)
+		o.sink.Emit(histories.Abort(o.id, txn.ID))
+		return
+	}
+	o.inner.Abort(txn)
+	o.mu.Lock()
+	delete(o.prepared, txn.ID)
+	o.changed()
+	o.mu.Unlock()
+}
+
+func (o *Object) corrupt(err error) {
+	if o.broken == nil {
+		o.broken = err
+	}
+}
+
+// applyCalls replays calls requiring each recorded result to be
+// achievable, selecting the matching resolution of nondeterministic
+// operations.
+func applyCalls(st spec.State, calls []spec.Call) (spec.State, error) {
+	for _, c := range calls {
+		outs := st.Step(c.Inv)
+		var next spec.State
+		for _, out := range outs {
+			if out.Result == c.Result {
+				next = out.Next
+				break
+			}
+		}
+		if next == nil {
+			return nil, fmt.Errorf("replaying %s: recorded result %s not achievable in state %s", c.Inv, c.Result, st.Key())
+		}
+		st = next
+	}
+	return st, nil
+}

@@ -1,0 +1,260 @@
+package hybridcc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/cc"
+	"weihl83/internal/core"
+	"weihl83/internal/histories"
+	"weihl83/internal/locking"
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+type testSink struct {
+	mu sync.Mutex
+	h  histories.History
+}
+
+func (s *testSink) sink() cc.EventSink {
+	return func(e histories.Event) {
+		s.mu.Lock()
+		s.h = append(s.h, e)
+		s.mu.Unlock()
+	}
+}
+
+func (s *testSink) history() histories.History {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Clone()
+}
+
+func newAccount(t *testing.T, sink cc.EventSink) *Object {
+	t.Helper()
+	o, err := New(Config{
+		ID:       "y",
+		Type:     adts.Account(),
+		Guard:    locking.EscrowGuard{},
+		Detector: locking.NewDetector(),
+		Sink:     sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func update(id string, seq int64) *cc.TxnInfo {
+	return &cc.TxnInfo{ID: histories.ActivityID(id), Seq: seq}
+}
+
+func readOnly(id string, ts histories.Timestamp) *cc.TxnInfo {
+	return &cc.TxnInfo{ID: histories.ActivityID(id), TS: ts, ReadOnly: true}
+}
+
+func inv(op string, arg value.Value) spec.Invocation {
+	return spec.Invocation{Op: op, Arg: arg}
+}
+
+// TestSnapshotPrefix: a read-only activity with timestamp t sees exactly
+// the committed updates with timestamps below t (§4.3).
+func TestSnapshotPrefix(t *testing.T) {
+	var rec testSink
+	o := newAccount(t, rec.sink())
+
+	// Update a deposits 10, commits with timestamp 2.
+	a := update("a", 1)
+	if _, err := o.Invoke(a, inv(adts.OpDeposit, value.Int(10))); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Prepare(a); err != nil {
+		t.Fatal(err)
+	}
+	o.Commit(a, 2)
+
+	// Update b deposits 5, commits with timestamp 4.
+	b := update("b", 2)
+	if _, err := o.Invoke(b, inv(adts.OpDeposit, value.Int(5))); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Prepare(b); err != nil {
+		t.Fatal(err)
+	}
+	o.Commit(b, 4)
+
+	cases := []struct {
+		ts   histories.Timestamp
+		want int64
+	}{
+		{1, 0},  // before both
+		{3, 10}, // between
+		{5, 15}, // after both
+	}
+	for _, tc := range cases {
+		r := readOnly(fmt.Sprintf("r%d", tc.ts), tc.ts)
+		v, err := o.Invoke(r, inv(adts.OpBalance, value.Nil()))
+		if err != nil {
+			t.Fatalf("read ts=%d: %v", tc.ts, err)
+		}
+		if v != value.Int(tc.want) {
+			t.Errorf("balance at ts=%d: %v, want %d", tc.ts, v, tc.want)
+		}
+		o.Commit(r, histories.TSNone)
+	}
+
+	h := rec.history()
+	if err := h.WellFormedHybrid(); err != nil {
+		t.Errorf("history not hybrid well-formed: %v\n%v", err, h)
+	}
+	ck := core.NewChecker()
+	ck.Register("y", adts.AccountSpec{})
+	if err := ck.HybridAtomic(h); err != nil {
+		t.Errorf("history not hybrid atomic: %v\n%v", err, h)
+	}
+	if err := o.Err(); err != nil {
+		t.Errorf("object corrupted: %v", err)
+	}
+}
+
+// TestReadOnlyDoesNotBlockUpdates: an active read-only activity never
+// delays an update — the audit problem solved (§4.3.3).
+func TestReadOnlyDoesNotBlockUpdates(t *testing.T) {
+	o := newAccount(t, nil)
+	r := readOnly("r", 1)
+	if _, err := o.Invoke(r, inv(adts.OpBalance, value.Nil())); err != nil {
+		t.Fatal(err)
+	}
+	// The read-only activity has NOT committed; the update proceeds
+	// immediately anyway.
+	a := update("a", 1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := o.Invoke(a, inv(adts.OpDeposit, value.Int(5)))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("update blocked or failed against read-only activity: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("update blocked by a read-only activity")
+	}
+	o.Commit(r, histories.TSNone)
+	if err := o.Prepare(a); err != nil {
+		t.Fatal(err)
+	}
+	o.Commit(a, 2)
+}
+
+// TestReadOnlyWaitsForPreparedUpdate: between prepare and commit an update
+// may already hold a timestamp below the reader's, so the reader briefly
+// waits — and sees the update's effects once it commits.
+func TestReadOnlyWaitsForPreparedUpdate(t *testing.T) {
+	o := newAccount(t, nil)
+	a := update("a", 1)
+	if _, err := o.Invoke(a, inv(adts.OpDeposit, value.Int(7))); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Prepare(a); err != nil {
+		t.Fatal(err)
+	}
+	// Reader's timestamp is above the update's eventual commit timestamp.
+	r := readOnly("r", 10)
+	done := make(chan value.Value, 1)
+	go func() {
+		v, _ := o.Invoke(r, inv(adts.OpBalance, value.Nil()))
+		done <- v
+	}()
+	select {
+	case v := <-done:
+		t.Fatalf("reader did not wait for the prepared update (got %v)", v)
+	case <-time.After(50 * time.Millisecond):
+	}
+	o.Commit(a, 2)
+	select {
+	case v := <-done:
+		if v != value.Int(7) {
+			t.Errorf("reader saw %v, want 7", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader never unblocked")
+	}
+	o.Commit(r, histories.TSNone)
+	_, roWaits := o.Stats()
+	if roWaits == 0 {
+		t.Error("expected the reader to register a wait")
+	}
+}
+
+func TestReadOnlyCannotMutate(t *testing.T) {
+	o := newAccount(t, nil)
+	r := readOnly("r", 1)
+	_, err := o.Invoke(r, inv(adts.OpDeposit, value.Int(5)))
+	if !errors.Is(err, cc.ErrReadOnly) {
+		t.Errorf("mutation by read-only = %v, want ErrReadOnly", err)
+	}
+}
+
+func TestReadOnlyNeedsTimestamp(t *testing.T) {
+	o := newAccount(t, nil)
+	_, err := o.Invoke(&cc.TxnInfo{ID: "r", ReadOnly: true}, inv(adts.OpBalance, value.Nil()))
+	if err == nil {
+		t.Error("read-only without timestamp accepted")
+	}
+}
+
+func TestCommitTimestampMonotonicityGuard(t *testing.T) {
+	o := newAccount(t, nil)
+	a := update("a", 1)
+	if _, err := o.Invoke(a, inv(adts.OpDeposit, value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Prepare(a); err != nil {
+		t.Fatal(err)
+	}
+	o.Commit(a, 5)
+	b := update("b", 2)
+	if _, err := o.Invoke(b, inv(adts.OpDeposit, value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Prepare(b); err != nil {
+		t.Fatal(err)
+	}
+	o.Commit(b, 3) // below the log head: must be flagged
+	if err := o.Err(); err == nil {
+		t.Error("non-monotone commit timestamp not flagged")
+	}
+}
+
+func TestReadOnlyAbort(t *testing.T) {
+	var rec testSink
+	o := newAccount(t, rec.sink())
+	r := readOnly("r", 1)
+	if _, err := o.Invoke(r, inv(adts.OpBalance, value.Nil())); err != nil {
+		t.Fatal(err)
+	}
+	o.Abort(r)
+	h := rec.history()
+	if len(h.Aborted()) != 1 {
+		t.Errorf("abort not recorded: %v", h)
+	}
+	// Idempotent no-ops for unknown transactions.
+	o.Abort(readOnly("ghost", 9))
+	o.Commit(readOnly("ghost", 9), histories.TSNone)
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{ID: "y", Type: adts.Account(), Guard: locking.EscrowGuard{}}); err == nil {
+		t.Error("missing detector accepted")
+	}
+	if _, err := New(Config{Type: adts.Account(), Guard: locking.EscrowGuard{}, Detector: locking.NewDetector()}); err == nil {
+		t.Error("missing ID accepted")
+	}
+}

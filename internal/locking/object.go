@@ -1,0 +1,379 @@
+package locking
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"sync"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/cc"
+	"weihl83/internal/histories"
+	"weihl83/internal/recovery"
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+// Config configures a locking object.
+type Config struct {
+	// ID is the object's identifier in recorded histories. Required.
+	ID histories.ObjectID
+	// Type is the abstract data type the object implements. Required.
+	Type adts.Type
+	// Guard is the conflict rule. Required.
+	Guard Guard
+	// Detector enables waits-for deadlock detection. Optional; when nil,
+	// WaitTimeout must be positive (timeout-only deadlock handling).
+	Detector *Detector
+	// WaitTimeout bounds each blocked wait; zero means wait forever (only
+	// allowed with a Detector).
+	WaitTimeout time.Duration
+	// Sink receives history events; nil disables recording.
+	Sink cc.EventSink
+	// UpdateInPlace selects undo-log recovery (the object's shared state is
+	// mutated immediately and compensations are logged) instead of the
+	// default deferred-update intentions lists. Requires Type.Invert and is
+	// incompatible with state-dependent guards (ExactGuard, EscrowGuard),
+	// whose soundness argument assumes the base state excludes uncommitted
+	// effects.
+	UpdateInPlace bool
+	// Initial overrides the committed base state (crash recovery restores
+	// an object from a write-ahead log). Nil selects Type.Spec.Init().
+	Initial spec.State
+}
+
+// txnEntry is the per-transaction state at one object.
+type txnEntry struct {
+	intentions recovery.IntentionsList
+	undo       recovery.UndoLog
+	prepared   bool
+}
+
+// Object is a locking-protocol object: the generalisation of two-phase
+// locking the paper calls dynamic atomicity, with recovery by intentions
+// lists (default) or undo logs. It implements cc.Resource.
+type Object struct {
+	id          histories.ObjectID
+	ty          adts.Type
+	guard       Guard
+	detector    *Detector
+	waitTimeout time.Duration
+	sink        cc.EventSink
+	inPlace     bool
+
+	mu     sync.Mutex
+	gen    chan struct{} // closed and replaced whenever blocked waiters should recheck
+	base   spec.State
+	active map[histories.ActivityID]*txnEntry
+	broken error // set if commit-time replay diverges (protocol bug guardrail)
+
+	// stats, maintained under mu.
+	grants int64
+	waits  int64
+}
+
+var _ cc.Resource = (*Object)(nil)
+
+// New validates cfg and returns a locking object.
+func New(cfg Config) (*Object, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("locking: Config.ID is required")
+	}
+	if cfg.Type.Spec == nil {
+		return nil, errors.New("locking: Config.Type.Spec is required")
+	}
+	if cfg.Guard == nil {
+		return nil, errors.New("locking: Config.Guard is required")
+	}
+	if cfg.Detector == nil && cfg.WaitTimeout <= 0 {
+		return nil, errors.New("locking: need a Detector or a positive WaitTimeout")
+	}
+	if cfg.UpdateInPlace {
+		if cfg.Type.Invert == nil {
+			return nil, fmt.Errorf("locking: type %s does not support update-in-place recovery", cfg.Type.Spec.Name())
+		}
+		switch cfg.Guard.(type) {
+		case ExactGuard, *ExactGuard, EscrowGuard, *EscrowGuard:
+			return nil, errors.New("locking: update-in-place recovery is incompatible with state-based guards")
+		}
+	}
+	base := cfg.Initial
+	if base == nil {
+		base = cfg.Type.Spec.Init()
+	}
+	o := &Object{
+		id:          cfg.ID,
+		ty:          cfg.Type,
+		guard:       cfg.Guard,
+		detector:    cfg.Detector,
+		waitTimeout: cfg.WaitTimeout,
+		sink:        cfg.Sink,
+		inPlace:     cfg.UpdateInPlace,
+		gen:         make(chan struct{}),
+		base:        base,
+		active:      make(map[histories.ActivityID]*txnEntry),
+	}
+	if o.detector != nil {
+		o.detector.RegisterBroadcast(o.wakeAll)
+	}
+	return o, nil
+}
+
+// ObjectID implements cc.Resource.
+func (o *Object) ObjectID() histories.ObjectID { return o.id }
+
+// Err reports an internal protocol invariant violation detected at commit
+// (nil in correct operation). Tests assert it stays nil.
+func (o *Object) Err() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.broken
+}
+
+// Base returns the committed state (for tests and tools).
+func (o *Object) Base() spec.State {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.base
+}
+
+// Stats returns (granted invocations, waits entered).
+func (o *Object) Stats() (grants, waits int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.grants, o.waits
+}
+
+// changed wakes all blocked waiters. Callers must hold o.mu.
+func (o *Object) changed() {
+	close(o.gen)
+	o.gen = make(chan struct{})
+}
+
+// wakeAll is the detector broadcast hook.
+func (o *Object) wakeAll() {
+	o.mu.Lock()
+	o.changed()
+	o.mu.Unlock()
+}
+
+// entry returns (creating if needed) the transaction's entry. Callers must
+// hold o.mu.
+func (o *Object) entry(txn histories.ActivityID) *txnEntry {
+	e := o.active[txn]
+	if e == nil {
+		e = &txnEntry{}
+		o.active[txn] = e
+	}
+	return e
+}
+
+// PendingCalls returns a copy of txn's intentions at this object (used by
+// the write-ahead log and by the hybrid protocol's version log).
+func (o *Object) PendingCalls(txn *cc.TxnInfo) []spec.Call {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	e := o.active[txn.ID]
+	if e == nil {
+		return nil
+	}
+	return append([]spec.Call(nil), e.intentions.Calls()...)
+}
+
+// Invoke implements cc.Resource: it blocks until the call is grantable,
+// the transaction is doomed, or the wait times out.
+func (o *Object) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.sink.Emit(histories.Invoke(o.id, txn.ID, inv.Op, inv.Arg))
+	e := o.entry(txn.ID)
+
+	var deadline <-chan time.Time
+	if o.waitTimeout > 0 {
+		timer := time.NewTimer(o.waitTimeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	for {
+		if o.detector != nil {
+			if reason := o.detector.Doomed(txn.ID); reason != nil {
+				return value.Nil(), fmt.Errorf("locking: %s at %s: %w", txn.ID, o.id, reason)
+			}
+		}
+		// Compute candidate results from the transaction's view. A
+		// nondeterministic operation offers several outcomes; the object
+		// may choose ANY of them (the specification permits each), so it
+		// picks the first one the guard admits — the way nondeterminism
+		// buys concurrency (e.g. two semiqueue dequeues choose different
+		// elements and proceed in parallel).
+		view, err := o.viewOf(e)
+		if err != nil {
+			o.corrupt(err)
+			return value.Nil(), err
+		}
+		outs := view.Step(inv)
+		if len(outs) == 0 {
+			return value.Nil(), fmt.Errorf("locking: %s at %s: %w: %s not permitted in state %s",
+				txn.ID, o.id, cc.ErrInvalidOp, inv, view.Key())
+		}
+		others, holders := o.othersOf(txn.ID)
+		for _, out := range outs {
+			cand := spec.Call{Inv: inv, Result: out.Result}
+			if o.guard.Allowed(o.guardBase(), e.intentions.Calls(), cand, others) {
+				o.grant(txn, e, cand, out.Next)
+				return out.Result, nil
+			}
+		}
+		// Blocked: register the wait and sleep until something changes. The
+		// object lock is released before calling the detector because
+		// SetWaiting may fire broadcast hooks that re-acquire it; the
+		// generation channel captured under the lock prevents lost
+		// wake-ups.
+		o.waits++
+		ch := o.gen
+		o.mu.Unlock()
+		if o.detector != nil {
+			if reason := o.detector.SetWaiting(txn.ID, holders); reason != nil {
+				o.detector.ClearWaiting(txn.ID)
+				o.mu.Lock() // restore the invariant for the deferred unlock
+				return value.Nil(), fmt.Errorf("locking: %s blocked at %s: %w", txn.ID, o.id, reason)
+			}
+		}
+		var timedOut bool
+		select {
+		case <-ch:
+		case <-deadline:
+			timedOut = true
+		}
+		if o.detector != nil {
+			o.detector.ClearWaiting(txn.ID)
+		}
+		o.mu.Lock()
+		if timedOut {
+			return value.Nil(), fmt.Errorf("locking: %s waited %v at %s: %w", txn.ID, o.waitTimeout, o.id, cc.ErrTimeout)
+		}
+	}
+}
+
+// guardBase is the state the guard reasons from: the committed base for
+// deferred update. For update-in-place the base already contains
+// uncommitted effects; the static guards permitted in that mode ignore it.
+func (o *Object) guardBase() spec.State { return o.base }
+
+// viewOf computes the state a transaction observes. Callers must hold o.mu.
+func (o *Object) viewOf(e *txnEntry) (spec.State, error) {
+	if o.inPlace {
+		return o.base, nil
+	}
+	return e.intentions.View(o.base)
+}
+
+// grant records the call. Callers must hold o.mu.
+func (o *Object) grant(txn *cc.TxnInfo, e *txnEntry, cand spec.Call, next spec.State) {
+	o.grants++
+	if o.inPlace {
+		e.undo.Record(o.ty.Invert(o.base, cand.Inv, cand.Result))
+		o.base = next
+	}
+	e.intentions.Add(cand)
+	if o.detector != nil {
+		o.detector.ClearWaiting(txn.ID)
+	}
+	o.sink.Emit(histories.Return(o.id, txn.ID, cand.Result))
+}
+
+// othersOf returns the non-empty pending blocks of the other active
+// transactions and their ids. Callers must hold o.mu. Iteration order is
+// made deterministic for reproducible guard decisions.
+func (o *Object) othersOf(me histories.ActivityID) ([][]spec.Call, []histories.ActivityID) {
+	ids := make([]histories.ActivityID, 0, len(o.active))
+	for id, e := range o.active {
+		if id != me && e.intentions.Len() > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	blocks := make([][]spec.Call, len(ids))
+	for i, id := range ids {
+		blocks[i] = o.active[id].intentions.Calls()
+	}
+	return blocks, ids
+}
+
+// Prepare implements cc.Resource.
+func (o *Object) Prepare(txn *cc.TxnInfo) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.detector != nil {
+		if reason := o.detector.Doomed(txn.ID); reason != nil {
+			return fmt.Errorf("locking: prepare %s at %s: %w", txn.ID, o.id, reason)
+		}
+	}
+	e := o.active[txn.ID]
+	if e == nil {
+		return fmt.Errorf("locking: prepare %s at %s: %w", txn.ID, o.id, cc.ErrUnknownTxn)
+	}
+	e.prepared = true
+	return nil
+}
+
+// Commit implements cc.Resource: the transaction's effects become part of
+// the committed base state, and the commit event (timestamped if ts is
+// non-zero, for hybrid atomicity) is recorded.
+func (o *Object) Commit(txn *cc.TxnInfo, ts histories.Timestamp) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	e := o.active[txn.ID]
+	if e == nil {
+		// Committing a transaction that never invoked here is a no-op.
+		return
+	}
+	if !o.inPlace {
+		next, err := e.intentions.Apply(o.base)
+		if err != nil {
+			o.corrupt(fmt.Errorf("locking: commit %s at %s: %w", txn.ID, o.id, err))
+			delete(o.active, txn.ID)
+			o.changed()
+			return
+		}
+		o.base = next
+	}
+	delete(o.active, txn.ID)
+	if ts != histories.TSNone {
+		o.sink.Emit(histories.CommitTS(o.id, txn.ID, ts))
+	} else {
+		o.sink.Emit(histories.Commit(o.id, txn.ID))
+	}
+	o.changed()
+}
+
+// Abort implements cc.Resource: intentions are discarded (deferred update)
+// or compensated (update in place), and the abort event is recorded.
+func (o *Object) Abort(txn *cc.TxnInfo) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	e := o.active[txn.ID]
+	if e == nil {
+		return
+	}
+	if o.inPlace {
+		restored, err := e.undo.Undo(o.base)
+		if err != nil {
+			o.corrupt(fmt.Errorf("locking: abort %s at %s: %w", txn.ID, o.id, err))
+		} else {
+			o.base = restored
+		}
+	}
+	delete(o.active, txn.ID)
+	o.sink.Emit(histories.Abort(o.id, txn.ID))
+	o.changed()
+}
+
+// corrupt records the first internal invariant violation.
+func (o *Object) corrupt(err error) {
+	if o.broken == nil {
+		o.broken = err
+	}
+}

@@ -1,0 +1,99 @@
+package mvcc
+
+import (
+	"errors"
+	"testing"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/cc"
+	"weihl83/internal/value"
+)
+
+// TestClassicalModeIsCoarser demonstrates §5's point on the static side:
+// an insert of a DIFFERENT element behind a later-timestamped read is
+// harmless under the data-dependent rule but aborts under the classical
+// read/write rule.
+func TestClassicalModeIsCoarser(t *testing.T) {
+	run := func(classical bool) error {
+		cfg := Config{ID: "x", Spec: adts.IntSetSpec{}}
+		if classical {
+			cfg.Classical = true
+			cfg.IsWrite = adts.IntSetIsWrite
+		}
+		o, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reader := ts("r", 2)
+		if _, err := o.Invoke(reader, inv(adts.OpMember, value.Int(3))); err != nil {
+			t.Fatal(err)
+		}
+		// Insert element 4 at an earlier timestamp: cannot change
+		// member(3)=false.
+		writer := ts("w", 1)
+		_, err = o.Invoke(writer, inv(adts.OpInsert, value.Int(4)))
+		if err != nil {
+			o.Abort(writer)
+		} else {
+			o.Commit(writer, 0)
+		}
+		o.Commit(reader, 0)
+		return err
+	}
+	if err := run(false); err != nil {
+		t.Errorf("data-dependent rule aborted a harmless write: %v", err)
+	}
+	if err := run(true); !errors.Is(err, cc.ErrConflict) {
+		t.Errorf("classical rule admitted a write below a later access: %v", err)
+	}
+}
+
+// TestClassicalStillSound: both modes reject the genuinely invalidating
+// write (insert of the element the later reader observed absent).
+func TestClassicalStillSound(t *testing.T) {
+	for _, classical := range []bool{false, true} {
+		cfg := Config{ID: "x", Spec: adts.IntSetSpec{}}
+		if classical {
+			cfg.Classical = true
+			cfg.IsWrite = adts.IntSetIsWrite
+		}
+		o, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reader := ts("r", 2)
+		if _, err := o.Invoke(reader, inv(adts.OpMember, value.Int(3))); err != nil {
+			t.Fatal(err)
+		}
+		writer := ts("w", 1)
+		if _, err := o.Invoke(writer, inv(adts.OpInsert, value.Int(3))); !errors.Is(err, cc.ErrConflict) {
+			t.Errorf("classical=%t: invalidating write admitted: %v", classical, err)
+		}
+		o.Abort(writer)
+		o.Commit(reader, 0)
+	}
+}
+
+// TestClassicalReadsNeverAbort: observers pass in both modes.
+func TestClassicalReadsNeverAbort(t *testing.T) {
+	o, err := New(Config{ID: "x", Spec: adts.IntSetSpec{}, Classical: true, IsWrite: adts.IntSetIsWrite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ts("w", 5)
+	if _, err := o.Invoke(w, inv(adts.OpInsert, value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	o.Commit(w, 0)
+	r := ts("r", 1) // below the committed write
+	if _, err := o.Invoke(r, inv(adts.OpMember, value.Int(1))); err != nil {
+		t.Errorf("early reader aborted in classical mode: %v", err)
+	}
+	o.Commit(r, 0)
+}
+
+func TestClassicalRequiresIsWrite(t *testing.T) {
+	if _, err := New(Config{ID: "x", Spec: adts.IntSetSpec{}, Classical: true}); err == nil {
+		t.Error("Classical without IsWrite accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package mvcc
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/cc"
+	"weihl83/internal/clock"
+	"weihl83/internal/histories"
+	"weihl83/internal/value"
+)
+
+func TestCompactionFoldsCommittedPrefix(t *testing.T) {
+	o, err := New(Config{ID: "x", Spec: adts.IntSetSpec{}, CompactAfter: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src clock.Source
+	for i := 0; i < 10; i++ {
+		txn := ts(fmt.Sprintf("t%d", i), src.Next())
+		if _, err := o.Invoke(txn, inv(adts.OpInsert, value.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+		o.Commit(txn, histories.TSNone)
+	}
+	// Every element must survive compaction.
+	reader := ts("r", src.Next())
+	for i := 0; i < 10; i++ {
+		v, err := o.Invoke(reader, inv(adts.OpMember, value.Int(int64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != value.Bool(true) {
+			t.Errorf("element %d lost by compaction", i)
+		}
+	}
+	o.Commit(reader, histories.TSNone)
+	st, err := o.CommittedState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Key() != "{0,1,2,3,4,5,6,7,8,9}" {
+		t.Errorf("committed state %s", st.Key())
+	}
+}
+
+func TestCompactionWatermarkAbortsTooOld(t *testing.T) {
+	o, err := New(Config{ID: "x", Spec: adts.IntSetSpec{}, CompactAfter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn timestamps 1..10 on committed transactions.
+	var src clock.Source
+	var last histories.Timestamp
+	for i := 0; i < 10; i++ {
+		last = src.Next()
+		txn := ts(fmt.Sprintf("t%d", i), last)
+		if _, err := o.Invoke(txn, inv(adts.OpInsert, value.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+		o.Commit(txn, histories.TSNone)
+	}
+	// A transaction with a truncated timestamp must abort.
+	stale := ts("stale", 1)
+	_, err = o.Invoke(stale, inv(adts.OpMember, value.Int(1)))
+	if !errors.Is(err, cc.ErrConflict) {
+		t.Fatalf("stale transaction error = %v, want ErrConflict", err)
+	}
+	o.Abort(stale)
+	// A fresh timestamp still works.
+	fresh := ts("fresh", last+1)
+	if _, err := o.Invoke(fresh, inv(adts.OpMember, value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	o.Commit(fresh, histories.TSNone)
+}
+
+func TestCompactionDisabled(t *testing.T) {
+	o, err := New(Config{ID: "x", Spec: adts.IntSetSpec{}, CompactAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src clock.Source
+	for i := 0; i < 10; i++ {
+		txn := ts(fmt.Sprintf("t%d", i), src.Next())
+		if _, err := o.Invoke(txn, inv(adts.OpInsert, value.Int(1))); err != nil {
+			t.Fatal(err)
+		}
+		o.Commit(txn, histories.TSNone)
+	}
+	// With compaction off, even timestamp 0-adjacent transactions can run.
+	old := ts("old", 1)
+	if _, err := o.Invoke(old, inv(adts.OpMember, value.Int(1))); err != nil {
+		t.Errorf("old reader rejected with compaction disabled: %v", err)
+	}
+	o.Commit(old, histories.TSNone)
+}
+
+func TestCompactionStopsAtUncommitted(t *testing.T) {
+	o, err := New(Config{ID: "x", Spec: adts.IntSetSpec{}, CompactAfter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src clock.Source
+	// An early read-only transaction stays uncommitted (a pure observation
+	// does not block later mutators, but it pins the compaction point).
+	pending := ts("pending", src.Next())
+	if v, err := o.Invoke(pending, inv(adts.OpMember, value.Int(42))); err != nil || v != value.Bool(false) {
+		t.Fatalf("pending read: %v %v", v, err)
+	}
+	for i := 0; i < 6; i++ {
+		txn := ts(fmt.Sprintf("t%d", i), src.Next())
+		if _, err := o.Invoke(txn, inv(adts.OpInsert, value.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+		o.Commit(txn, histories.TSNone)
+	}
+	// The pending transaction can still commit: nothing at or below its
+	// timestamp was folded away.
+	o.Commit(pending, histories.TSNone)
+	st, err := o.CommittedState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Key() != "{0,1,2,3,4,5}" {
+		t.Errorf("committed state %s", st.Key())
+	}
+}

@@ -1,0 +1,328 @@
+package mvcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/cc"
+	"weihl83/internal/clock"
+	"weihl83/internal/core"
+	"weihl83/internal/histories"
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+type testSink struct {
+	mu sync.Mutex
+	h  histories.History
+}
+
+func (s *testSink) sink() cc.EventSink {
+	return func(e histories.Event) {
+		s.mu.Lock()
+		s.h = append(s.h, e)
+		s.mu.Unlock()
+	}
+}
+
+func (s *testSink) history() histories.History {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Clone()
+}
+
+func newSetObject(t *testing.T, sink cc.EventSink) *Object {
+	t.Helper()
+	o, err := New(Config{ID: "x", Spec: adts.IntSetSpec{}, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func ts(id string, t histories.Timestamp) *cc.TxnInfo {
+	return &cc.TxnInfo{ID: histories.ActivityID(id), TS: t}
+}
+
+func inv(op string, arg value.Value) spec.Invocation {
+	return spec.Invocation{Op: op, Arg: arg}
+}
+
+// TestPaperStaticAtomicExample reruns the §4.2.2 static-atomic sequence
+// through the live protocol: a (timestamp 2) inserts and commits; b
+// (timestamp 1) then reads member(3) and must see the state *before* a.
+func TestPaperStaticAtomicExample(t *testing.T) {
+	var rec testSink
+	o := newSetObject(t, rec.sink())
+	a, b := ts("a", 2), ts("b", 1)
+
+	if v, err := o.Invoke(a, inv(adts.OpInsert, value.Int(3))); err != nil || v != value.Unit() {
+		t.Fatalf("a insert: %v %v", v, err)
+	}
+	o.Commit(a, histories.TSNone)
+	v, err := o.Invoke(b, inv(adts.OpMember, value.Int(3)))
+	if err != nil {
+		t.Fatalf("b member: %v", err)
+	}
+	if v != value.Bool(false) {
+		t.Errorf("b (earlier timestamp) saw %v, want false", v)
+	}
+	o.Commit(b, histories.TSNone)
+
+	h := rec.history()
+	if err := h.WellFormedStatic(); err != nil {
+		t.Errorf("history not static well-formed: %v", err)
+	}
+	ck := core.NewChecker()
+	ck.Register("x", adts.IntSetSpec{})
+	if err := ck.StaticAtomic(h); err != nil {
+		t.Errorf("history not static atomic: %v", err)
+	}
+}
+
+// TestLateWriterAborts is §4.2.3's observation: "if an activity attempts
+// to write an object after another activity with a later timestamp has
+// already read the object, the former activity must be aborted."
+func TestLateWriterAborts(t *testing.T) {
+	o := newSetObject(t, nil)
+	reader, writer := ts("r", 2), ts("w", 1)
+
+	if v, err := o.Invoke(reader, inv(adts.OpMember, value.Int(3))); err != nil || v != value.Bool(false) {
+		t.Fatalf("reader: %v %v", v, err)
+	}
+	_, err := o.Invoke(writer, inv(adts.OpInsert, value.Int(3)))
+	if !errors.Is(err, cc.ErrConflict) {
+		t.Fatalf("late writer error = %v, want ErrConflict", err)
+	}
+	o.Abort(writer)
+	// The reader is unaffected and can commit.
+	o.Commit(reader, histories.TSNone)
+	_, _, conflicts := o.Stats()
+	if conflicts != 1 {
+		t.Errorf("conflicts = %d, want 1", conflicts)
+	}
+}
+
+// TestLateWriterHarmlessWhenInvisible: a writer behind a later reader is
+// fine if the write cannot change what the reader saw.
+func TestLateWriterHarmlessWhenInvisible(t *testing.T) {
+	o := newSetObject(t, nil)
+	reader, writer := ts("r", 2), ts("w", 1)
+	if _, err := o.Invoke(reader, inv(adts.OpMember, value.Int(3))); err != nil {
+		t.Fatal(err)
+	}
+	// Inserting a different element does not invalidate member(3)=false.
+	if _, err := o.Invoke(writer, inv(adts.OpInsert, value.Int(4))); err != nil {
+		t.Errorf("harmless late write rejected: %v", err)
+	}
+	o.Commit(writer, histories.TSNone)
+	o.Commit(reader, histories.TSNone)
+}
+
+// TestReadersNeverAbort: read-only transactions pass validation always
+// (reads change no state), reproducing "read-only activities are never
+// forced to abort" (§4.2.3).
+func TestReadersNeverAbort(t *testing.T) {
+	o := newSetObject(t, nil)
+	w := ts("w", 5)
+	if _, err := o.Invoke(w, inv(adts.OpInsert, value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	o.Commit(w, histories.TSNone)
+	// Readers above, below and between existing timestamps.
+	for i, rts := range []histories.Timestamp{1, 6, 100} {
+		r := ts(fmt.Sprintf("r%d", i), rts)
+		if _, err := o.Invoke(r, inv(adts.OpMember, value.Int(1))); err != nil {
+			t.Errorf("reader ts=%d aborted: %v", rts, err)
+		}
+		o.Commit(r, histories.TSNone)
+	}
+}
+
+// TestEarlierUncommittedBlocksLater: a later-timestamp invocation waits for
+// an earlier uncommitted transaction (it may need its effects) and resumes
+// when it commits.
+func TestEarlierUncommittedBlocksLater(t *testing.T) {
+	o := newSetObject(t, nil)
+	early, late := ts("e", 1), ts("l", 2)
+	if _, err := o.Invoke(early, inv(adts.OpInsert, value.Int(3))); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan value.Value, 1)
+	go func() {
+		v, err := o.Invoke(late, inv(adts.OpMember, value.Int(3)))
+		if err != nil {
+			done <- value.Str(err.Error())
+			return
+		}
+		done <- v
+	}()
+	select {
+	case v := <-done:
+		t.Fatalf("later transaction was not blocked (got %v)", v)
+	case <-time.After(50 * time.Millisecond):
+	}
+	o.Commit(early, histories.TSNone)
+	select {
+	case v := <-done:
+		if v != value.Bool(true) {
+			t.Errorf("late read %v, want true (sees earlier committed insert)", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("late transaction never unblocked")
+	}
+	o.Commit(late, histories.TSNone)
+}
+
+// TestAbortUnblocksAndRemoves: aborting the earlier transaction unblocks
+// the waiter, which then must NOT see the aborted effects.
+func TestAbortUnblocksAndRemoves(t *testing.T) {
+	o := newSetObject(t, nil)
+	early, late := ts("e", 1), ts("l", 2)
+	if _, err := o.Invoke(early, inv(adts.OpInsert, value.Int(3))); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan value.Value, 1)
+	go func() {
+		v, _ := o.Invoke(late, inv(adts.OpMember, value.Int(3)))
+		done <- v
+	}()
+	time.Sleep(20 * time.Millisecond)
+	o.Abort(early)
+	select {
+	case v := <-done:
+		if v != value.Bool(false) {
+			t.Errorf("read after abort %v, want false", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never unblocked after abort")
+	}
+	o.Commit(late, histories.TSNone)
+}
+
+func TestInvokeWithoutTimestamp(t *testing.T) {
+	o := newSetObject(t, nil)
+	_, err := o.Invoke(&cc.TxnInfo{ID: "a"}, inv(adts.OpMember, value.Int(1)))
+	if err == nil {
+		t.Error("invoke without timestamp accepted")
+	}
+}
+
+func TestInvalidOp(t *testing.T) {
+	o := newSetObject(t, nil)
+	_, err := o.Invoke(ts("a", 1), inv("bogus", value.Nil()))
+	if !errors.Is(err, cc.ErrInvalidOp) {
+		t.Errorf("invalid op error = %v", err)
+	}
+}
+
+func TestPrepareUnknown(t *testing.T) {
+	o := newSetObject(t, nil)
+	if err := o.Prepare(ts("ghost", 1)); !errors.Is(err, cc.ErrUnknownTxn) {
+		t.Errorf("prepare unknown = %v", err)
+	}
+	o.Commit(ts("ghost", 1), histories.TSNone) // no-op
+	o.Abort(ts("ghost", 1))                    // no-op
+}
+
+func TestCommittedState(t *testing.T) {
+	o := newSetObject(t, nil)
+	a := ts("a", 1)
+	if _, err := o.Invoke(a, inv(adts.OpInsert, value.Int(7))); err != nil {
+		t.Fatal(err)
+	}
+	o.Commit(a, histories.TSNone)
+	st, err := o.CommittedState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Key() != "{7}" {
+		t.Errorf("committed state %s, want {7}", st.Key())
+	}
+}
+
+// TestStressStaticAtomicity runs a concurrent randomized workload and
+// verifies the recorded history is static atomic — the Theorem 4 analogue
+// of the locking stress test.
+func TestStressStaticAtomicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	var rec testSink
+	o := newSetObject(t, rec.sink())
+	var src clock.Source
+	var seqMu sync.Mutex
+	seq := 0
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 100))
+			for k := 0; k < 4; k++ {
+				seqMu.Lock()
+				seq++
+				id := fmt.Sprintf("w%d.%d", w, seq)
+				seqMu.Unlock()
+				txn := &cc.TxnInfo{ID: histories.ActivityID(id), TS: src.Next()}
+				nOps := 1 + rng.Intn(3)
+				aborted := false
+				for i := 0; i < nOps; i++ {
+					n := value.Int(int64(rng.Intn(4)))
+					var op string
+					switch rng.Intn(3) {
+					case 0:
+						op = adts.OpInsert
+					case 1:
+						op = adts.OpDelete
+					default:
+						op = adts.OpMember
+					}
+					if _, err := o.Invoke(txn, inv(op, n)); err != nil {
+						if !cc.Retryable(err) {
+							t.Errorf("unexpected error: %v", err)
+						}
+						o.Abort(txn)
+						aborted = true
+						break
+					}
+				}
+				if aborted {
+					continue
+				}
+				if rng.Intn(5) == 0 {
+					o.Abort(txn)
+				} else {
+					o.Commit(txn, histories.TSNone)
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("stress workload hung")
+	}
+
+	h := rec.history()
+	if err := h.WellFormedStatic(); err != nil {
+		t.Fatalf("history not static well-formed: %v\n%v", err, h)
+	}
+	ck := core.NewChecker()
+	ck.Register("x", adts.IntSetSpec{})
+	if err := ck.StaticAtomic(h); err != nil {
+		t.Fatalf("history not static atomic: %v\n%v", err, h)
+	}
+	// Static atomicity implies atomicity (Theorem 4).
+	if _, err := ck.Atomic(h); err != nil {
+		t.Fatalf("history not atomic: %v", err)
+	}
+}

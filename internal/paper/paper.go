@@ -1,0 +1,385 @@
+// Package paper catalogues every example event sequence in the paper
+// together with the verdicts the paper assigns, and binds the objects those
+// sequences use to their serial specifications. It is the shared source of
+// truth for experiment E1: the core test suite asserts each verdict, and
+// cmd/papertest prints the full table.
+//
+// Sequences the extended abstract elides (its text describes them but the
+// displayed figure was omitted) are reconstructed from the prose and marked
+// "(reconstructed)" in their section references.
+package paper
+
+import (
+	"weihl83/internal/adts"
+	"weihl83/internal/core"
+	"weihl83/internal/histories"
+)
+
+// Verdict is a tri-state expected outcome.
+type Verdict int
+
+// Verdicts.
+const (
+	// Holds: the property must hold.
+	Holds Verdict = iota + 1
+	// Fails: the property must fail.
+	Fails
+	// NotApplicable: the check is skipped (e.g. static atomicity of a
+	// history with no initiation events).
+	NotApplicable
+)
+
+// String renders the verdict for tables.
+func (v Verdict) String() string {
+	switch v {
+	case Holds:
+		return "yes"
+	case Fails:
+		return "no"
+	case NotApplicable:
+		return "-"
+	default:
+		return "?"
+	}
+}
+
+// Sequence is one catalogued example.
+type Sequence struct {
+	Name    string
+	Section string
+	Text    string
+
+	WellFormed    Verdict
+	Atomic        Verdict
+	DynamicAtomic Verdict
+	StaticAtomic  Verdict
+	HybridAtomic  Verdict
+}
+
+// History parses the sequence's text.
+func (s Sequence) History() histories.History { return histories.MustParse(s.Text) }
+
+// NewChecker returns a checker with the catalogue's objects registered:
+// x is the integer set (§2–§4), y the bank account (§5.1), q the FIFO
+// queue (§5.1), and c the optimality-proof counter (§4.1).
+func NewChecker() *core.Checker {
+	c := core.NewChecker()
+	c.Register("x", adts.IntSetSpec{})
+	c.Register("y", adts.AccountSpec{})
+	c.Register("q", adts.QueueSpec{})
+	c.Register("c", adts.CounterSpec{})
+	return c
+}
+
+// Sequences is the full catalogue.
+var Sequences = []Sequence{
+	{
+		Name:    "S3-perm-example",
+		Section: "§3",
+		Text: `
+<member(3),x,a>
+<insert(3),x,b>
+<ok,x,b>
+<true,x,a>
+<commit,x,b>
+<delete(3),x,c>
+<ok,x,c>
+<commit,x,a>
+<abort,x,c>
+`,
+		WellFormed:    Holds,
+		Atomic:        Holds, // perm(h) ~ serial b then a
+		DynamicAtomic: Fails, // a-b (also consistent with precedes) is infeasible
+		StaticAtomic:  NotApplicable,
+		HybridAtomic:  NotApplicable,
+	},
+	{
+		Name:    "S3-not-atomic",
+		Section: "§3",
+		Text: `
+<member(2),x,a>
+<true,x,a>
+<commit,x,a>
+`,
+		WellFormed:    Holds,
+		Atomic:        Fails, // x is initially empty
+		DynamicAtomic: Fails,
+		StaticAtomic:  NotApplicable,
+		HybridAtomic:  NotApplicable,
+	},
+	{
+		Name:    "S4.1-atomic-not-dynamic",
+		Section: "§4.1",
+		Text: `
+<member(3),x,a>
+<insert(3),x,b>
+<ok,x,b>
+<false,x,a>
+<member(3),x,c>
+<commit,x,b>
+<true,x,c>
+<commit,x,a>
+<commit,x,c>
+`,
+		WellFormed:    Holds,
+		Atomic:        Holds, // serializable a-b-c
+		DynamicAtomic: Fails, // precedes = {<b,c>}: b-a-c and b-c-a must also work
+		StaticAtomic:  NotApplicable,
+		HybridAtomic:  NotApplicable,
+	},
+	{
+		Name:    "S4.1-dynamic-atomic",
+		Section: "§4.1",
+		Text: `
+<member(2),x,a>
+<insert(3),x,b>
+<ok,x,b>
+<false,x,a>
+<member(3),x,c>
+<commit,x,b>
+<true,x,c>
+<commit,x,a>
+<commit,x,c>
+`,
+		WellFormed:    Holds,
+		Atomic:        Holds,
+		DynamicAtomic: Holds, // serializable in a-b-c, b-a-c and b-c-a
+		StaticAtomic:  NotApplicable,
+		HybridAtomic:  NotApplicable,
+	},
+	{
+		Name:    "S4.2-atomic-not-static",
+		Section: "§4.2.2",
+		Text: `
+<initiate(2),x,a>
+<member(3),x,a>
+<false,x,a>
+<commit,x,a>
+<initiate(1),x,b>
+<insert(3),x,b>
+<ok,x,b>
+<commit,x,b>
+`,
+		WellFormed:    Holds,
+		Atomic:        Holds, // serializable a-b
+		DynamicAtomic: Holds, // precedes forces a-b, which works
+		StaticAtomic:  Fails, // timestamp order is b-a
+		HybridAtomic:  Fails,
+	},
+	{
+		Name:    "S4.2-static-atomic",
+		Section: "§4.2.2",
+		Text: `
+<initiate(2),x,a>
+<insert(3),x,a>
+<ok,x,a>
+<commit,x,a>
+<initiate(1),x,b>
+<member(3),x,b>
+<false,x,b>
+<commit,x,b>
+`,
+		WellFormed:    Holds,
+		Atomic:        Holds,
+		DynamicAtomic: Fails, // precedes forces a-b, which is infeasible —
+		// static admits what dynamic rejects (§4.2.3)
+		StaticAtomic: Holds, // timestamp order b-a works
+		HybridAtomic: Holds,
+	},
+	{
+		Name:    "S4.3-hybrid-wellformed-example",
+		Section: "§4.3.1",
+		Text: `
+<insert(3),x,a>
+<ok,x,a>
+<commit(2),x,a>
+<initiate(1),x,r>
+<member(3),x,r>
+<false,x,r>
+<commit,x,r>
+`,
+		WellFormed:    Holds,
+		Atomic:        Holds,
+		DynamicAtomic: Fails, // precedes forces a-r; member=false then contradicts
+		StaticAtomic:  Fails, // a never initiates: no static timestamp
+		HybridAtomic:  Holds, // timestamp order r(1)-a(2) works
+	},
+	{
+		Name:    "S4.3-atomic-not-hybrid",
+		Section: "§4.3.2 (reconstructed)",
+		Text: `
+<initiate(1),x,r>
+<insert(3),x,a>
+<ok,x,a>
+<commit(2),x,a>
+<member(3),x,r>
+<true,x,r>
+<commit,x,r>
+`,
+		WellFormed:    Holds,
+		Atomic:        Holds, // serializable a-r
+		DynamicAtomic: Holds, // precedes has <a,r>; a-r works — dynamic admits
+		// what hybrid rejects (§4.3.3)
+		StaticAtomic: Fails,
+		HybridAtomic: Fails, // timestamp order r(1)-a(2) cannot explain member=true
+	},
+	{
+		Name:    "S4.3-hybrid-atomic",
+		Section: "§4.3.2 (reconstructed)",
+		Text: `
+<insert(3),x,a>
+<ok,x,a>
+<commit(1),x,a>
+<initiate(2),x,r>
+<member(3),x,r>
+<true,x,r>
+<commit,x,r>
+`,
+		WellFormed:    Holds,
+		Atomic:        Holds,
+		DynamicAtomic: Holds,
+		StaticAtomic:  Fails,
+		HybridAtomic:  Holds,
+	},
+	{
+		Name:    "S5.1-concurrent-withdrawals",
+		Section: "§5.1",
+		Text: `
+<deposit(10),y,a>
+<ok,y,a>
+<commit,y,a>
+<withdraw(4),y,b>
+<withdraw(3),y,c>
+<ok,y,c>
+<ok,y,b>
+<commit,y,c>
+<commit,y,b>
+`,
+		WellFormed:    Holds,
+		Atomic:        Holds,
+		DynamicAtomic: Holds, // serializable in a-b-c and a-c-b
+		StaticAtomic:  NotApplicable,
+		HybridAtomic:  NotApplicable,
+	},
+	{
+		Name:    "S5.1-withdraw-with-deposit",
+		Section: "§5.1 (reconstructed)",
+		Text: `
+<deposit(10),y,a>
+<ok,y,a>
+<commit,y,a>
+<withdraw(4),y,b>
+<deposit(5),y,c>
+<ok,y,c>
+<ok,y,b>
+<commit,y,c>
+<commit,y,b>
+`,
+		WellFormed:    Holds,
+		Atomic:        Holds,
+		DynamicAtomic: Holds, // the deposit is not needed to cover the withdrawal
+		StaticAtomic:  NotApplicable,
+		HybridAtomic:  NotApplicable,
+	},
+	{
+		Name:    "S5.1-withdraw-needs-deposit",
+		Section: "§5.1 (contrast case)",
+		Text: `
+<deposit(3),y,a>
+<ok,y,a>
+<commit,y,a>
+<withdraw(4),y,b>
+<deposit(5),y,c>
+<ok,y,c>
+<ok,y,b>
+<commit,y,c>
+<commit,y,b>
+`,
+		WellFormed:    Holds,
+		Atomic:        Holds, // serializable a-c-b
+		DynamicAtomic: Fails, // a-b-c fails: withdraw(4) from balance 3
+		StaticAtomic:  NotApplicable,
+		HybridAtomic:  NotApplicable,
+	},
+	{
+		Name:    "S5.1-queue",
+		Section: "§5.1",
+		Text: `
+<enqueue(1),q,a>
+<ok,q,a>
+<enqueue(1),q,b>
+<ok,q,b>
+<enqueue(2),q,a>
+<ok,q,a>
+<enqueue(2),q,b>
+<ok,q,b>
+<commit,q,a>
+<commit,q,b>
+<dequeue,q,c>
+<1,q,c>
+<dequeue,q,c>
+<2,q,c>
+<dequeue,q,c>
+<1,q,c>
+<dequeue,q,c>
+<2,q,c>
+<commit,q,c>
+`,
+		WellFormed:    Holds,
+		Atomic:        Holds,
+		DynamicAtomic: Holds, // serializable in a-b-c and b-a-c
+		StaticAtomic:  NotApplicable,
+		HybridAtomic:  NotApplicable,
+	},
+	{
+		Name:    "S4.1-counter-serial",
+		Section: "§4.1",
+		Text: `
+<increment,c,a1>
+<1,c,a1>
+<commit,c,a1>
+<increment,c,a2>
+<2,c,a2>
+<commit,c,a2>
+<increment,c,a3>
+<3,c,a3>
+<commit,c,a3>
+`,
+		WellFormed:    Holds,
+		Atomic:        Holds,
+		DynamicAtomic: Holds, // precedes totally orders a1-a2-a3
+		StaticAtomic:  NotApplicable,
+		HybridAtomic:  NotApplicable,
+	},
+	{
+		Name:    "S4.1-counter-wrong-order",
+		Section: "§4.1 (contrast case)",
+		Text: `
+<increment,c,a1>
+<2,c,a1>
+<commit,c,a1>
+<increment,c,a2>
+<1,c,a2>
+<commit,c,a2>
+`,
+		WellFormed:    Holds,
+		Atomic:        Holds, // serializable a2-a1
+		DynamicAtomic: Fails, // precedes forces a1-a2: results 2,1 infeasible
+		StaticAtomic:  NotApplicable,
+		HybridAtomic:  NotApplicable,
+	},
+	{
+		Name:    "S2-spec-violation",
+		Section: "§2",
+		Text: `
+<member(2),x,a>
+<true,x,a>
+<commit,x,a>
+`,
+		WellFormed:    Holds,
+		Atomic:        Fails, // "would probably not be in the specification of x"
+		DynamicAtomic: Fails,
+		StaticAtomic:  NotApplicable,
+		HybridAtomic:  NotApplicable,
+	},
+}

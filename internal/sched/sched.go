@@ -1,0 +1,135 @@
+// Package sched is the reference implementation of the scheduler model of
+// Figure 5-1, which the paper critiques in §5.1: transactions submit
+// invocations to a scheduler; the scheduler decides an execution order and
+// forwards the operations to a storage module holding a single state; the
+// storage module computes the results.
+//
+// Two limitations of the model are directly observable here and are
+// exercised by the tests and by experiment F1/E8:
+//
+//   - The semantics of operations are fixed at the scheduler/storage
+//     interface: the order in which operations reach storage determines
+//     all subsequent results. The paper's interleaved FIFO-queue execution
+//     (dequeues returning 1,2,1,2) is therefore unachievable — submitting
+//     the same invocations yields 1,1,2,2.
+//   - Commit and abort events are invisible below the dotted line: the
+//     storage module cannot represent online recoverability, and dynamic
+//     atomicity cannot even be stated. Abort is accordingly not part of
+//     this package's interface.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"weihl83/internal/cc"
+	"weihl83/internal/histories"
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+// Storage is the storage module: a single specification state that applies
+// operations in the order the scheduler forwards them.
+type Storage struct {
+	mu sync.Mutex
+	st spec.State
+}
+
+// NewStorage returns storage initialised to the spec's initial state.
+func NewStorage(s spec.SerialSpec) *Storage {
+	return &Storage{st: s.Init()}
+}
+
+// Apply executes inv against the current state and returns its result.
+func (s *Storage) Apply(inv spec.Invocation) (value.Value, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out, err := spec.Apply(s.st, inv)
+	if err != nil {
+		return value.Nil(), fmt.Errorf("sched: storage: %w: %v", cc.ErrInvalidOp, err)
+	}
+	s.st = out.Next
+	return out.Result, nil
+}
+
+// State returns the current storage state.
+func (s *Storage) State() spec.State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st
+}
+
+// Scheduler is a conflict-based scheduler in front of one storage module.
+// A nil Conflicts predicate makes it a pass-through (first-come
+// first-served) scheduler; otherwise an invocation is delayed while it
+// conflicts with any operation already executed by an uncommitted
+// transaction — the locking discipline of [Bernstein 81]/[Korth 81]/
+// [Schwarz & Spector 82] as seen from the scheduler model.
+type Scheduler struct {
+	storage   *Storage
+	conflicts func(p, q spec.Invocation) bool
+
+	mu     sync.Mutex
+	gen    chan struct{}
+	active map[histories.ActivityID][]spec.Invocation
+}
+
+// New returns a scheduler over storage. conflicts may be nil.
+func New(storage *Storage, conflicts func(p, q spec.Invocation) bool) (*Scheduler, error) {
+	if storage == nil {
+		return nil, errors.New("sched: storage is required")
+	}
+	return &Scheduler{
+		storage:   storage,
+		conflicts: conflicts,
+		gen:       make(chan struct{}),
+		active:    make(map[histories.ActivityID][]spec.Invocation),
+	}, nil
+}
+
+// Submit hands an invocation to the scheduler on behalf of txn and blocks
+// until the scheduler has run it against storage.
+func (s *Scheduler) Submit(txn histories.ActivityID, inv spec.Invocation) (value.Value, error) {
+	s.mu.Lock()
+	for s.conflicts != nil && s.blocked(txn, inv) {
+		ch := s.gen
+		s.mu.Unlock()
+		<-ch
+		s.mu.Lock()
+	}
+	// Forward to storage while holding the scheduler lock: the forwarding
+	// order IS the execution order, which is the essence of the model.
+	v, err := s.storage.Apply(inv)
+	if err == nil {
+		s.active[txn] = append(s.active[txn], inv)
+	}
+	s.mu.Unlock()
+	return v, err
+}
+
+// blocked reports whether inv conflicts with an uncommitted operation of
+// another transaction. Callers must hold s.mu.
+func (s *Scheduler) blocked(txn histories.ActivityID, inv spec.Invocation) bool {
+	for other, ops := range s.active {
+		if other == txn {
+			continue
+		}
+		for _, q := range ops {
+			if s.conflicts(inv, q) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Commit releases txn's operations. Note what is missing: nothing is said
+// to storage — the dotted-line interface carries no commit events.
+func (s *Scheduler) Commit(txn histories.ActivityID) {
+	s.mu.Lock()
+	delete(s.active, txn)
+	close(s.gen)
+	s.gen = make(chan struct{})
+	s.mu.Unlock()
+}

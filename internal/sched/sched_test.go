@@ -1,0 +1,135 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/histories"
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+func inv(op string, arg value.Value) spec.Invocation {
+	return spec.Invocation{Op: op, Arg: arg}
+}
+
+// TestSchedulerModelCannotProduceThePaperQueueHistory is experiment F1/E8:
+// feeding the §5.1 interleaved enqueues to a pass-through scheduler yields
+// the storage-order queue 1,1,2,2 — NOT the 1,2,1,2 that dynamic atomicity
+// admits. "We claim that the scheduler cannot schedule the invocations in
+// the order given here... c would have to receive 1, 1, 2, and 2."
+func TestSchedulerModelCannotProduceThePaperQueueHistory(t *testing.T) {
+	storage := NewStorage(adts.QueueSpec{})
+	s, err := New(storage, nil) // pass-through: runs ops in arrival order
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit := func(txn histories.ActivityID, op string, arg value.Value) value.Value {
+		t.Helper()
+		v, err := s.Submit(txn, inv(op, arg))
+		if err != nil {
+			t.Fatalf("submit %s by %s: %v", op, txn, err)
+		}
+		return v
+	}
+	// The paper's arrival order.
+	submit("a", adts.OpEnqueue, value.Int(1))
+	submit("b", adts.OpEnqueue, value.Int(1))
+	submit("a", adts.OpEnqueue, value.Int(2))
+	submit("b", adts.OpEnqueue, value.Int(2))
+	s.Commit("a")
+	s.Commit("b")
+	var got []int64
+	for i := 0; i < 4; i++ {
+		v := submit("c", adts.OpDequeue, value.Nil())
+		n, ok := v.AsInt()
+		if !ok {
+			t.Fatalf("dequeue %d returned %v", i, v)
+		}
+		got = append(got, n)
+	}
+	s.Commit("c")
+	want := []int64{1, 1, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scheduler-model dequeues = %v, want %v (and NOT the paper's 1,2,1,2)", got, want)
+		}
+	}
+}
+
+// TestConflictSchedulerSerialises: with the commutativity conflict table,
+// the scheduler delays b's non-commuting enqueue until a commits, forcing
+// a serial execution — the concurrency dynamic atomicity would not lose.
+func TestConflictSchedulerSerialises(t *testing.T) {
+	storage := NewStorage(adts.QueueSpec{})
+	s, err := New(storage, adts.QueueConflicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("a", inv(adts.OpEnqueue, value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan value.Value, 1)
+	go func() {
+		v, _ := s.Submit("b", inv(adts.OpEnqueue, value.Int(2)))
+		done <- v
+	}()
+	select {
+	case <-done:
+		t.Fatal("conflicting enqueue was not delayed")
+	case <-time.After(50 * time.Millisecond):
+	}
+	s.Commit("a")
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("delayed enqueue never ran")
+	}
+	s.Commit("b")
+	if storage.State().Key() != "[1,2]" {
+		t.Errorf("storage state %s, want [1,2]", storage.State().Key())
+	}
+}
+
+func TestSchedulerAllowsCommutingOps(t *testing.T) {
+	storage := NewStorage(adts.IntSetSpec{})
+	s, err := New(storage, adts.IntSetConflicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("a", inv(adts.OpInsert, value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	// insert(2) commutes with insert(1): not delayed.
+	done := make(chan struct{})
+	go func() {
+		_, _ = s.Submit("b", inv(adts.OpInsert, value.Int(2)))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("commuting op was delayed")
+	}
+}
+
+func TestStorageRejectsInvalidOp(t *testing.T) {
+	storage := NewStorage(adts.QueueSpec{})
+	if _, err := storage.Apply(inv("bogus", value.Nil())); err == nil {
+		t.Error("invalid op accepted by storage")
+	}
+	s, err := New(storage, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("a", inv("bogus", value.Nil())); err == nil {
+		t.Error("invalid op accepted by scheduler")
+	}
+}
+
+func TestNewRequiresStorage(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("nil storage accepted")
+	}
+}

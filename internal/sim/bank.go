@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/cc"
+	"weihl83/internal/histories"
+	"weihl83/internal/tx"
+	"weihl83/internal/value"
+)
+
+// BankParams parameterises the Lamport banking workload (§4.3.3): transfer
+// activities move money between accounts while audit activities read many
+// balances.
+type BankParams struct {
+	// Accounts is the number of accounts (must match the system's).
+	Accounts int
+	// InitialBalance seeds every account.
+	InitialBalance int64
+	// TransferWorkers × TransfersPerWorker transfer transactions run.
+	TransferWorkers    int
+	TransfersPerWorker int
+	// AuditWorkers × AuditsPerWorker audit transactions run.
+	AuditWorkers    int
+	AuditsPerWorker int
+	// AuditSpan is how many accounts each audit reads (the audit-length
+	// sweep of E5). Zero means all accounts.
+	AuditSpan int
+	// Amount is the transfer amount.
+	Amount int64
+	// Seed drives workload randomness.
+	Seed int64
+	// MaxRetries bounds the per-transaction retry chain (default 1000).
+	MaxRetries int
+	// Think simulates computation between the operations of a transfer
+	// while its locks (or versions) are held.
+	Think time.Duration
+	// AuditThink simulates computation between an audit's balance reads —
+	// what makes long read-only activities expensive under locking
+	// (§4.2.3).
+	AuditThink time.Duration
+	// BalanceCheck makes each transfer read the source balance before
+	// withdrawing. Balance results are exact, so under timestamp ordering
+	// a later-timestamped balance read is invalidated by an
+	// earlier-timestamped writer arriving late (the E6 skew mechanism).
+	BalanceCheck bool
+}
+
+func (p *BankParams) fill() {
+	if p.Accounts <= 0 {
+		p.Accounts = 4
+	}
+	if p.InitialBalance <= 0 {
+		p.InitialBalance = 1000
+	}
+	if p.Amount <= 0 {
+		p.Amount = 1
+	}
+	if p.AuditSpan <= 0 || p.AuditSpan > p.Accounts {
+		p.AuditSpan = p.Accounts
+	}
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = 1000
+	}
+}
+
+func acctID(i int) histories.ObjectID {
+	return histories.ObjectID(fmt.Sprintf("acct%d", i))
+}
+
+// think simulates latency inside a transaction (a user interaction, disk
+// or network round trip) while the transaction's locks or versions are
+// held. It sleeps, releasing the processor, so that protocols permitting
+// more concurrency can overlap transactions. Use durations of at least a
+// millisecond: sub-millisecond sleeps are stretched unpredictably by timer
+// granularity, which would distort protocol comparisons.
+func think(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// ErrRetriesExhausted reports a transaction chain that never committed
+// within its retry budget — an expected outcome for starvation-prone
+// workloads (long audits under locking, §4.2.3); it is counted in the
+// Failed metrics rather than failing the run.
+var ErrRetriesExhausted = errors.New("sim: retry budget exhausted")
+
+// runWithRetry runs fn in fresh transactions until commit, a non-retryable
+// error, or the retry budget is exhausted. It returns the retry count.
+func runWithRetry(m *tx.Manager, readOnly bool, maxRetries int, fn func(*tx.Txn) error) (int64, error) {
+	var retries int64
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		var t *tx.Txn
+		if readOnly {
+			t = m.BeginReadOnly()
+		} else {
+			t = m.Begin()
+		}
+		err := fn(t)
+		if err == nil {
+			if err = t.Commit(); err == nil {
+				return retries, nil
+			}
+		} else {
+			t.Abort()
+		}
+		if !cc.Retryable(err) {
+			return retries, err
+		}
+		retries++
+	}
+	return retries, fmt.Errorf("%w after %d attempts", ErrRetriesExhausted, maxRetries)
+}
+
+// SeedBank deposits the initial balance into every account, one
+// transaction per account.
+func SeedBank(sys *System, p BankParams) error {
+	(&p).fill()
+	for i := 0; i < p.Accounts; i++ {
+		i := i
+		if _, err := runWithRetry(sys.Manager, false, p.MaxRetries, func(t *tx.Txn) error {
+			_, err := t.Invoke(acctID(i), adts.OpDeposit, value.Int(p.InitialBalance))
+			return err
+		}); err != nil {
+			return fmt.Errorf("sim: seeding account %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RunBank seeds the accounts and runs the transfer/audit mix, returning
+// aggregate metrics. Audits are read-only transactions under hybrid
+// atomicity and ordinary transactions otherwise; a full-span audit checks
+// conservation of the total balance.
+func RunBank(sys *System, p BankParams) (*Metrics, error) {
+	(&p).fill()
+	if err := SeedBank(sys, p); err != nil {
+		return nil, err
+	}
+	expected := int64(p.Accounts) * p.InitialBalance
+	var metrics Metrics
+	var firstErr error
+	var errMu sync.Mutex
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < p.TransferWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(p.Seed + int64(w)))
+			for k := 0; k < p.TransfersPerWorker; k++ {
+				from := rng.Intn(p.Accounts)
+				to := rng.Intn(p.Accounts)
+				for p.Accounts > 1 && to == from {
+					to = rng.Intn(p.Accounts)
+				}
+				t0 := time.Now()
+				retries, err := runWithRetry(sys.Manager, false, p.MaxRetries, func(t *tx.Txn) error {
+					if p.BalanceCheck {
+						if _, err := t.Invoke(acctID(from), adts.OpBalance, value.Nil()); err != nil {
+							return err
+						}
+						think(p.Think)
+					}
+					v, err := t.Invoke(acctID(from), adts.OpWithdraw, value.Int(p.Amount))
+					if err != nil {
+						return err
+					}
+					if v != value.Unit() {
+						return nil // insufficient funds: commit as a no-op
+					}
+					think(p.Think)
+					_, err = t.Invoke(acctID(to), adts.OpDeposit, value.Int(p.Amount))
+					return err
+				})
+				metrics.addTransfer(time.Since(t0), retries, err != nil)
+				if err != nil && !errors.Is(err, cc.ErrConflict) && !errors.Is(err, ErrRetriesExhausted) {
+					fail(err)
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < p.AuditWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(p.Seed + 10_000 + int64(w)))
+			readOnly := sys.Kind == KindHybrid
+			for k := 0; k < p.AuditsPerWorker; k++ {
+				startAcct := rng.Intn(p.Accounts)
+				t0 := time.Now()
+				var total int64
+				retries, err := runWithRetry(sys.Manager, readOnly, p.MaxRetries, func(t *tx.Txn) error {
+					total = 0
+					for j := 0; j < p.AuditSpan; j++ {
+						v, err := t.Invoke(acctID((startAcct+j)%p.Accounts), adts.OpBalance, value.Nil())
+						if err != nil {
+							return err
+						}
+						total += v.MustInt()
+						think(p.AuditThink)
+					}
+					return nil
+				})
+				violated := err == nil && p.AuditSpan == p.Accounts && total != expected
+				metrics.addAudit(time.Since(t0), retries, err != nil, violated)
+				if err != nil && !errors.Is(err, cc.ErrConflict) && !errors.Is(err, ErrRetriesExhausted) {
+					fail(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	metrics.Wall = time.Since(start)
+
+	if err := sys.Err(); err != nil {
+		return &metrics, err
+	}
+	return &metrics, firstErr
+}

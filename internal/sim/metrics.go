@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Metrics aggregates the measurements a workload run reports. Rates are
+// derived, not stored.
+type Metrics struct {
+	mu sync.Mutex
+
+	Wall time.Duration
+
+	TransferCommits int64
+	TransferRetries int64
+	TransferFailed  int64 // retries exhausted
+	TransferLatency time.Duration
+
+	AuditCommits int64
+	AuditRetries int64
+	AuditFailed  int64
+	AuditLatency time.Duration
+
+	// ConservationViolations counts audits whose observed total differed
+	// from the invariant (must stay zero for atomic protocols).
+	ConservationViolations int64
+}
+
+// addTransfer records one completed transfer attempt chain.
+func (m *Metrics) addTransfer(lat time.Duration, retries int64, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.TransferLatency += lat
+	m.TransferRetries += retries
+	if failed {
+		m.TransferFailed++
+	} else {
+		m.TransferCommits++
+	}
+}
+
+// addAudit records one completed audit attempt chain.
+func (m *Metrics) addAudit(lat time.Duration, retries int64, failed, violated bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.AuditLatency += lat
+	m.AuditRetries += retries
+	if failed {
+		m.AuditFailed++
+	} else {
+		m.AuditCommits++
+	}
+	if violated {
+		m.ConservationViolations++
+	}
+}
+
+// TransferThroughput returns committed transfers per second of wall time.
+func (m *Metrics) TransferThroughput() float64 {
+	if m.Wall <= 0 {
+		return 0
+	}
+	return float64(m.TransferCommits) / m.Wall.Seconds()
+}
+
+// MeanTransferLatency returns the mean wall time per committed transfer.
+func (m *Metrics) MeanTransferLatency() time.Duration {
+	if m.TransferCommits == 0 {
+		return 0
+	}
+	return m.TransferLatency / time.Duration(m.TransferCommits)
+}
+
+// MeanAuditLatency returns the mean wall time per committed audit.
+func (m *Metrics) MeanAuditLatency() time.Duration {
+	if m.AuditCommits == 0 {
+		return 0
+	}
+	return m.AuditLatency / time.Duration(m.AuditCommits)
+}
+
+// TransferAbortRate returns retries per committed transfer.
+func (m *Metrics) TransferAbortRate() float64 {
+	if m.TransferCommits == 0 {
+		return 0
+	}
+	return float64(m.TransferRetries) / float64(m.TransferCommits)
+}
+
+// AuditAbortRate returns retries per committed audit.
+func (m *Metrics) AuditAbortRate() float64 {
+	if m.AuditCommits == 0 {
+		return 0
+	}
+	return float64(m.AuditRetries) / float64(m.AuditCommits)
+}
+
+// String renders a one-line summary.
+func (m *Metrics) String() string {
+	return fmt.Sprintf(
+		"wall=%v transfers=%d (retries=%d, fail=%d, mean=%v) audits=%d (retries=%d, fail=%d, mean=%v) violations=%d",
+		m.Wall.Round(time.Millisecond),
+		m.TransferCommits, m.TransferRetries, m.TransferFailed, m.MeanTransferLatency().Round(time.Microsecond),
+		m.AuditCommits, m.AuditRetries, m.AuditFailed, m.MeanAuditLatency().Round(time.Microsecond),
+		m.ConservationViolations,
+	)
+}

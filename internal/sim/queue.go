@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/cc"
+	"weihl83/internal/tx"
+	"weihl83/internal/value"
+)
+
+// QueueParams parameterises the §5.1 FIFO-queue workload: producers
+// enqueue batches in their own transactions; consumers dequeue until
+// everything produced has been consumed. In the Metrics, producer
+// transactions are reported in the Transfer fields and consumer
+// transactions in the Audit fields.
+type QueueParams struct {
+	Producers        int
+	Consumers        int
+	ItemsPerProducer int
+	// Batch is the number of enqueues per producer transaction (default 2,
+	// matching the paper's two-enqueue activities).
+	Batch int
+	Seed  int64
+	// MaxRetries bounds the per-transaction retry chain (default 1000).
+	MaxRetries int
+}
+
+func (p *QueueParams) fill() {
+	if p.Producers <= 0 {
+		p.Producers = 2
+	}
+	if p.Consumers <= 0 {
+		p.Consumers = 1
+	}
+	if p.ItemsPerProducer <= 0 {
+		p.ItemsPerProducer = 8
+	}
+	if p.Batch <= 0 {
+		p.Batch = 2
+	}
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = 1000
+	}
+}
+
+// RunQueue runs the producer/consumer workload and returns metrics. All
+// produced items are eventually consumed; the run errors if the system
+// wedges or an invariant breaks.
+func RunQueue(sys *System, p QueueParams) (*Metrics, error) {
+	(&p).fill()
+	totalItems := int64(p.Producers * p.ItemsPerProducer)
+	var consumed atomic.Int64
+	var metrics Metrics
+	var firstErr error
+	var errMu sync.Mutex
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < p.Producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(p.Seed + int64(w)))
+			remaining := p.ItemsPerProducer
+			for remaining > 0 {
+				batch := p.Batch
+				if batch > remaining {
+					batch = remaining
+				}
+				vals := make([]int64, batch)
+				for i := range vals {
+					vals[i] = int64(rng.Intn(100))
+				}
+				t0 := time.Now()
+				retries, err := runWithRetry(sys.Manager, false, p.MaxRetries, func(t *tx.Txn) error {
+					for _, v := range vals {
+						if _, err := t.Invoke("queue", adts.OpEnqueue, value.Int(v)); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				metrics.addTransfer(time.Since(t0), retries, err != nil)
+				if err != nil {
+					fail(fmt.Errorf("sim: producer: %w", err))
+					return
+				}
+				remaining -= batch
+			}
+		}(w)
+	}
+	for w := 0; w < p.Consumers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for consumed.Load() < totalItems {
+				t0 := time.Now()
+				var got value.Value
+				retries, err := runWithRetry(sys.Manager, false, p.MaxRetries, func(t *tx.Txn) error {
+					v, err := t.Invoke("queue", adts.OpDequeue, value.Nil())
+					if err != nil {
+						return err
+					}
+					got = v
+					return nil
+				})
+				metrics.addAudit(time.Since(t0), retries, err != nil, false)
+				if err != nil {
+					if errors.Is(err, cc.ErrConflict) {
+						continue // timestamp conflict chains exhausted; retry fresh
+					}
+					fail(fmt.Errorf("sim: consumer: %w", err))
+					return
+				}
+				if got == adts.EmptyQueue {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				consumed.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	metrics.Wall = time.Since(start)
+
+	if got := consumed.Load(); got != totalItems && firstErr == nil {
+		firstErr = fmt.Errorf("sim: consumed %d of %d items", got, totalItems)
+	}
+	if err := sys.Err(); err != nil {
+		return &metrics, err
+	}
+	return &metrics, firstErr
+}

@@ -1,0 +1,200 @@
+package spec_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+// chooser is a tiny nondeterministic spec used to exercise the set-of-states
+// simulation: "flip" moves to state A or B nondeterministically returning
+// ok; "get" reveals the state.
+type chooser struct{}
+
+func (chooser) Name() string     { return "chooser" }
+func (chooser) Init() spec.State { return chooserState("init") }
+
+type chooserState string
+
+func (s chooserState) Key() string { return string(s) }
+
+func (s chooserState) Step(in spec.Invocation) []spec.Outcome {
+	switch in.Op {
+	case "flip":
+		return []spec.Outcome{
+			{Result: value.Unit(), Next: chooserState("A")},
+			{Result: value.Unit(), Next: chooserState("B")},
+		}
+	case "get":
+		return []spec.Outcome{{Result: value.Str(string(s)), Next: s}}
+	default:
+		return nil
+	}
+}
+
+// adder is a deterministic accumulator used by the Replay tests.
+type adder struct{}
+
+func (adder) Name() string     { return "adder" }
+func (adder) Init() spec.State { return adderState(0) }
+
+type adderState int64
+
+func (s adderState) Key() string { return strconv.FormatInt(int64(s), 10) }
+
+func (s adderState) Step(in spec.Invocation) []spec.Outcome {
+	switch in.Op {
+	case "add":
+		n, ok := in.Arg.AsInt()
+		if !ok {
+			return nil
+		}
+		return []spec.Outcome{{Result: value.Int(int64(s) + n), Next: s + adderState(n)}}
+	default:
+		return nil
+	}
+}
+
+func call(op string, arg value.Value, res value.Value) spec.Call {
+	return spec.Call{Inv: spec.Invocation{Op: op, Arg: arg}, Result: res}
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	out, err := spec.Apply(adder{}.Init(), spec.Invocation{Op: "add", Arg: value.Int(5)})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if out.Result != value.Int(5) || out.Next.Key() != "5" {
+		t.Errorf("Apply = %v -> %s", out.Result, out.Next.Key())
+	}
+}
+
+func TestApplyNotPermitted(t *testing.T) {
+	if _, err := spec.Apply(adder{}.Init(), spec.Invocation{Op: "nope"}); err == nil {
+		t.Error("Apply of unknown op succeeded")
+	}
+}
+
+func TestApplyPicksFirstOutcome(t *testing.T) {
+	out, err := spec.Apply(chooser{}.Init(), spec.Invocation{Op: "flip"})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if out.Next.Key() != "A" {
+		t.Errorf("Apply picked %s, want the first outcome A", out.Next.Key())
+	}
+}
+
+func TestReplay(t *testing.T) {
+	calls, st, err := spec.Replay(adder{}, []spec.Invocation{
+		{Op: "add", Arg: value.Int(2)},
+		{Op: "add", Arg: value.Int(3)},
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(calls) != 2 || calls[1].Result != value.Int(5) {
+		t.Errorf("Replay calls = %v", calls)
+	}
+	if st.Key() != "5" {
+		t.Errorf("final state %s, want 5", st.Key())
+	}
+	if _, _, err := spec.Replay(adder{}, []spec.Invocation{{Op: "bogus"}}); err == nil {
+		t.Error("Replay of invalid program succeeded")
+	}
+}
+
+func TestFeasibleDeterministic(t *testing.T) {
+	good := []spec.Call{
+		call("add", value.Int(2), value.Int(2)),
+		call("add", value.Int(3), value.Int(5)),
+	}
+	if !spec.Feasible(adder{}, good) {
+		t.Error("correct trace infeasible")
+	}
+	bad := []spec.Call{
+		call("add", value.Int(2), value.Int(2)),
+		call("add", value.Int(3), value.Int(6)),
+	}
+	if spec.Feasible(adder{}, bad) {
+		t.Error("wrong-result trace feasible")
+	}
+}
+
+func TestFeasibleNondeterministic(t *testing.T) {
+	// flip=ok, get="B" is feasible: the flip may have chosen B.
+	trace := []spec.Call{
+		call("flip", value.Nil(), value.Unit()),
+		call("get", value.Nil(), value.Str("B")),
+	}
+	if !spec.Feasible(chooser{}, trace) {
+		t.Error("nondeterministic branch not explored")
+	}
+	// get="C" is never possible.
+	bad := []spec.Call{
+		call("flip", value.Nil(), value.Unit()),
+		call("get", value.Nil(), value.Str("C")),
+	}
+	if spec.Feasible(chooser{}, bad) {
+		t.Error("impossible result accepted")
+	}
+	// After observing get="A", a second get cannot say "B".
+	contradictory := []spec.Call{
+		call("flip", value.Nil(), value.Unit()),
+		call("get", value.Nil(), value.Str("A")),
+		call("get", value.Nil(), value.Str("B")),
+	}
+	if spec.Feasible(chooser{}, contradictory) {
+		t.Error("contradictory observations accepted")
+	}
+}
+
+func TestFeasibleStatesDeduplicates(t *testing.T) {
+	// Two flips with no observation in between: states {A,B}, not 4.
+	sts := spec.FeasibleStates(chooser{}, []spec.Call{
+		call("flip", value.Nil(), value.Unit()),
+		call("flip", value.Nil(), value.Unit()),
+	})
+	if len(sts) != 2 {
+		t.Errorf("got %d states, want 2 (deduplicated)", len(sts))
+	}
+}
+
+func TestFeasibleFrom(t *testing.T) {
+	initial := []spec.State{chooserState("A"), chooserState("B")}
+	sts := spec.FeasibleFrom(initial, []spec.Call{call("get", value.Nil(), value.Str("A"))})
+	if len(sts) != 1 || sts[0].Key() != "A" {
+		t.Errorf("FeasibleFrom = %v", sts)
+	}
+	if got := spec.FeasibleFrom(initial, []spec.Call{call("get", value.Nil(), value.Str("C"))}); got != nil {
+		t.Errorf("impossible continuation returned states %v", got)
+	}
+}
+
+func TestInvocationAndCallString(t *testing.T) {
+	in := spec.Invocation{Op: "insert", Arg: value.Int(3)}
+	if in.String() != "insert(3)" {
+		t.Errorf("Invocation.String() = %q", in.String())
+	}
+	bare := spec.Invocation{Op: "increment"}
+	if bare.String() != "increment" {
+		t.Errorf("bare Invocation.String() = %q", bare.String())
+	}
+	c := call("insert", value.Int(3), value.Unit())
+	if !strings.Contains(c.String(), "insert(3)") {
+		t.Errorf("Call.String() = %q", c.String())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := spec.Registry{"adder": adder{}}
+	if _, err := r.Lookup("adder"); err != nil {
+		t.Errorf("Lookup(adder): %v", err)
+	}
+	if _, err := r.Lookup("nope"); err == nil {
+		t.Error("Lookup(nope) succeeded")
+	}
+}

@@ -1,0 +1,371 @@
+// Package tx is the transaction runtime: it runs activities (goroutines)
+// against protocol resources, drives two-phase commit across the objects a
+// transaction touched, assigns timestamps according to the local atomicity
+// property in force, records the global event history for offline
+// checking, and retries transactions aborted by deadlock or timestamp
+// conflicts.
+package tx
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"weihl83/internal/cc"
+	"weihl83/internal/histories"
+	"weihl83/internal/recovery"
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+// Property selects the local atomicity property the system runs under; it
+// determines when transactions choose timestamps.
+type Property int
+
+// Properties.
+const (
+	// Dynamic: no timestamps; serialization order emerges from commits
+	// (locking protocols).
+	Dynamic Property = iota + 1
+	// Static: every transaction draws a timestamp at Begin (Reed's
+	// multi-version protocol).
+	Static
+	// Hybrid: updates draw timestamps at commit, read-only transactions at
+	// Begin.
+	Hybrid
+)
+
+// String returns the property's name.
+func (p Property) String() string {
+	switch p {
+	case Dynamic:
+		return "dynamic"
+	case Static:
+		return "static"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return "invalid"
+	}
+}
+
+// TimestampSource issues unique timestamps.
+type TimestampSource interface {
+	Next() histories.Timestamp
+}
+
+// Doomer lets the runtime doom blocked transactions (implemented by
+// locking.Detector); optional.
+type Doomer interface {
+	Register(txn histories.ActivityID, seq int64)
+	Forget(txn histories.ActivityID)
+	Doom(txn histories.ActivityID, reason error)
+}
+
+// callsReporter is implemented by resources that can report a
+// transaction's pending intentions (used for write-ahead logging).
+type callsReporter interface {
+	PendingCalls(txn *cc.TxnInfo) []spec.Call
+}
+
+// Config configures a Manager.
+type Config struct {
+	// Property selects the timestamp regime. Required.
+	Property Property
+	// Clock issues timestamps; required for Static and Hybrid.
+	Clock TimestampSource
+	// Detector, when set, is informed of transaction births and deaths.
+	Detector Doomer
+	// Record enables history recording (see Manager.Sink and
+	// Manager.History).
+	Record bool
+	// WAL, when set, receives intentions and commit records during
+	// two-phase commit, enabling crash-restart via recovery.Restart.
+	WAL *recovery.Disk
+	// Decision, when set, is called with the transaction id after every
+	// prepare has succeeded and before any resource commits — the
+	// coordinator's durable commit point in distributed two-phase commit
+	// (participants that crash afterwards resolve in-doubt transactions
+	// against it).
+	Decision func(txn histories.ActivityID)
+	// MaxRetries bounds automatic retries in Run (default 100).
+	MaxRetries int
+}
+
+// Manager coordinates transactions over a set of registered resources.
+type Manager struct {
+	cfg       Config
+	seq       atomic.Int64
+	mu        sync.Mutex
+	resources map[histories.ObjectID]cc.Resource
+	history   histories.History
+	commitMu  sync.Mutex // serialises hybrid commit-timestamp assignment + installation
+
+	commits atomic.Int64
+	aborts  atomic.Int64
+}
+
+// ErrManagerConfig reports an invalid configuration.
+var ErrManagerConfig = errors.New("tx: invalid manager configuration")
+
+// NewManager validates cfg and returns a Manager.
+func NewManager(cfg Config) (*Manager, error) {
+	switch cfg.Property {
+	case Dynamic, Static, Hybrid:
+	default:
+		return nil, fmt.Errorf("%w: unknown property %d", ErrManagerConfig, cfg.Property)
+	}
+	if cfg.Property != Dynamic && cfg.Clock == nil {
+		return nil, fmt.Errorf("%w: %s atomicity needs a Clock", ErrManagerConfig, cfg.Property)
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 100
+	}
+	return &Manager{
+		cfg:       cfg,
+		resources: make(map[histories.ObjectID]cc.Resource),
+	}, nil
+}
+
+// Sink returns the event sink resources should be constructed with (nil
+// when recording is disabled).
+func (m *Manager) Sink() cc.EventSink {
+	if !m.cfg.Record {
+		return nil
+	}
+	return func(e histories.Event) {
+		m.mu.Lock()
+		m.history = append(m.history, e)
+		m.mu.Unlock()
+	}
+}
+
+// Register adds a resource. Registering two resources with one object id is
+// a configuration error.
+func (m *Manager) Register(r cc.Resource) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.resources[r.ObjectID()]; dup {
+		return fmt.Errorf("%w: duplicate resource %s", ErrManagerConfig, r.ObjectID())
+	}
+	m.resources[r.ObjectID()] = r
+	return nil
+}
+
+// History returns a copy of the recorded history.
+func (m *Manager) History() histories.History {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.history.Clone()
+}
+
+// Stats returns (committed, aborted) transaction counts.
+func (m *Manager) Stats() (commits, aborts int64) {
+	return m.commits.Load(), m.aborts.Load()
+}
+
+// Status of a transaction.
+type Status int
+
+// Transaction statuses.
+const (
+	StatusActive Status = iota + 1
+	StatusCommitted
+	StatusAborted
+)
+
+// Txn is one transaction (activity). Txns are not safe for concurrent use
+// by multiple goroutines: an activity is a sequential process (§2).
+type Txn struct {
+	m      *Manager
+	info   cc.TxnInfo
+	joined []cc.Resource
+	status Status
+}
+
+// Begin starts an update transaction.
+func (m *Manager) Begin() *Txn { return m.begin(false) }
+
+// BeginReadOnly starts a read-only transaction. Under hybrid atomicity it
+// draws its snapshot timestamp now; under the other properties it is an
+// ordinary transaction that happens to read.
+func (m *Manager) BeginReadOnly() *Txn { return m.begin(true) }
+
+func (m *Manager) begin(readOnly bool) *Txn {
+	seq := m.seq.Add(1)
+	t := &Txn{
+		m: m,
+		info: cc.TxnInfo{
+			ID:  histories.ActivityID(fmt.Sprintf("t%d", seq)),
+			Seq: seq,
+		},
+		status: StatusActive,
+	}
+	switch m.cfg.Property {
+	case Static:
+		t.info.TS = m.cfg.Clock.Next()
+	case Hybrid:
+		if readOnly {
+			t.info.TS = m.cfg.Clock.Next()
+			t.info.ReadOnly = true
+		}
+	}
+	if m.cfg.Detector != nil {
+		m.cfg.Detector.Register(t.info.ID, seq)
+	}
+	return t
+}
+
+// ID returns the activity identifier under which the transaction's events
+// are recorded.
+func (t *Txn) ID() histories.ActivityID { return t.info.ID }
+
+// Timestamp returns the transaction's a-priori timestamp (zero if none).
+func (t *Txn) Timestamp() histories.Timestamp { return t.info.TS }
+
+// Status returns the transaction's status.
+func (t *Txn) Status() Status { return t.status }
+
+// ErrTxnDone reports use of a finished transaction.
+var ErrTxnDone = errors.New("tx: transaction already committed or aborted")
+
+// ErrNoResource reports an invocation on an unregistered object.
+var ErrNoResource = errors.New("tx: no resource registered for object")
+
+// Invoke executes op(arg) on the named object. On a protocol error the
+// caller must Abort (or use Manager.Run, which does so automatically).
+func (t *Txn) Invoke(obj histories.ObjectID, op string, arg value.Value) (value.Value, error) {
+	if t.status != StatusActive {
+		return value.Nil(), ErrTxnDone
+	}
+	t.m.mu.Lock()
+	r, ok := t.m.resources[obj]
+	t.m.mu.Unlock()
+	if !ok {
+		return value.Nil(), fmt.Errorf("%w: %s", ErrNoResource, obj)
+	}
+	t.join(r)
+	return r.Invoke(&t.info, spec.Invocation{Op: op, Arg: arg})
+}
+
+func (t *Txn) join(r cc.Resource) {
+	for _, j := range t.joined {
+		if j == r {
+			return
+		}
+	}
+	t.joined = append(t.joined, r)
+}
+
+// Commit drives two-phase commit over the joined resources. On a prepare
+// failure the transaction is aborted and the error returned.
+func (t *Txn) Commit() error {
+	if t.status != StatusActive {
+		return ErrTxnDone
+	}
+	for _, r := range t.joined {
+		if err := r.Prepare(&t.info); err != nil {
+			t.Abort()
+			return fmt.Errorf("tx: prepare failed: %w", err)
+		}
+	}
+	var cts histories.Timestamp
+	switch {
+	case t.m.cfg.Property == Hybrid && !t.info.ReadOnly:
+		// Serialise timestamp assignment and installation so version logs
+		// grow in timestamp order and the timestamp order stays consistent
+		// with precedes (§4.3.3).
+		t.m.commitMu.Lock()
+		defer t.m.commitMu.Unlock()
+		cts = t.m.cfg.Clock.Next()
+	case t.m.cfg.WAL != nil:
+		// Serialise the whole commit section so the write-ahead log's
+		// commit order matches the order effects are installed at the
+		// objects; otherwise a crash-restart replay (which follows log
+		// order) could reconstruct a different — though individually
+		// valid — serialization than the one pre-crash transactions
+		// observed.
+		t.m.commitMu.Lock()
+		defer t.m.commitMu.Unlock()
+	}
+	if disk := t.m.cfg.WAL; disk != nil {
+		for _, r := range t.joined {
+			if cr, ok := r.(callsReporter); ok {
+				disk.Append(recovery.Record{
+					Kind:   recovery.RecordIntentions,
+					Txn:    t.info.ID,
+					Object: r.ObjectID(),
+					Calls:  cr.PendingCalls(&t.info),
+				})
+			}
+		}
+		disk.Append(recovery.Record{Kind: recovery.RecordCommit, Txn: t.info.ID, TS: cts})
+	}
+	if t.m.cfg.Decision != nil {
+		t.m.cfg.Decision(t.info.ID)
+	}
+	for _, r := range t.joined {
+		r.Commit(&t.info, cts)
+	}
+	t.finish(StatusCommitted)
+	t.m.commits.Add(1)
+	return nil
+}
+
+// Abort aborts the transaction at every joined resource.
+func (t *Txn) Abort() {
+	if t.status != StatusActive {
+		return
+	}
+	if disk := t.m.cfg.WAL; disk != nil {
+		disk.Append(recovery.Record{Kind: recovery.RecordAbort, Txn: t.info.ID})
+	}
+	for _, r := range t.joined {
+		r.Abort(&t.info)
+	}
+	t.finish(StatusAborted)
+	t.m.aborts.Add(1)
+}
+
+func (t *Txn) finish(s Status) {
+	t.status = s
+	if t.m.cfg.Detector != nil {
+		t.m.cfg.Detector.Forget(t.info.ID)
+	}
+}
+
+// Run executes fn inside a transaction with automatic retry: if fn or
+// Commit fails with a retryable protocol error (deadlock, timeout,
+// timestamp conflict), the transaction is aborted and fn re-run in a fresh
+// one (a new activity). Non-retryable errors abort and return. fn may
+// return cc-wrapped errors from Invoke directly.
+func (m *Manager) Run(fn func(t *Txn) error) error {
+	return m.run(fn, false)
+}
+
+// RunReadOnly is Run with read-only transactions.
+func (m *Manager) RunReadOnly(fn func(t *Txn) error) error {
+	return m.run(fn, true)
+}
+
+func (m *Manager) run(fn func(t *Txn) error, readOnly bool) error {
+	var lastErr error
+	for attempt := 0; attempt < m.cfg.MaxRetries; attempt++ {
+		t := m.begin(readOnly)
+		err := fn(t)
+		if err == nil {
+			err = t.Commit()
+			if err == nil {
+				return nil
+			}
+		} else {
+			t.Abort()
+		}
+		if !cc.Retryable(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("tx: retries exhausted: %w", lastErr)
+}

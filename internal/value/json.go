@@ -1,0 +1,70 @@
+package value
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonValue is the wire form of a Value. Exactly one payload field is set,
+// selected by Kind.
+type jsonValue struct {
+	Kind string  `json:"kind"`
+	Int  *int64  `json:"int,omitempty"`
+	Int2 *int64  `json:"int2,omitempty"`
+	Bool *bool   `json:"bool,omitempty"`
+	Str  *string `json:"str,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (v Value) MarshalJSON() ([]byte, error) {
+	jv := jsonValue{Kind: v.kind.String()}
+	switch v.kind {
+	case KindInt:
+		jv.Int = &v.i
+	case KindBool:
+		jv.Bool = &v.b
+	case KindString:
+		jv.Str = &v.s
+	case KindPair:
+		jv.Int = &v.i
+		jv.Int2 = &v.j
+	}
+	return json.Marshal(jv)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var jv jsonValue
+	if err := json.Unmarshal(data, &jv); err != nil {
+		return fmt.Errorf("value: decode: %w", err)
+	}
+	switch jv.Kind {
+	case "nil", "":
+		*v = Nil()
+	case "unit":
+		*v = Unit()
+	case "int":
+		if jv.Int == nil {
+			return fmt.Errorf("value: int value missing payload")
+		}
+		*v = Int(*jv.Int)
+	case "bool":
+		if jv.Bool == nil {
+			return fmt.Errorf("value: bool value missing payload")
+		}
+		*v = Bool(*jv.Bool)
+	case "string":
+		if jv.Str == nil {
+			return fmt.Errorf("value: string value missing payload")
+		}
+		*v = Str(*jv.Str)
+	case "pair":
+		if jv.Int == nil || jv.Int2 == nil {
+			return fmt.Errorf("value: pair value missing payload")
+		}
+		*v = Pair(*jv.Int, *jv.Int2)
+	default:
+		return fmt.Errorf("value: unknown kind %q", jv.Kind)
+	}
+	return nil
+}

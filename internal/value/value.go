@@ -1,0 +1,182 @@
+// Package value defines the Value type used for operation arguments and
+// results throughout the library.
+//
+// The paper's model treats operation arguments and results abstractly; all
+// that matters is equality of events (an activity's view of a history is the
+// exact subsequence of its events, results included). Value is therefore a
+// small comparable tagged union: two Values are equal exactly when Go's ==
+// says so, which lets Events be compared and used as map keys.
+package value
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates the variants of a Value.
+type Kind int
+
+// Value kinds. KindNil is deliberately the zero value so that the zero Value
+// is the nil value.
+const (
+	KindNil Kind = iota // no value (e.g. an invocation with no arguments)
+	KindUnit
+	KindInt
+	KindBool
+	KindString
+	KindPair
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindNil:
+		return "nil"
+	case KindUnit:
+		return "unit"
+	case KindInt:
+		return "int"
+	case KindBool:
+		return "bool"
+	case KindString:
+		return "string"
+	case KindPair:
+		return "pair"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a comparable tagged union of the primitive values that operations
+// consume and produce: nothing, the unit result "ok", integers, booleans,
+// strings, and pairs of integers (used for two-argument operations such as a
+// transfer between accounts).
+//
+// The zero Value is Nil. Values are comparable with == and usable as map
+// keys.
+type Value struct {
+	kind Kind
+	i    int64
+	j    int64
+	b    bool
+	s    string
+}
+
+// Nil returns the nil Value, representing "no value".
+func Nil() Value { return Value{} }
+
+// Unit returns the unit Value, conventionally printed as "ok". The paper
+// writes the normal termination of a mutating operation as <ok,x,a>.
+func Unit() Value { return Value{kind: KindUnit} }
+
+// Int returns an integer Value.
+func Int(n int64) Value { return Value{kind: KindInt, i: n} }
+
+// Bool returns a boolean Value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Str returns a string Value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Pair returns a pair-of-integers Value.
+func Pair(a, b int64) Value { return Value{kind: KindPair, i: a, j: b} }
+
+// True and False are the boolean results written <true,x,a> and <false,x,a>
+// in the paper.
+var (
+	TrueVal  = Bool(true)
+	FalseVal = Bool(false)
+)
+
+// Kind reports the variant of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNil reports whether v is the nil Value.
+func (v Value) IsNil() bool { return v.kind == KindNil }
+
+// AsInt returns the integer payload. It returns 0, false if v is not an
+// integer.
+func (v Value) AsInt() (int64, bool) {
+	if v.kind != KindInt {
+		return 0, false
+	}
+	return v.i, true
+}
+
+// MustInt returns the integer payload, or 0 if v is not an integer. It is a
+// convenience for callers that have already validated the kind.
+func (v Value) MustInt() int64 {
+	n, _ := v.AsInt()
+	return n
+}
+
+// AsBool returns the boolean payload. It returns false, false if v is not a
+// boolean.
+func (v Value) AsBool() (bool, bool) {
+	if v.kind != KindBool {
+		return false, false
+	}
+	return v.b, true
+}
+
+// AsString returns the string payload. It returns "", false if v is not a
+// string.
+func (v Value) AsString() (string, bool) {
+	if v.kind != KindString {
+		return "", false
+	}
+	return v.s, true
+}
+
+// AsPair returns the pair payload. It returns 0, 0, false if v is not a
+// pair.
+func (v Value) AsPair() (int64, int64, bool) {
+	if v.kind != KindPair {
+		return 0, 0, false
+	}
+	return v.i, v.j, true
+}
+
+// String renders v in the paper's notation: ok, true, false, integers, and
+// quoted strings.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNil:
+		return ""
+	case KindUnit:
+		return "ok"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindPair:
+		return fmt.Sprintf("(%d,%d)", v.i, v.j)
+	default:
+		return "invalid"
+	}
+}
+
+// Less imposes a total order on Values (by kind, then payload). It is used
+// to produce deterministic iteration orders, not for any semantic purpose.
+func Less(a, b Value) bool {
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	switch a.kind {
+	case KindInt:
+		return a.i < b.i
+	case KindBool:
+		return !a.b && b.b
+	case KindString:
+		return a.s < b.s
+	case KindPair:
+		if a.i != b.i {
+			return a.i < b.i
+		}
+		return a.j < b.j
+	default:
+		return false
+	}
+}

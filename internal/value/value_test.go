@@ -1,0 +1,178 @@
+package value
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{KindNil, "nil"},
+		{KindUnit, "unit"},
+		{KindInt, "int"},
+		{KindBool, "bool"},
+		{KindString, "string"},
+		{KindPair, "pair"},
+		{Kind(99), "invalid"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Nil().IsNil() {
+		t.Error("Nil().IsNil() = false")
+	}
+	if Unit().Kind() != KindUnit {
+		t.Error("Unit has wrong kind")
+	}
+	if n, ok := Int(42).AsInt(); !ok || n != 42 {
+		t.Errorf("Int(42).AsInt() = %d, %t", n, ok)
+	}
+	if b, ok := Bool(true).AsBool(); !ok || !b {
+		t.Errorf("Bool(true).AsBool() = %t, %t", b, ok)
+	}
+	if s, ok := Str("hi").AsString(); !ok || s != "hi" {
+		t.Errorf("Str(hi).AsString() = %q, %t", s, ok)
+	}
+	if a, b, ok := Pair(1, 2).AsPair(); !ok || a != 1 || b != 2 {
+		t.Errorf("Pair(1,2).AsPair() = %d, %d, %t", a, b, ok)
+	}
+}
+
+func TestAccessorKindMismatch(t *testing.T) {
+	if _, ok := Bool(true).AsInt(); ok {
+		t.Error("Bool.AsInt() succeeded")
+	}
+	if _, ok := Int(1).AsBool(); ok {
+		t.Error("Int.AsBool() succeeded")
+	}
+	if _, ok := Int(1).AsString(); ok {
+		t.Error("Int.AsString() succeeded")
+	}
+	if _, _, ok := Int(1).AsPair(); ok {
+		t.Error("Int.AsPair() succeeded")
+	}
+	if Int(1).MustInt() != 1 {
+		t.Error("MustInt on Int failed")
+	}
+	if Unit().MustInt() != 0 {
+		t.Error("MustInt on Unit != 0")
+	}
+}
+
+func TestEquality(t *testing.T) {
+	if Int(3) != Int(3) {
+		t.Error("Int(3) != Int(3)")
+	}
+	if Int(3) == Int(4) {
+		t.Error("Int(3) == Int(4)")
+	}
+	if Int(1) == Bool(true) {
+		t.Error("Int(1) == Bool(true)")
+	}
+	if Unit() == Nil() {
+		t.Error("Unit() == Nil()")
+	}
+	if Pair(1, 2) != Pair(1, 2) {
+		t.Error("Pair(1,2) != Pair(1,2)")
+	}
+	if Pair(1, 2) == Pair(2, 1) {
+		t.Error("Pair(1,2) == Pair(2,1)")
+	}
+}
+
+func TestString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Nil(), ""},
+		{Unit(), "ok"},
+		{Int(-7), "-7"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Str("x"), `"x"`},
+		{Pair(3, 4), "(3,4)"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("%v.String() = %q, want %q", tt.v.Kind(), got, tt.want)
+		}
+	}
+}
+
+func TestLessIsStrictWeakOrder(t *testing.T) {
+	vals := []Value{Nil(), Unit(), Int(-1), Int(0), Int(5), Bool(false), Bool(true), Str("a"), Str("b"), Pair(1, 1), Pair(1, 2), Pair(2, 0)}
+	for _, a := range vals {
+		if Less(a, a) {
+			t.Errorf("Less(%v,%v) = true (not irreflexive)", a, a)
+		}
+		for _, b := range vals {
+			if a == b {
+				continue
+			}
+			if Less(a, b) == Less(b, a) {
+				t.Errorf("Less not antisymmetric/total for %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	vals := []Value{Nil(), Unit(), Int(42), Int(-3), Bool(true), Bool(false), Str("hello"), Str(""), Pair(7, -8)}
+	for _, v := range vals {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var got Value
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if got != v {
+			t.Errorf("round trip %v -> %s -> %v", v, data, got)
+		}
+	}
+}
+
+func TestJSONRoundTripQuick(t *testing.T) {
+	f := func(n int64) bool {
+		data, err := json.Marshal(Int(n))
+		if err != nil {
+			return false
+		}
+		var got Value
+		if err := json.Unmarshal(data, &got); err != nil {
+			return false
+		}
+		return got == Int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONUnmarshalErrors(t *testing.T) {
+	bad := []string{
+		`{"kind":"wat"}`,
+		`{"kind":"int"}`,
+		`{"kind":"bool"}`,
+		`{"kind":"string"}`,
+		`{"kind":"pair","int":1}`,
+		`[1,2]`,
+	}
+	for _, s := range bad {
+		var v Value
+		if err := json.Unmarshal([]byte(s), &v); err == nil {
+			t.Errorf("unmarshal %q succeeded, want error", s)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package weihl83
+
+import (
+	"weihl83/internal/adts"
+	"weihl83/internal/core"
+	"weihl83/internal/histories"
+	"weihl83/internal/value"
+)
+
+// Value constructors, re-exported for callers of Invoke.
+var (
+	// Nil is the absent value (operations with no argument).
+	Nil = value.Nil
+	// Unit is the "ok" result of mutators.
+	Unit = value.Unit
+	// Int builds an integer value.
+	Int = value.Int
+	// Bool builds a boolean value.
+	Bool = value.Bool
+	// Str builds a string value.
+	Str = value.Str
+	// Pair builds a pair-of-integers value.
+	Pair = value.Pair
+)
+
+// Built-in abstract data types.
+var (
+	// IntSet is the paper's set-of-integers object (§2): insert, delete,
+	// member, size, and the nondeterministic pick.
+	IntSet = adts.IntSet
+	// Counter is the §4.1 optimality-proof counter: increment returns the
+	// running count; read observes it.
+	Counter = adts.Counter
+	// Account is the §5.1 bank account: deposit, withdraw (ok or
+	// insufficient_funds), balance.
+	Account = adts.Account
+	// Queue is the §5.1 FIFO queue: enqueue, dequeue.
+	Queue = adts.Queue
+	// SemiQueue is the nondeterministic semiqueue of [Weihl & Liskov 83]
+	// (cited in §1): dequeue may return any queued element, which buys
+	// concurrency a FIFO queue cannot have.
+	SemiQueue = adts.SemiQueue
+	// Register is a classical read/write register.
+	Register = adts.Register
+	// Directory is an integer-keyed directory: bind, unbind, lookup.
+	Directory = adts.Directory
+	// SeatMap is a reservation seat map: reserve, release, free.
+	SeatMap = adts.SeatMap
+)
+
+// Operation names of the built-in types, re-exported so call sites read
+// naturally (txn.Invoke("acct", weihl83.OpDeposit, weihl83.Int(10))).
+const (
+	OpInsert    = adts.OpInsert
+	OpDelete    = adts.OpDelete
+	OpMember    = adts.OpMember
+	OpSize      = adts.OpSize
+	OpPick      = adts.OpPick
+	OpIncrement = adts.OpIncrement
+	OpRead      = adts.OpRead
+	OpDeposit   = adts.OpDeposit
+	OpWithdraw  = adts.OpWithdraw
+	OpBalance   = adts.OpBalance
+	OpEnqueue   = adts.OpEnqueue
+	OpDequeue   = adts.OpDequeue
+	OpRegRead   = adts.OpRegRead
+	OpRegWrite  = adts.OpRegWrite
+	OpBind      = adts.OpBind
+	OpUnbind    = adts.OpUnbind
+	OpLookup    = adts.OpLookup
+	OpReserve   = adts.OpReserve
+	OpRelease   = adts.OpRelease
+	OpFree      = adts.OpFree
+)
+
+// Distinguished results of the built-in types.
+var (
+	// InsufficientFunds is withdraw's abnormal termination.
+	InsufficientFunds = adts.InsufficientFunds
+	// EmptyQueue is dequeue's result on an empty queue.
+	EmptyQueue = adts.EmptyQueue
+	// Unbound is lookup's result for an unbound key.
+	Unbound = adts.Unbound
+	// Taken is reserve's result for an occupied seat.
+	Taken = adts.Taken
+)
+
+// ParseHistory reads a history in the paper's angle-bracket notation (see
+// internal/histories.Parse for the grammar).
+func ParseHistory(text string) (History, error) { return histories.Parse(text) }
+
+// NewChecker returns an empty offline checker; register each object's
+// serial specification before checking.
+func NewChecker() *Checker { return core.NewChecker() }

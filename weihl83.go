@@ -1,0 +1,322 @@
+// Package weihl83 is a library of atomic abstract data types with
+// data-dependent concurrency control and recovery, reproducing
+//
+//	William E. Weihl, "Data-dependent Concurrency Control and Recovery
+//	(Extended Abstract)", PODC 1983.
+//
+// A System hosts a set of typed objects (sets, counters, bank accounts,
+// FIFO queues, registers, directories, seat maps — or any user-defined
+// serial specification) under one of the paper's three optimal local
+// atomicity properties:
+//
+//   - Dynamic atomicity — commutativity-based locking with intentions-list
+//     recovery. Conflict granularity is selectable per object, from
+//     classical read/write locks down to state-based tests that let two
+//     bank withdrawals run concurrently when the balance covers both
+//     (§5.1 of the paper).
+//   - Static atomicity — Reed's multi-version timestamp protocol
+//     generalised to user-defined operations.
+//   - Hybrid atomicity — locking for updates with commit-time timestamps;
+//     read-only transactions (audits) read timestamped snapshots, never
+//     block updates and never abort.
+//
+// Transactions are goroutine-friendly: Begin/Invoke/Commit/Abort, or the
+// automatically retrying Run/RunReadOnly. A System can record its event
+// history and check it offline against the paper's formal definitions
+// (Checker), which is also how the library's own test suite validates the
+// protocols.
+package weihl83
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/cc"
+	"weihl83/internal/clock"
+	"weihl83/internal/core"
+	"weihl83/internal/histories"
+	"weihl83/internal/hybridcc"
+	"weihl83/internal/locking"
+	"weihl83/internal/mvcc"
+	"weihl83/internal/recovery"
+	"weihl83/internal/spec"
+	"weihl83/internal/tx"
+	"weihl83/internal/value"
+)
+
+// Re-exported fundamental types. These aliases give the public API one
+// vocabulary while the implementation lives in internal packages.
+type (
+	// Value is the type of operation arguments and results.
+	Value = value.Value
+	// History is a recorded event sequence in the paper's model.
+	History = histories.History
+	// Event is one history event.
+	Event = histories.Event
+	// ObjectID names an object.
+	ObjectID = histories.ObjectID
+	// ActivityID names a transaction (activity).
+	ActivityID = histories.ActivityID
+	// Timestamp is a logical timestamp.
+	Timestamp = histories.Timestamp
+	// ADT bundles a serial specification with its commutativity structure.
+	ADT = adts.Type
+	// SerialSpec is a user-definable serial specification.
+	SerialSpec = spec.SerialSpec
+	// Invocation is an operation invocation.
+	Invocation = spec.Invocation
+	// Txn is a transaction handle. A Txn is a sequential activity; it must
+	// not be shared between goroutines.
+	Txn = tx.Txn
+	// Checker decides the paper's atomicity properties offline.
+	Checker = core.Checker
+	// Disk is the stable-storage abstraction used for write-ahead logging
+	// and crash-restart simulation.
+	Disk = recovery.Disk
+)
+
+// Property selects the local atomicity property a System enforces.
+type Property = tx.Property
+
+// Properties.
+const (
+	// Dynamic atomicity (locking protocols).
+	Dynamic = tx.Dynamic
+	// Static atomicity (multi-version timestamp ordering).
+	Static = tx.Static
+	// Hybrid atomicity (locking updates + snapshot audits).
+	Hybrid = tx.Hybrid
+)
+
+// Guard selects the conflict granularity of a dynamic-atomicity object.
+type Guard int
+
+// Guards, coarsest first.
+const (
+	// GuardRW: classical read/write two-phase locking.
+	GuardRW Guard = iota + 1
+	// GuardNameOnly: commutativity tables over operation names.
+	GuardNameOnly
+	// GuardCommut: argument-aware commutativity tables (the default).
+	GuardCommut
+	// GuardEscrow: constant-time state-based tests (bank accounts).
+	GuardEscrow
+	// GuardExact: exhaustive state-based dynamic atomicity.
+	GuardExact
+)
+
+// Options configures a System.
+type Options struct {
+	// Property selects the local atomicity property. Required.
+	Property Property
+	// Record enables history recording for offline checking.
+	Record bool
+	// WaitTimeout replaces deadlock detection with bounded waits.
+	WaitTimeout time.Duration
+	// MaxRetries bounds Run's automatic retries (default 100).
+	MaxRetries int
+	// WAL, when non-nil, receives intentions and commit records, enabling
+	// Restart.
+	WAL *Disk
+}
+
+// System is a collection of atomic objects plus a transaction manager.
+type System struct {
+	opts     Options
+	manager  *tx.Manager
+	detector *locking.Detector
+	clock    *clock.Source
+	specs    map[histories.ObjectID]spec.SerialSpec
+	objects  map[histories.ObjectID]cc.Resource
+}
+
+// NewSystem creates an empty system.
+func NewSystem(opts Options) (*System, error) {
+	s := &System{
+		opts:    opts,
+		clock:   &clock.Source{},
+		specs:   make(map[histories.ObjectID]spec.SerialSpec),
+		objects: make(map[histories.ObjectID]cc.Resource),
+	}
+	var doomer tx.Doomer
+	if opts.WaitTimeout <= 0 {
+		s.detector = locking.NewDetector()
+		doomer = s.detector
+	}
+	m, err := tx.NewManager(tx.Config{
+		Property:   opts.Property,
+		Clock:      s.clock,
+		Detector:   doomer,
+		Record:     opts.Record,
+		MaxRetries: opts.MaxRetries,
+		WAL:        opts.WAL,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("weihl83: %w", err)
+	}
+	s.manager = m
+	return s, nil
+}
+
+// ObjectOption customises one object.
+type ObjectOption func(*objectConfig)
+
+type objectConfig struct {
+	guard   Guard
+	undoLog bool
+}
+
+// WithGuard selects the conflict granularity (dynamic and hybrid systems).
+func WithGuard(g Guard) ObjectOption {
+	return func(c *objectConfig) { c.guard = g }
+}
+
+// WithUndoLog selects update-in-place undo-log recovery instead of
+// intentions lists (dynamic systems; requires an invertible type and a
+// table or read/write guard).
+func WithUndoLog() ObjectOption {
+	return func(c *objectConfig) { c.undoLog = true }
+}
+
+// AddObject adds a typed object to the system under the given name.
+func (s *System) AddObject(id ObjectID, t ADT, opts ...ObjectOption) error {
+	if _, dup := s.objects[id]; dup {
+		return fmt.Errorf("weihl83: duplicate object %q", id)
+	}
+	cfg := objectConfig{guard: GuardCommut}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var r cc.Resource
+	var err error
+	switch s.opts.Property {
+	case Dynamic:
+		g, gerr := buildGuard(cfg.guard, t)
+		if gerr != nil {
+			return gerr
+		}
+		r, err = locking.New(locking.Config{
+			ID:            id,
+			Type:          t,
+			Guard:         g,
+			Detector:      s.detector,
+			WaitTimeout:   s.opts.WaitTimeout,
+			Sink:          s.manager.Sink(),
+			UpdateInPlace: cfg.undoLog,
+		})
+	case Static:
+		r, err = mvcc.New(mvcc.Config{ID: id, Spec: t.Spec, Sink: s.manager.Sink()})
+	case Hybrid:
+		if s.detector == nil {
+			return errors.New("weihl83: hybrid systems require deadlock detection (no WaitTimeout)")
+		}
+		var g locking.Guard
+		g, err = buildGuard(cfg.guard, t)
+		if err != nil {
+			return err
+		}
+		r, err = hybridcc.New(hybridcc.Config{
+			ID:       id,
+			Type:     t,
+			Guard:    g,
+			Detector: s.detector,
+			Sink:     s.manager.Sink(),
+		})
+	default:
+		return fmt.Errorf("weihl83: unknown property %d", s.opts.Property)
+	}
+	if err != nil {
+		return fmt.Errorf("weihl83: object %q: %w", id, err)
+	}
+	if err := s.manager.Register(r); err != nil {
+		return fmt.Errorf("weihl83: object %q: %w", id, err)
+	}
+	s.objects[id] = r
+	s.specs[id] = t.Spec
+	return nil
+}
+
+func buildGuard(g Guard, t ADT) (locking.Guard, error) {
+	switch g {
+	case GuardRW:
+		return locking.RWGuard{IsWrite: t.IsWrite}, nil
+	case GuardNameOnly:
+		return locking.TableGuard{Conflicts: t.ConflictsNameOnly}, nil
+	case GuardCommut:
+		return locking.TableGuard{Conflicts: t.Conflicts}, nil
+	case GuardEscrow:
+		return locking.EscrowGuard{}, nil
+	case GuardExact:
+		return locking.ExactGuard{Spec: t.Spec}, nil
+	default:
+		return nil, fmt.Errorf("weihl83: unknown guard %d", g)
+	}
+}
+
+// Begin starts an update transaction.
+func (s *System) Begin() *Txn { return s.manager.Begin() }
+
+// BeginReadOnly starts a read-only transaction (a hybrid-atomicity audit).
+func (s *System) BeginReadOnly() *Txn { return s.manager.BeginReadOnly() }
+
+// Run executes fn in a transaction with automatic retry on deadlock or
+// timestamp conflicts.
+func (s *System) Run(fn func(*Txn) error) error { return s.manager.Run(fn) }
+
+// RunReadOnly is Run with a read-only transaction.
+func (s *System) RunReadOnly(fn func(*Txn) error) error { return s.manager.RunReadOnly(fn) }
+
+// History returns the recorded history (empty unless Options.Record).
+func (s *System) History() History { return s.manager.History() }
+
+// Stats returns (committed, aborted) transaction counts.
+func (s *System) Stats() (commits, aborts int64) { return s.manager.Stats() }
+
+// Checker returns an offline checker pre-registered with the specs of
+// every object in the system.
+func (s *System) Checker() *Checker {
+	ck := core.NewChecker()
+	for id, sp := range s.specs {
+		ck.Register(id, sp)
+	}
+	return ck
+}
+
+// Err surfaces internal protocol invariant violations (always nil in
+// correct operation; the test suite asserts it).
+func (s *System) Err() error {
+	for _, o := range s.objects {
+		type errer interface{ Err() error }
+		if e, ok := o.(errer); ok {
+			if err := e.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Restart rebuilds the committed state of every object from the
+// write-ahead log (Options.WAL) alone, as after a crash: effects of
+// transactions without commit records vanish. It returns the recovered
+// state keys by object.
+func (s *System) Restart() (map[ObjectID]string, error) {
+	if s.opts.WAL == nil {
+		return nil, errors.New("weihl83: system has no write-ahead log")
+	}
+	states, err := recovery.Restart(s.opts.WAL, s.specs)
+	if err != nil {
+		return nil, fmt.Errorf("weihl83: restart: %w", err)
+	}
+	out := make(map[ObjectID]string, len(states))
+	for id, st := range states {
+		out[id] = st.Key()
+	}
+	return out, nil
+}
+
+// Retryable reports whether err is a transient protocol abort (deadlock,
+// timeout, timestamp conflict) that Run would retry.
+func Retryable(err error) bool { return cc.Retryable(err) }
