@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race chaos check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: vet, build, and the full suite under the race
+# detector.
+check: vet build race
+
+# chaos runs the fault-injection harness across a batch of seeds under
+# every atomicity property.
+chaos:
+	$(GO) run ./cmd/chaos -property dynamic -runs 10
+	$(GO) run ./cmd/chaos -property static -runs 10
+	$(GO) run ./cmd/chaos -property hybrid -runs 10
+
+clean:
+	$(GO) clean ./...

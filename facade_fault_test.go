@@ -1,0 +1,65 @@
+package weihl83_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"weihl83"
+)
+
+// TestFacadeInjectedDiskFaults drives a WAL-backed system whose disk fails
+// and tears appends under an injector: transactions ride through the
+// retryable write failures, and the surviving log restarts to the
+// committed state.
+func TestFacadeInjectedDiskFaults(t *testing.T) {
+	disk := &weihl83.Disk{}
+	inj := weihl83.NewInjector(3)
+	inj.Enable(weihl83.DiskAppendFail, weihl83.FaultRule{Prob: 0.2})
+	inj.Enable(weihl83.DiskAppendTorn, weihl83.FaultRule{Prob: 0.2})
+	disk.SetInjector(inj)
+	sys := newDynamic(t, weihl83.Options{Property: weihl83.Dynamic, WAL: disk})
+	if err := sys.AddObject("a", weihl83.Account()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := sys.RunCtx(context.Background(), func(txn *weihl83.Txn) error {
+			_, err := txn.Invoke("a", weihl83.OpDeposit, weihl83.Int(1))
+			return err
+		}); err != nil {
+			t.Fatalf("deposit %d: %v", i, err)
+		}
+	}
+	states, err := sys.Restart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states["a"] != "10" {
+		t.Errorf("restarted balance = %s, want 10 (faults: %s)", states["a"], inj.Summary())
+	}
+	if fired := inj.Stats(); fired[weihl83.DiskAppendFail][1] == 0 && fired[weihl83.DiskAppendTorn][1] == 0 {
+		t.Error("no disk fault fired; the run exercised nothing")
+	}
+}
+
+// TestFacadeRunCtxCancelled: the facade's context-aware Run surfaces the
+// context error without executing the body.
+func TestFacadeRunCtxCancelled(t *testing.T) {
+	sys := newDynamic(t, weihl83.Options{Property: weihl83.Dynamic})
+	if err := sys.AddObject("a", weihl83.Account()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := sys.RunCtx(ctx, func(txn *weihl83.Txn) error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx = %v, want Canceled", err)
+	}
+	if calls != 0 {
+		t.Errorf("body ran %d times under a cancelled context", calls)
+	}
+	if err := sys.RunReadOnlyCtx(ctx, func(txn *weihl83.Txn) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunReadOnlyCtx = %v, want Canceled", err)
+	}
+}

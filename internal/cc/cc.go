@@ -34,6 +34,12 @@ var (
 	ErrInvalidOp = errors.New("invocation not permitted by specification")
 	// ErrUnknownTxn: the resource has no record of the transaction.
 	ErrUnknownTxn = errors.New("unknown transaction at resource")
+	// ErrUnavailable: a resource the transaction needs is temporarily
+	// unreachable (crashed site, failed stable-storage write, exhausted
+	// retransmissions). The transaction must abort but may be retried:
+	// outages are transient in the fault model, so workloads degrade to
+	// retries instead of surfacing hard errors.
+	ErrUnavailable = errors.New("resource temporarily unavailable")
 )
 
 // Retryable reports whether err is a transient protocol abort: the caller
@@ -42,7 +48,8 @@ func Retryable(err error) bool {
 	return errors.Is(err, ErrDeadlock) ||
 		errors.Is(err, ErrTimeout) ||
 		errors.Is(err, ErrDoomed) ||
-		errors.Is(err, ErrConflict)
+		errors.Is(err, ErrConflict) ||
+		errors.Is(err, ErrUnavailable)
 }
 
 // TxnInfo identifies a transaction to the protocol objects.

@@ -1,0 +1,473 @@
+// Package chaos is the randomized fault-injection harness: it runs
+// bank/queue workloads against a full system — distributed two-site
+// two-phase commit for dynamic atomicity, write-ahead-logged local systems
+// for static and hybrid atomicity — while a seeded fault.Injector drops,
+// duplicates and delays messages, tears and fails log writes, and crashes
+// sites inside the commit protocol. A recoverer brings crashed sites back
+// up mid-run.
+//
+// The oracle is the paper's own theory: after the run the recorded event
+// history must satisfy the configured local atomicity property (the exact
+// Checker from internal/core), money must be conserved across the escrow
+// accounts, and — where intentions are logged — recovery.Restart replayed
+// over the log alone must reproduce the live committed balances. Faults
+// are decided purely by (seed, point, hit), so a failing run is replayed
+// exactly by rerunning its seed.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/cc"
+	"weihl83/internal/core"
+	"weihl83/internal/dist"
+	"weihl83/internal/fault"
+	"weihl83/internal/histories"
+	"weihl83/internal/locking"
+	"weihl83/internal/recovery"
+	"weihl83/internal/sim"
+	"weihl83/internal/spec"
+	"weihl83/internal/tx"
+	"weihl83/internal/value"
+)
+
+// Config parameterises a chaos run. The zero value is invalid: Property is
+// required; everything else defaults via fill.
+type Config struct {
+	// Property selects the system under test: Dynamic runs a two-site
+	// distributed cluster, Static and Hybrid run local write-ahead-logged
+	// systems.
+	Property tx.Property
+	// Seed pins the fault schedule and all workload randomness.
+	Seed int64
+	// Workers and Txns size the workload: Workers concurrent clients, each
+	// committing Txns transfer transactions (defaults 3 and 3). Keep
+	// Workers·Txns small: the dynamic-atomicity checker is exponential in
+	// the number of committed activities.
+	Txns    int
+	Workers int
+	// Message-layer fault probabilities (dynamic only).
+	DropProb, DupProb, ReplyDropProb, DelayProb float64
+	// Delay is the injected extra latency when DelayProb fires.
+	Delay time.Duration
+	// Stable-storage fault probabilities.
+	TornProb, FailProb float64
+	// Site-crash window probabilities (dynamic only): crash during prepare
+	// after forcing the vote, crash on commit before logging it, crash
+	// after logging but before installing.
+	CrashPrepareProb, CrashCommitProb float64
+	// RecoverEvery is the recoverer's cadence for bringing crashed sites
+	// back up (default 200µs; dynamic only). Zero disables the recoverer —
+	// only safe when no crash faults are enabled.
+	RecoverEvery time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 3
+	}
+	if c.Txns <= 0 {
+		c.Txns = 3
+	}
+	if c.RecoverEvery <= 0 && (c.CrashPrepareProb > 0 || c.CrashCommitProb > 0) {
+		c.RecoverEvery = 200 * time.Microsecond
+	}
+	if c.Delay <= 0 {
+		c.Delay = 50 * time.Microsecond
+	}
+}
+
+// Report is the outcome of a chaos run, returned even when the run fails
+// so the caller can dump the diagnostic state.
+type Report struct {
+	Property tx.Property
+	Seed     int64
+	Commits  int64
+	Aborts   int64
+	Crashes  int64
+	// Balances are the final committed account balances; Conserved is
+	// their sum matched against the initial deposit.
+	Balances  []int64
+	Conserved bool
+	// Events is the length of the recorded history; CheckErr is the
+	// atomicity checker's verdict on it (empty = passed).
+	Events   int
+	CheckErr string
+	// Trace is the injector's activation trace; Injector its summary.
+	Trace    []fault.Activation
+	Injector string
+}
+
+// Dump renders the report for diagnostics.
+func (r *Report) Dump() string {
+	status := "history PASSED " + r.Property.String() + " atomicity check"
+	if r.CheckErr != "" {
+		status = "history FAILED: " + r.CheckErr
+	}
+	return fmt.Sprintf(
+		"chaos seed=%d property=%s commits=%d aborts=%d crashes=%d balances=%v conserved=%v events=%d\n%s\nfaults: %s",
+		r.Seed, r.Property, r.Commits, r.Aborts, r.Crashes, r.Balances, r.Conserved, r.Events, status, r.Injector,
+	)
+}
+
+func (c Config) injector() *fault.Injector {
+	in := fault.New(c.Seed)
+	in.Enable(fault.NetRequestDrop, fault.Rule{Prob: c.DropProb})
+	in.Enable(fault.NetRequestDup, fault.Rule{Prob: c.DupProb})
+	in.Enable(fault.NetReplyDrop, fault.Rule{Prob: c.ReplyDropProb})
+	in.Enable(fault.NetDelay, fault.Rule{Prob: c.DelayProb, Delay: c.Delay})
+	in.Enable(fault.DiskAppendTorn, fault.Rule{Prob: c.TornProb})
+	in.Enable(fault.DiskAppendFail, fault.Rule{Prob: c.FailProb})
+	in.Enable(fault.SiteCrashPrepare, fault.Rule{Prob: c.CrashPrepareProb})
+	in.Enable(fault.SiteCrashCommitBeforeLog, fault.Rule{Prob: c.CrashCommitProb})
+	in.Enable(fault.SiteCrashCommitAfterLog, fault.Rule{Prob: c.CrashCommitProb})
+	return in
+}
+
+// perTransfer is the amount each transfer moves between accounts.
+const perTransfer = 5
+
+// Run executes one chaos run bounded by ctx: when ctx expires the workload
+// stops promptly (tx.RunCtx honours it through retries and backoff waits)
+// and Run fails with the context error. The returned Report is non-nil
+// whenever the system was built, including on failure.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	(&cfg).fill()
+	switch cfg.Property {
+	case tx.Dynamic:
+		return runDist(ctx, cfg)
+	case tx.Static, tx.Hybrid:
+		return runLocal(ctx, cfg)
+	default:
+		return nil, fmt.Errorf("chaos: unknown property %d", cfg.Property)
+	}
+}
+
+// recorder collects the global event history from site sinks.
+type recorder struct {
+	mu sync.Mutex
+	h  histories.History
+}
+
+func (r *recorder) sink() cc.EventSink {
+	return func(e histories.Event) {
+		r.mu.Lock()
+		r.h = append(r.h, e)
+		r.mu.Unlock()
+	}
+}
+
+func (r *recorder) history() histories.History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.h.Clone()
+}
+
+// transfer moves perTransfer from acct0 to acct1 (skipping the deposit when
+// escrow reports insufficient funds) and does one queue operation: workers
+// enqueue a unique tag, except every third round dequeues instead.
+func transfer(txn *tx.Txn, worker, round int) error {
+	v, err := txn.Invoke("acct0", adts.OpWithdraw, value.Int(perTransfer))
+	if err != nil {
+		return err
+	}
+	if v == value.Unit() {
+		if _, err := txn.Invoke("acct1", adts.OpDeposit, value.Int(perTransfer)); err != nil {
+			return err
+		}
+	}
+	if round%3 == 2 {
+		_, err = txn.Invoke("queue", adts.OpDequeue, value.Nil())
+	} else {
+		_, err = txn.Invoke("queue", adts.OpEnqueue, value.Int(int64(worker*100+round)))
+	}
+	return err
+}
+
+// runWorkers seeds acct0 and runs the concurrent transfer workload.
+func runWorkers(ctx context.Context, cfg Config, m *tx.Manager) error {
+	total := int64(cfg.Workers * cfg.Txns * perTransfer)
+	if err := m.RunCtx(ctx, func(txn *tx.Txn) error {
+		_, err := txn.Invoke("acct0", adts.OpDeposit, value.Int(total))
+		return err
+	}); err != nil {
+		return fmt.Errorf("chaos: seeding: %w", err)
+	}
+	errs := make(chan error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go func(w int) {
+			for i := 0; i < cfg.Txns; i++ {
+				if err := m.RunCtx(ctx, func(txn *tx.Txn) error {
+					return transfer(txn, w, i)
+				}); err != nil {
+					errs <- fmt.Errorf("chaos: worker %d txn %d: %w", w, i, err)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	var first error
+	for w := 0; w < cfg.Workers; w++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func checkHistory(prop tx.Property, h histories.History) string {
+	ck := core.NewChecker()
+	ck.Register("acct0", adts.AccountSpec{})
+	ck.Register("acct1", adts.AccountSpec{})
+	ck.Register("queue", adts.QueueSpec{})
+	var err error
+	switch prop {
+	case tx.Dynamic:
+		err = ck.DynamicAtomic(h)
+	case tx.Static:
+		err = ck.StaticAtomic(h)
+	case tx.Hybrid:
+		err = ck.HybridAtomic(h)
+	}
+	if err != nil {
+		return err.Error()
+	}
+	return ""
+}
+
+// runDist is the dynamic-atomicity mode: two sites, escrow accounts on
+// each, a FIFO queue, distributed two-phase commit, message faults and
+// site-crash windows, with a recoverer reviving crashed sites.
+func runDist(ctx context.Context, cfg Config) (*Report, error) {
+	inj := cfg.injector()
+	rec := &recorder{}
+	net := dist.NewNetwork(0, 0, cfg.Seed)
+	net.SetInjector(inj)
+	net.SetRPC(300*time.Microsecond, 7)
+	dec := dist.NewDecisionLog()
+
+	newSite := func(id dist.SiteID) (*dist.Site, error) {
+		return dist.NewSite(dist.SiteConfig{
+			ID:          id,
+			Network:     net,
+			Decisions:   dec,
+			Sink:        rec.sink(),
+			Injector:    inj,
+			WaitTimeout: 2 * time.Millisecond,
+		})
+	}
+	siteA, err := newSite("A")
+	if err != nil {
+		return nil, err
+	}
+	siteB, err := newSite("B")
+	if err != nil {
+		return nil, err
+	}
+	escrow := func(adts.Type) locking.Guard { return locking.EscrowGuard{} }
+	table := func(t adts.Type) locking.Guard { return locking.TableGuard{Conflicts: t.Conflicts} }
+	if err := siteA.AddObject("acct0", adts.Account(), escrow); err != nil {
+		return nil, err
+	}
+	if err := siteB.AddObject("acct1", adts.Account(), escrow); err != nil {
+		return nil, err
+	}
+	if err := siteB.AddObject("queue", adts.Queue(), table); err != nil {
+		return nil, err
+	}
+	m, err := tx.NewManager(tx.Config{
+		Property:   tx.Dynamic,
+		Decision:   dec.RecordCommit,
+		MaxRetries: 10000,
+		Backoff:    tx.Backoff{Base: 50 * time.Microsecond, Max: 2 * time.Millisecond, Seed: cfg.Seed + 1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range []cc.Resource{
+		dist.NewRemoteResource(net, "A", "acct0"),
+		dist.NewRemoteResource(net, "B", "acct1"),
+		dist.NewRemoteResource(net, "B", "queue"),
+	} {
+		if err := m.Register(r); err != nil {
+			return nil, err
+		}
+	}
+
+	// The recoverer revives crashed sites for as long as the workload runs.
+	// Crashes happen only inside the injected protocol windows, where the
+	// decision log makes in-doubt resolution unambiguous.
+	stopRecoverer := func() {}
+	if cfg.RecoverEvery > 0 {
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(cfg.RecoverEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					for _, s := range net.Sites() {
+						if !s.Up() {
+							_ = s.Recover()
+						}
+					}
+				}
+			}
+		}()
+		stopRecoverer = func() { close(done); wg.Wait() }
+	}
+
+	workErr := runWorkers(ctx, cfg, m)
+	stopRecoverer()
+
+	// Final recovery: every site up, every in-doubt transaction resolved
+	// against the decision log, every committed effect installed.
+	for _, s := range net.Sites() {
+		if !s.Up() {
+			if err := s.Recover(); err != nil {
+				return nil, fmt.Errorf("chaos: final recovery of %s: %w", s.ID(), err)
+			}
+		}
+	}
+
+	rep := &Report{Property: cfg.Property, Seed: cfg.Seed, Trace: inj.Trace(), Injector: inj.Summary()}
+	rep.Commits, rep.Aborts = m.Stats()
+	rep.Crashes = siteA.Crashes() + siteB.Crashes()
+	h := rec.history()
+	rep.Events = len(h)
+
+	// Conservation, read from the committed states directly (no extra
+	// transactions, so the checked history stays the workload's own).
+	var sum int64
+	for _, probe := range []struct {
+		s  *dist.Site
+		id histories.ObjectID
+	}{{siteA, "acct0"}, {siteB, "acct1"}} {
+		key, err := probe.s.CommittedStateKey(probe.id)
+		if err != nil {
+			return rep, err
+		}
+		b, err := strconv.ParseInt(key, 10, 64)
+		if err != nil {
+			return rep, fmt.Errorf("chaos: account state %q: %w", key, err)
+		}
+		rep.Balances = append(rep.Balances, b)
+		sum += b
+	}
+	total := int64(cfg.Workers * cfg.Txns * perTransfer)
+	rep.Conserved = sum == total
+	rep.CheckErr = checkHistory(cfg.Property, h)
+
+	if workErr != nil {
+		return rep, workErr
+	}
+	if !rep.Conserved {
+		return rep, fmt.Errorf("chaos: conservation violated: balances %v sum %d, want %d", rep.Balances, sum, total)
+	}
+	if rep.CheckErr != "" {
+		return rep, errors.New("chaos: " + rep.CheckErr)
+	}
+	return rep, nil
+}
+
+// runLocal is the static/hybrid mode: a local system with a write-ahead
+// log, stable-storage faults injected at the disk, and — when the protocol
+// logs intentions — a crash-restart oracle replaying the log from scratch.
+func runLocal(ctx context.Context, cfg Config) (*Report, error) {
+	inj := cfg.injector()
+	disk := &recovery.Disk{}
+	disk.SetInjector(inj)
+	kind := sim.KindMVCC
+	if cfg.Property == tx.Hybrid {
+		kind = sim.KindHybrid
+	}
+	sys, err := sim.NewSystem(sim.Config{
+		Kind:    kind,
+		Record:  true,
+		Seed:    cfg.Seed,
+		WAL:     disk,
+		Backoff: tx.Backoff{Base: 50 * time.Microsecond, Max: 2 * time.Millisecond, Seed: cfg.Seed + 1},
+	}, 2, true)
+	if err != nil {
+		return nil, err
+	}
+	m := sys.Manager
+
+	workErr := runWorkers(ctx, cfg, m)
+
+	rep := &Report{Property: cfg.Property, Seed: cfg.Seed, Trace: inj.Trace(), Injector: inj.Summary()}
+	rep.Commits, rep.Aborts = m.Stats()
+	h := m.History()
+	rep.Events = len(h)
+	rep.CheckErr = checkHistory(cfg.Property, h)
+
+	// Balances via read transactions — after capturing the checked history,
+	// so the audit reads don't inflate it.
+	var sum int64
+	for _, id := range []histories.ObjectID{"acct0", "acct1"} {
+		var b int64
+		if err := m.RunCtx(ctx, func(txn *tx.Txn) error {
+			v, err := txn.Invoke(id, adts.OpBalance, value.Nil())
+			if err != nil {
+				return err
+			}
+			b = v.MustInt()
+			return nil
+		}); err != nil {
+			return rep, fmt.Errorf("chaos: reading %s: %w", id, err)
+		}
+		rep.Balances = append(rep.Balances, b)
+		sum += b
+	}
+	total := int64(cfg.Workers * cfg.Txns * perTransfer)
+	rep.Conserved = sum == total
+
+	if workErr != nil {
+		return rep, workErr
+	}
+	if err := sys.Err(); err != nil {
+		return rep, fmt.Errorf("chaos: object invariant: %w", err)
+	}
+	if !rep.Conserved {
+		return rep, fmt.Errorf("chaos: conservation violated: balances %v sum %d, want %d", rep.Balances, sum, total)
+	}
+	if rep.CheckErr != "" {
+		return rep, errors.New("chaos: " + rep.CheckErr)
+	}
+
+	// Crash-restart oracle: hybrid objects report intentions, so the log
+	// alone must rebuild the live committed balances. (The mvcc protocol
+	// keeps no intentions lists — static runs skip this.)
+	if cfg.Property == tx.Hybrid {
+		states, err := recovery.Restart(disk, map[histories.ObjectID]spec.SerialSpec{
+			"acct0": adts.AccountSpec{},
+			"acct1": adts.AccountSpec{},
+			"queue": adts.QueueSpec{},
+		})
+		if err != nil {
+			return rep, fmt.Errorf("chaos: restart replay: %w", err)
+		}
+		for i, id := range []histories.ObjectID{"acct0", "acct1"} {
+			b, err := strconv.ParseInt(states[id].Key(), 10, 64)
+			if err != nil {
+				return rep, fmt.Errorf("chaos: restarted state %q: %w", states[id].Key(), err)
+			}
+			if b != rep.Balances[i] {
+				return rep, fmt.Errorf("chaos: restart replay of %s = %d, live committed = %d", id, b, rep.Balances[i])
+			}
+		}
+	}
+	return rep, nil
+}

@@ -9,6 +9,7 @@ import (
 	"weihl83/internal/adts"
 	"weihl83/internal/cc"
 	"weihl83/internal/core"
+	"weihl83/internal/fault"
 	"weihl83/internal/histories"
 	"weihl83/internal/locking"
 	"weihl83/internal/tx"
@@ -22,6 +23,8 @@ type testCluster struct {
 	dec      *DecisionLog
 	siteA    *Site
 	siteB    *Site
+	remA     *RemoteResource
+	remB     *RemoteResource
 	manager  *tx.Manager
 	recorder *recorder
 }
@@ -49,17 +52,23 @@ func escrowGuard(adts.Type) locking.Guard { return locking.EscrowGuard{} }
 
 func newCluster(t *testing.T, maxDelay time.Duration) *testCluster {
 	t.Helper()
+	return newClusterInj(t, maxDelay, nil)
+}
+
+func newClusterInj(t *testing.T, maxDelay time.Duration, inj *fault.Injector) *testCluster {
+	t.Helper()
 	c := &testCluster{
 		net:      NewNetwork(0, maxDelay, 7),
 		dec:      NewDecisionLog(),
 		recorder: &recorder{},
 	}
+	c.net.SetInjector(inj)
 	var err error
-	c.siteA, err = NewSite(SiteConfig{ID: "A", Network: c.net, Decisions: c.dec, Sink: c.recorder.sink()})
+	c.siteA, err = NewSite(SiteConfig{ID: "A", Network: c.net, Decisions: c.dec, Sink: c.recorder.sink(), Injector: inj})
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.siteB, err = NewSite(SiteConfig{ID: "B", Network: c.net, Decisions: c.dec, Sink: c.recorder.sink()})
+	c.siteB, err = NewSite(SiteConfig{ID: "B", Network: c.net, Decisions: c.dec, Sink: c.recorder.sink(), Injector: inj})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,10 +85,9 @@ func newCluster(t *testing.T, maxDelay time.Duration) *testCluster {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, r := range []cc.Resource{
-		NewRemoteResource(c.net, "A", "acct0"),
-		NewRemoteResource(c.net, "B", "acct1"),
-	} {
+	c.remA = NewRemoteResource(c.net, "A", "acct0")
+	c.remB = NewRemoteResource(c.net, "B", "acct1")
+	for _, r := range []cc.Resource{c.remA, c.remB} {
 		if err := c.manager.Register(r); err != nil {
 			t.Fatal(err)
 		}
@@ -206,10 +214,7 @@ func TestCrashAfterPrepareCommitRecovered(t *testing.T) {
 	// Prepare both participants by hand, then record the decision — the
 	// coordinator's commit point — then crash B before it can hear the
 	// commit.
-	for _, r := range []cc.Resource{
-		NewRemoteResource(c.net, "A", "acct0"),
-		NewRemoteResource(c.net, "B", "acct1"),
-	} {
+	for _, r := range []cc.Resource{c.remA, c.remB} {
 		info := &cc.TxnInfo{ID: txn.ID(), Seq: 0}
 		if err := r.Prepare(info); err != nil {
 			t.Fatal(err)
@@ -218,10 +223,7 @@ func TestCrashAfterPrepareCommitRecovered(t *testing.T) {
 	c.dec.RecordCommit(txn.ID())
 	c.siteB.Crash()
 	// Deliver the commit: A applies it, B misses it.
-	for _, r := range []cc.Resource{
-		NewRemoteResource(c.net, "A", "acct0"),
-		NewRemoteResource(c.net, "B", "acct1"),
-	} {
+	for _, r := range []cc.Resource{c.remA, c.remB} {
 		r.Commit(&cc.TxnInfo{ID: txn.ID(), Seq: 0}, histories.TSNone)
 	}
 	if err := c.siteB.Recover(); err != nil {
@@ -251,8 +253,7 @@ func TestCrashAfterPrepareUndecidedAborts(t *testing.T) {
 	if _, err := txn.Invoke("acct1", adts.OpDeposit, value.Int(10)); err != nil {
 		t.Fatal(err)
 	}
-	r := NewRemoteResource(c.net, "B", "acct1")
-	if err := r.Prepare(&cc.TxnInfo{ID: txn.ID(), Seq: 0}); err != nil {
+	if err := c.remB.Prepare(&cc.TxnInfo{ID: txn.ID(), Seq: 0}); err != nil {
 		t.Fatal(err)
 	}
 	c.siteB.Crash()

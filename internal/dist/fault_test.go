@@ -1,0 +1,339 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/cc"
+	"weihl83/internal/core"
+	"weihl83/internal/fault"
+	"weihl83/internal/recovery"
+	"weihl83/internal/tx"
+	"weihl83/internal/value"
+)
+
+// seedAndTransfer deposits 50 into acct0 and starts (without committing) a
+// 10-unit cross-site transfer, returning the open transaction.
+func seedAndTransfer(t *testing.T, c *testCluster) *tx.Txn {
+	t.Helper()
+	if err := c.manager.Run(func(txn *tx.Txn) error {
+		_, err := txn.Invoke("acct0", adts.OpDeposit, value.Int(50))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	txn := c.manager.Begin()
+	if _, err := txn.Invoke("acct0", adts.OpWithdraw, value.Int(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Invoke("acct1", adts.OpDeposit, value.Int(10)); err != nil {
+		t.Fatal(err)
+	}
+	return txn
+}
+
+// TestCrashWindowAfterPrepareLogUndecidedAborts: the participant crashes
+// after forcing its yes-vote to the log but before the coordinator hears
+// it. No decision is ever recorded, so recovery resolves the in-doubt
+// transaction to presumed abort and no effect survives anywhere.
+func TestCrashWindowAfterPrepareLogUndecidedAborts(t *testing.T) {
+	inj := fault.New(1)
+	c := newClusterInj(t, 0, inj)
+	txn := seedAndTransfer(t, c)
+	// Enabled only now, so the seeding transaction commits cleanly; the
+	// first prepare of the transfer's 2PC (site A) crashes the site.
+	inj.Enable(fault.SiteCrashPrepare, fault.Rule{Prob: 1, Limit: 1})
+
+	err := txn.Commit()
+	if err == nil {
+		t.Fatal("commit succeeded although a participant crashed during prepare")
+	}
+	if !errors.Is(err, ErrSiteDown) {
+		t.Fatalf("commit error = %v, want ErrSiteDown", err)
+	}
+	if !cc.Retryable(err) {
+		t.Fatalf("crash-during-prepare error %v is not retryable", err)
+	}
+	// Site A (first prepared participant) crashed; its log holds the
+	// transaction's intentions with no outcome.
+	if c.siteA.Up() {
+		t.Fatal("site A still up after injected crash")
+	}
+	var sawIntentions, sawOutcome bool
+	for _, r := range c.siteA.Disk().Records() {
+		if r.Txn != txn.ID() {
+			continue
+		}
+		switch r.Kind {
+		case recovery.RecordIntentions:
+			sawIntentions = true
+		case recovery.RecordCommit, recovery.RecordAbort:
+			sawOutcome = true
+		}
+	}
+	if !sawIntentions || sawOutcome {
+		t.Fatalf("pre-recovery log: intentions=%v outcome=%v, want logged intentions and no outcome", sawIntentions, sawOutcome)
+	}
+	if err := c.siteA.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// In-doubt resolution: no decision recorded → presumed abort.
+	var resolvedAbort bool
+	for _, r := range c.siteA.Disk().Records() {
+		if r.Txn == txn.ID() && r.Kind == recovery.RecordAbort {
+			resolvedAbort = true
+		}
+	}
+	if !resolvedAbort {
+		t.Fatal("recovery did not resolve the in-doubt transaction to abort")
+	}
+	if got := c.balance(t, "acct0"); got != 50 {
+		t.Errorf("acct0 = %d, want 50 (transfer aborted)", got)
+	}
+	if got := c.balance(t, "acct1"); got != 0 {
+		t.Errorf("acct1 = %d, want 0 (transfer aborted)", got)
+	}
+}
+
+// TestCrashWindowBeforeCommitLogResolvedByDecision: the participant
+// crashes on receiving the commit decision, before logging it locally. The
+// coordinator's decision log says committed, so recovery redoes the
+// transaction from the logged intentions — the in-doubt transaction
+// resolves to the coordinator's decision.
+func TestCrashWindowBeforeCommitLogResolvedByDecision(t *testing.T) {
+	inj := fault.New(1)
+	c := newClusterInj(t, 0, inj)
+	txn := seedAndTransfer(t, c)
+	inj.Enable(fault.SiteCrashCommitBeforeLog, fault.Rule{Prob: 1, Limit: 1})
+
+	// Commit succeeds at the coordinator: every participant voted yes and
+	// the decision is durable; the crashed participant resolves later.
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("commit = %v, want success (decision was durable)", err)
+	}
+	if !c.dec.Committed(txn.ID()) {
+		t.Fatal("decision log has no commit decision")
+	}
+	if c.siteA.Up() {
+		t.Fatal("site A still up after injected crash")
+	}
+	if err := c.siteA.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.balance(t, "acct0"); got != 40 {
+		t.Errorf("acct0 = %d, want 40 (redo against decision log)", got)
+	}
+	if got := c.balance(t, "acct1"); got != 10 {
+		t.Errorf("acct1 = %d, want 10", got)
+	}
+	// The recorded history — including the commit event emitted during
+	// recovery — is dynamic atomic.
+	ck := core.NewChecker()
+	ck.Register("acct0", adts.AccountSpec{})
+	ck.Register("acct1", adts.AccountSpec{})
+	if err := ck.DynamicAtomic(c.recorder.history()); err != nil {
+		t.Errorf("history not dynamic atomic: %v", err)
+	}
+}
+
+// TestCrashWindowAfterCommitLogRedoesInstallation: the participant crashes
+// after logging the commit record but before installing the intentions in
+// volatile state. Restart's redo pass reconstructs the committed state from
+// the log alone.
+func TestCrashWindowAfterCommitLogRedoesInstallation(t *testing.T) {
+	inj := fault.New(1)
+	c := newClusterInj(t, 0, inj)
+	txn := seedAndTransfer(t, c)
+	inj.Enable(fault.SiteCrashCommitAfterLog, fault.Rule{Prob: 1, Limit: 1})
+
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("commit = %v, want success", err)
+	}
+	if c.siteA.Up() {
+		t.Fatal("site A still up after injected crash")
+	}
+	// The commit record is durable at A even though nothing was installed.
+	var committedAtA bool
+	for _, r := range c.siteA.Disk().Records() {
+		if r.Txn == txn.ID() && r.Kind == recovery.RecordCommit {
+			committedAtA = true
+		}
+	}
+	if !committedAtA {
+		t.Fatal("site A's log lacks the commit record")
+	}
+	if err := c.siteA.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.balance(t, "acct0"); got != 40 {
+		t.Errorf("acct0 = %d, want 40 (redo from log)", got)
+	}
+	if got := c.balance(t, "acct1"); got != 10 {
+		t.Errorf("acct1 = %d, want 10", got)
+	}
+	ck := core.NewChecker()
+	ck.Register("acct0", adts.AccountSpec{})
+	ck.Register("acct1", adts.AccountSpec{})
+	if err := ck.DynamicAtomic(c.recorder.history()); err != nil {
+		t.Errorf("history not dynamic atomic: %v", err)
+	}
+}
+
+// TestTornPrepareLogVotesNo: a torn intentions append during prepare makes
+// the participant vote no; the transaction aborts retryably, the torn
+// record is discarded by restart, and a retry goes through.
+func TestTornPrepareLogVotesNo(t *testing.T) {
+	inj := fault.New(1)
+	c := newClusterInj(t, 0, inj)
+	txn := seedAndTransfer(t, c)
+	inj.Enable(fault.DiskAppendTorn, fault.Rule{Prob: 1, Limit: 1})
+
+	err := txn.Commit()
+	if err == nil {
+		t.Fatal("commit succeeded although the prepare log write tore")
+	}
+	if !errors.Is(err, recovery.ErrWriteFailed) {
+		t.Fatalf("commit error = %v, want ErrWriteFailed", err)
+	}
+	if !cc.Retryable(err) {
+		t.Fatalf("torn-write error %v is not retryable", err)
+	}
+	// The transfer aborts cleanly and a retry (torn rule exhausted)
+	// succeeds.
+	if err := c.manager.Run(func(txn *tx.Txn) error {
+		if _, err := txn.Invoke("acct0", adts.OpWithdraw, value.Int(10)); err != nil {
+			return err
+		}
+		_, err := txn.Invoke("acct1", adts.OpDeposit, value.Int(10))
+		return err
+	}); err != nil {
+		t.Fatalf("retry after torn write: %v", err)
+	}
+	if got := c.balance(t, "acct0"); got != 40 {
+		t.Errorf("acct0 = %d, want 40", got)
+	}
+	if got := c.balance(t, "acct1"); got != 10 {
+		t.Errorf("acct1 = %d, want 10", got)
+	}
+}
+
+// TestStaleTxnAfterMidTransactionCrash: a crash+recovery between a
+// transaction's operations wipes its volatile intentions; the site detects
+// the client/site call-count mismatch and refuses further operations with
+// the retryable ErrStaleTxn instead of letting a partial transaction
+// commit.
+func TestStaleTxnAfterMidTransactionCrash(t *testing.T) {
+	c := newCluster(t, 0)
+	txn := c.manager.Begin()
+	if _, err := txn.Invoke("acct0", adts.OpDeposit, value.Int(5)); err != nil {
+		t.Fatal(err)
+	}
+	c.siteA.Crash()
+	if err := c.siteA.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := txn.Invoke("acct0", adts.OpDeposit, value.Int(7))
+	if !errors.Is(err, ErrStaleTxn) {
+		t.Fatalf("invoke after mid-transaction crash = %v, want ErrStaleTxn", err)
+	}
+	if !cc.Retryable(err) {
+		t.Fatalf("stale-transaction error %v is not retryable", err)
+	}
+	txn.Abort()
+	if got := c.balance(t, "acct0"); got != 0 {
+		t.Errorf("acct0 = %d, want 0 (no partial effects)", got)
+	}
+}
+
+// TestRetransmissionRidesThroughMessageFaults: with request drops,
+// duplications and reply drops injected, bounded retransmission plus the
+// reply cache still give exactly-once effects: every transfer commits
+// exactly once and money is conserved.
+func TestRetransmissionRidesThroughMessageFaults(t *testing.T) {
+	inj := fault.New(99)
+	inj.Enable(fault.NetRequestDrop, fault.Rule{Prob: 0.2})
+	inj.Enable(fault.NetRequestDup, fault.Rule{Prob: 0.3})
+	inj.Enable(fault.NetReplyDrop, fault.Rule{Prob: 0.2})
+	c := newClusterInj(t, 0, inj)
+	c.net.SetRPC(500*time.Microsecond, 8)
+
+	if err := c.manager.Run(func(txn *tx.Txn) error {
+		_, err := txn.Invoke("acct0", adts.OpDeposit, value.Int(100))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.manager.Run(func(txn *tx.Txn) error {
+			v, err := txn.Invoke("acct0", adts.OpWithdraw, value.Int(5))
+			if err != nil {
+				return err
+			}
+			if v != value.Unit() {
+				return nil
+			}
+			_, err = txn.Invoke("acct1", adts.OpDeposit, value.Int(5))
+			return err
+		}); err != nil {
+			t.Fatalf("transfer %d: %v", i, err)
+		}
+	}
+	b0 := c.balance(t, "acct0")
+	b1 := c.balance(t, "acct1")
+	if b0+b1 != 100 || b1 != 25 {
+		t.Errorf("balances %d/%d, want 75/25 (exactly-once despite drops and dups)", b0, b1)
+	}
+	ck := core.NewChecker()
+	ck.Register("acct0", adts.AccountSpec{})
+	ck.Register("acct1", adts.AccountSpec{})
+	if err := ck.DynamicAtomic(c.recorder.history()); err != nil {
+		t.Errorf("history under message faults not dynamic atomic: %v", err)
+	}
+}
+
+// TestRPCTimeoutIsRetryable: with every request dropped the call exhausts
+// its retransmission budget and fails with the retryable ErrRPCTimeout.
+func TestRPCTimeoutIsRetryable(t *testing.T) {
+	inj := fault.New(5)
+	inj.Enable(fault.NetRequestDrop, fault.Rule{Prob: 1})
+	c := newClusterInj(t, 0, inj)
+	c.net.SetRPC(100*time.Microsecond, 2)
+
+	txn := c.manager.Begin()
+	_, err := txn.Invoke("acct0", adts.OpBalance, value.Nil())
+	if !errors.Is(err, ErrRPCTimeout) {
+		t.Fatalf("invoke with all requests dropped = %v, want ErrRPCTimeout", err)
+	}
+	if !cc.Retryable(err) {
+		t.Fatalf("rpc timeout %v is not retryable", err)
+	}
+	txn.Abort()
+}
+
+// TestRunRetriesThroughSiteCrash: tx.Run rides through a window in which a
+// participant is down, because ErrSiteDown is a retryable outage — the
+// workload degrades to retries instead of failing hard.
+func TestRunRetriesThroughSiteCrash(t *testing.T) {
+	c := newCluster(t, 0)
+	c.net.SetRPC(200*time.Microsecond, 0)
+	c.siteA.Crash()
+	recovered := make(chan error, 1)
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		recovered <- c.siteA.Recover()
+	}()
+	if err := c.manager.Run(func(txn *tx.Txn) error {
+		_, err := txn.Invoke("acct0", adts.OpDeposit, value.Int(3))
+		return err
+	}); err != nil {
+		t.Fatalf("Run did not ride through the crash: %v", err)
+	}
+	if err := <-recovered; err != nil {
+		t.Fatal(err)
+	}
+	if got := c.balance(t, "acct0"); got != 3 {
+		t.Errorf("acct0 = %d, want 3", got)
+	}
+}

@@ -10,6 +10,16 @@
 // that ships invocations, prepares, commits and aborts to a site as
 // messages, so the unchanged transaction runtime (internal/tx) drives
 // distributed two-phase commit.
+//
+// The network is unreliable under fault injection: messages can be
+// dropped, duplicated, delayed, and sites can crash inside the commit
+// protocol (see internal/fault for the named fault points). Requests carry
+// ids and sites keep a volatile reply cache, giving at-most-once delivery
+// semantics; the client side retransmits after a timeout, bounded by a
+// retransmission budget, so drop + retransmit + dedup composes to
+// exactly-once until a crash wipes the cache — at which point the
+// per-transaction call-sequence check (see Site) detects the lost state and
+// aborts the transaction rather than committing partial effects.
 package dist
 
 import (
@@ -17,39 +27,107 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"weihl83/internal/cc"
+	"weihl83/internal/fault"
 )
 
 // SiteID names a site.
 type SiteID string
 
-// ErrSiteDown reports a message sent to a crashed site.
-var ErrSiteDown = errors.New("dist: site is down")
+// ErrSiteDown reports a message sent to a crashed site. It wraps
+// cc.ErrUnavailable: a site crash is a transient outage, so transactions
+// that hit one abort retryably and tx.Run rides through the crash instead
+// of surfacing a hard error.
+var ErrSiteDown = fmt.Errorf("dist: site is down: %w", cc.ErrUnavailable)
 
-// Network connects sites with randomized message latency. It is a
-// simulation: messages are delivered reliably and in arbitrary order
-// (each message sleeps an independent latency before delivery), which is
-// enough to exercise every interleaving the protocols must tolerate.
+// ErrRPCTimeout reports a request whose retransmission budget was exhausted
+// without a reply. It wraps cc.ErrUnavailable (retryable).
+var ErrRPCTimeout = fmt.Errorf("dist: request timed out after retransmissions: %w", cc.ErrUnavailable)
+
+// ErrStaleTxn reports that a site lost a transaction's volatile state (a
+// crash between the transaction's operations): the client's view of the
+// call sequence no longer matches the site's, so the transaction must abort
+// rather than commit partial effects. It wraps cc.ErrUnavailable
+// (retryable: the retry starts a fresh transaction).
+var ErrStaleTxn = fmt.Errorf("dist: transaction state lost at site: %w", cc.ErrUnavailable)
+
+// Network connects sites with randomized message latency and, under fault
+// injection, message drops, duplications and extra delays. Requests time
+// out and are retransmitted up to a bounded budget.
 type Network struct {
 	mu       sync.Mutex
 	rng      *rand.Rand
 	minDelay time.Duration
 	maxDelay time.Duration
 	sites    map[SiteID]*Site
+
+	inj         *fault.Injector
+	rpcTimeout  time.Duration
+	retransmits int
+
+	reqSeq atomic.Uint64
 }
 
 // NewNetwork returns a network with per-message latency drawn uniformly
-// from [minDelay, maxDelay].
+// from [minDelay, maxDelay], a request timeout of max(1ms, 4·maxDelay) and
+// a retransmission budget of 2 (see SetRPC), and no fault injection.
 func NewNetwork(minDelay, maxDelay time.Duration, seed int64) *Network {
 	if maxDelay < minDelay {
 		maxDelay = minDelay
 	}
-	return &Network{
-		rng:      rand.New(rand.NewSource(seed)),
-		minDelay: minDelay,
-		maxDelay: maxDelay,
-		sites:    make(map[SiteID]*Site),
+	timeout := 4 * maxDelay
+	if timeout < time.Millisecond {
+		timeout = time.Millisecond
 	}
+	return &Network{
+		rng:         rand.New(rand.NewSource(seed)),
+		minDelay:    minDelay,
+		maxDelay:    maxDelay,
+		sites:       make(map[SiteID]*Site),
+		rpcTimeout:  timeout,
+		retransmits: 2,
+	}
+}
+
+// SetInjector attaches a fault injector to the network's message layer
+// (nil detaches). The relevant points are fault.NetRequestDrop,
+// fault.NetRequestDup, fault.NetReplyDrop and fault.NetDelay.
+func (n *Network) SetInjector(in *fault.Injector) {
+	n.mu.Lock()
+	n.inj = in
+	n.mu.Unlock()
+}
+
+// SetRPC configures the per-attempt request timeout and the retransmission
+// budget (extra attempts after the first). Non-positive arguments leave the
+// respective setting unchanged; a budget of 0 disables retransmission — set
+// retransmits to -1 for that.
+func (n *Network) SetRPC(timeout time.Duration, retransmits int) {
+	n.mu.Lock()
+	if timeout > 0 {
+		n.rpcTimeout = timeout
+	}
+	if retransmits >= 0 {
+		n.retransmits = retransmits
+	} else {
+		n.retransmits = 0
+	}
+	n.mu.Unlock()
+}
+
+func (n *Network) injector() *fault.Injector {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inj
+}
+
+func (n *Network) rpcParams() (time.Duration, int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rpcTimeout, n.retransmits
 }
 
 // register attaches a site.
@@ -74,6 +152,17 @@ func (n *Network) Site(id SiteID) (*Site, error) {
 	return s, nil
 }
 
+// Sites returns every registered site.
+func (n *Network) Sites() []*Site {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*Site, 0, len(n.sites))
+	for _, s := range n.sites {
+		out = append(out, s)
+	}
+	return out
+}
+
 // delay sleeps a random message latency.
 func (n *Network) delay() {
 	n.mu.Lock()
@@ -88,19 +177,66 @@ func (n *Network) delay() {
 }
 
 // call delivers a request to a site and returns its reply, simulating the
-// round trip. The handler runs on the callee's "server side"; a crashed
-// site refuses.
+// round trip with at-most-once semantics: the request carries an id, the
+// site caches its reply, and on a lost request or reply the caller waits
+// out the timeout and retransmits (a duplicate delivery is answered from
+// the cache). The handler runs on the callee's "server side"; a crashed
+// site refuses. When the retransmission budget runs out the call fails
+// with ErrSiteDown (refused throughout) or ErrRPCTimeout — both retryable.
 func call[Req any, Resp any](n *Network, site SiteID, req Req, handle func(s *Site, req Req) (Resp, error)) (Resp, error) {
 	var zero Resp
 	s, err := n.Site(site)
 	if err != nil {
 		return zero, err
 	}
-	n.delay() // request latency
-	if !s.Up() {
-		return zero, fmt.Errorf("%w: %s", ErrSiteDown, site)
+	inj := n.injector()
+	timeout, retransmits := n.rpcParams()
+	reqID := n.reqSeq.Add(1)
+	var lastErr error
+	for attempt := 0; attempt <= retransmits; attempt++ {
+		n.delay() // request latency
+		if d := inj.Delay(fault.NetDelay); d > 0 {
+			time.Sleep(d)
+		}
+		if inj.Fires(fault.NetRequestDrop) {
+			lastErr = fmt.Errorf("dist: request %d to %s lost", reqID, site)
+			time.Sleep(timeout)
+			continue
+		}
+		if !s.Up() {
+			lastErr = fmt.Errorf("%w: %s", ErrSiteDown, site)
+			time.Sleep(timeout)
+			continue
+		}
+		resp, herr := deliver(s, reqID, req, handle)
+		if inj.Fires(fault.NetRequestDup) {
+			// Deliver the duplicate; its reply is discarded. The reply
+			// cache makes this a no-op at the site.
+			_, _ = deliver(s, reqID, req, handle)
+		}
+		n.delay() // response latency
+		if inj.Fires(fault.NetReplyDrop) {
+			lastErr = fmt.Errorf("dist: reply %d from %s lost", reqID, site)
+			time.Sleep(timeout)
+			continue
+		}
+		return resp, herr
+	}
+	if errors.Is(lastErr, ErrSiteDown) {
+		return zero, lastErr
+	}
+	return zero, fmt.Errorf("%w (%v)", ErrRPCTimeout, lastErr)
+}
+
+// deliver executes one delivery of a request at a site, answering
+// duplicates from the site's volatile reply cache so redelivery never
+// re-executes the handler.
+func deliver[Req any, Resp any](s *Site, reqID uint64, req Req, handle func(s *Site, req Req) (Resp, error)) (Resp, error) {
+	if v, err, ok := s.cachedReply(reqID); ok {
+		resp, _ := v.(Resp)
+		return resp, err
 	}
 	resp, err := handle(s, req)
-	n.delay() // response latency
+	s.cacheReply(reqID, resp, err)
 	return resp, err
 }

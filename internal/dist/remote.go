@@ -1,7 +1,7 @@
 package dist
 
 import (
-	"errors"
+	"sync"
 
 	"weihl83/internal/cc"
 	"weihl83/internal/histories"
@@ -13,42 +13,75 @@ import (
 // site: every operation becomes a message round trip. It lets the
 // unchanged transaction runtime (internal/tx) execute distributed
 // transactions with two-phase commit across sites.
+//
+// The proxy counts each transaction's completed calls and sends the count
+// with every invoke and with the prepare request. The site cross-checks it
+// against its own intentions (see Site.handleInvoke): if a crash wiped the
+// transaction's volatile state in between, the counts disagree and the
+// transaction aborts retryably instead of committing partial effects.
 type RemoteResource struct {
 	net  *Network
 	site SiteID
 	obj  histories.ObjectID
+
+	mu  sync.Mutex
+	seq map[histories.ActivityID]int
 }
 
 var _ cc.Resource = (*RemoteResource)(nil)
 
 // NewRemoteResource returns a proxy for obj at site.
 func NewRemoteResource(net *Network, site SiteID, obj histories.ObjectID) *RemoteResource {
-	return &RemoteResource{net: net, site: site, obj: obj}
+	return &RemoteResource{
+		net:  net,
+		site: site,
+		obj:  obj,
+		seq:  make(map[histories.ActivityID]int),
+	}
 }
 
 // ObjectID implements cc.Resource.
 func (r *RemoteResource) ObjectID() histories.ObjectID { return r.obj }
 
-// Invoke implements cc.Resource: a site crash while the request is in
-// flight surfaces as a retryable doom (the transaction aborts and may run
+func (r *RemoteResource) seqOf(txn histories.ActivityID) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq[txn]
+}
+
+func (r *RemoteResource) bump(txn histories.ActivityID) {
+	r.mu.Lock()
+	r.seq[txn]++
+	r.mu.Unlock()
+}
+
+func (r *RemoteResource) forget(txn histories.ActivityID) {
+	r.mu.Lock()
+	delete(r.seq, txn)
+	r.mu.Unlock()
+}
+
+// Invoke implements cc.Resource: a site crash or exhausted retransmission
+// budget surfaces as a retryable outage (the transaction aborts and may run
 // again once the site recovers).
 func (r *RemoteResource) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, error) {
-	type req struct{}
-	v, err := call(r.net, r.site, req{}, func(s *Site, _ req) (value.Value, error) {
-		return s.handleInvoke(r.obj, txn, inv)
+	n := r.seqOf(txn.ID)
+	v, err := call(r.net, r.site, inv, func(s *Site, inv spec.Invocation) (value.Value, error) {
+		return s.handleInvoke(r.obj, txn, inv, n)
 	})
-	if errors.Is(err, ErrSiteDown) {
-		return value.Nil(), errors.Join(cc.ErrDoomed, err)
+	if err == nil {
+		r.bump(txn.ID)
 	}
 	return v, err
 }
 
 // Prepare implements cc.Resource: the participant's vote. A failure (site
-// down, doomed transaction) vetoes the commit.
+// down, doomed or stale transaction, failed log write) vetoes the commit.
 func (r *RemoteResource) Prepare(txn *cc.TxnInfo) error {
+	n := r.seqOf(txn.ID)
 	type req struct{}
 	_, err := call(r.net, r.site, req{}, func(s *Site, _ req) (struct{}, error) {
-		return struct{}{}, s.handlePrepare(r.obj, txn)
+		return struct{}{}, s.handlePrepare(r.obj, txn, n)
 	})
 	return err
 }
@@ -62,6 +95,7 @@ func (r *RemoteResource) Commit(txn *cc.TxnInfo, _ histories.Timestamp) {
 	_, _ = call(r.net, r.site, req{}, func(s *Site, _ req) (struct{}, error) {
 		return struct{}{}, s.handleCommit(r.obj, txn)
 	})
+	r.forget(txn.ID)
 }
 
 // Abort implements cc.Resource. Delivery to a crashed participant is
@@ -71,4 +105,5 @@ func (r *RemoteResource) Abort(txn *cc.TxnInfo) {
 	_, _ = call(r.net, r.site, req{}, func(s *Site, _ req) (struct{}, error) {
 		return struct{}{}, s.handleAbort(r.obj, txn)
 	})
+	r.forget(txn.ID)
 }

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"weihl83/internal/adts"
 	"weihl83/internal/cc"
+	"weihl83/internal/fault"
 	"weihl83/internal/histories"
 	"weihl83/internal/locking"
 	"weihl83/internal/recovery"
@@ -53,6 +55,17 @@ type SiteConfig struct {
 	Decisions *DecisionLog
 	// Sink receives history events from the site's objects.
 	Sink cc.EventSink
+	// WaitTimeout, when positive, bounds every blocked lock wait at the
+	// site's objects. Under fault injection a crash can orphan granted
+	// locks until the next recovery; a wait timeout turns the resulting
+	// indefinite blocking into retryable timeouts.
+	WaitTimeout time.Duration
+	// Injector, when set, attaches fault injection to the site: crash
+	// windows inside the commit protocol (fault.SiteCrashPrepare,
+	// fault.SiteCrashCommitBeforeLog, fault.SiteCrashCommitAfterLog) and
+	// stable-storage faults on the site's disk (fault.DiskAppendFail,
+	// fault.DiskAppendTorn).
+	Injector *fault.Injector
 }
 
 // Site hosts locking-protocol objects, a write-ahead log on its own
@@ -60,10 +73,12 @@ type SiteConfig struct {
 // deferred update (intentions lists), the recovery technique the paper
 // pairs with the locking protocols.
 type Site struct {
-	id   SiteID
-	net  *Network
-	dec  *DecisionLog
-	sink cc.EventSink
+	id          SiteID
+	net         *Network
+	dec         *DecisionLog
+	sink        cc.EventSink
+	waitTimeout time.Duration
+	inj         *fault.Injector
 
 	mu       sync.Mutex
 	up       bool
@@ -73,6 +88,14 @@ type Site struct {
 	objects  map[histories.ObjectID]*locking.Object // volatile
 	detector *locking.Detector                      // volatile
 	prepared map[histories.ActivityID]map[histories.ObjectID]bool
+	replies  map[uint64]cachedReply // volatile at-most-once reply cache
+	crashes  int64                  // total crashes, for diagnostics
+}
+
+// cachedReply is a memoised handler result, keyed by request id.
+type cachedReply struct {
+	value any
+	err   error
 }
 
 // NewSite creates a site and attaches it to the network.
@@ -81,18 +104,22 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		return nil, errors.New("dist: SiteConfig needs ID, Network and Decisions")
 	}
 	s := &Site{
-		id:       cfg.ID,
-		net:      cfg.Network,
-		dec:      cfg.Decisions,
-		sink:     cfg.Sink,
-		up:       true,
-		disk:     &recovery.Disk{},
-		types:    make(map[histories.ObjectID]adts.Type),
-		guards:   make(map[histories.ObjectID]func(adts.Type) locking.Guard),
-		objects:  make(map[histories.ObjectID]*locking.Object),
-		detector: locking.NewDetector(),
-		prepared: make(map[histories.ActivityID]map[histories.ObjectID]bool),
+		id:          cfg.ID,
+		net:         cfg.Network,
+		dec:         cfg.Decisions,
+		sink:        cfg.Sink,
+		waitTimeout: cfg.WaitTimeout,
+		inj:         cfg.Injector,
+		up:          true,
+		disk:        &recovery.Disk{},
+		types:       make(map[histories.ObjectID]adts.Type),
+		guards:      make(map[histories.ObjectID]func(adts.Type) locking.Guard),
+		objects:     make(map[histories.ObjectID]*locking.Object),
+		detector:    locking.NewDetector(),
+		prepared:    make(map[histories.ActivityID]map[histories.ObjectID]bool),
+		replies:     make(map[uint64]cachedReply),
 	}
+	s.disk.SetInjector(cfg.Injector)
 	if err := cfg.Network.register(s); err != nil {
 		return nil, err
 	}
@@ -141,18 +168,19 @@ func (s *Site) AddObject(id histories.ObjectID, t adts.Type, guard func(adts.Typ
 
 func (s *Site) buildObject(id histories.ObjectID, t adts.Type, guard func(adts.Type) locking.Guard, initial spec.State) (*locking.Object, error) {
 	return locking.New(locking.Config{
-		ID:       id,
-		Type:     t,
-		Guard:    guard(t),
-		Detector: s.detector,
-		Sink:     s.sink,
-		Initial:  initial,
+		ID:          id,
+		Type:        t,
+		Guard:       guard(t),
+		Detector:    s.detector,
+		WaitTimeout: s.waitTimeout,
+		Sink:        s.sink,
+		Initial:     initial,
 	})
 }
 
 // Crash takes the site down, discarding every volatile structure: active
-// transactions, lock tables, committed in-memory states. Only the disk
-// survives.
+// transactions, lock tables, committed in-memory states, the reply cache.
+// Only the disk survives.
 func (s *Site) Crash() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -160,6 +188,33 @@ func (s *Site) Crash() {
 	s.objects = nil
 	s.detector = nil
 	s.prepared = nil
+	s.replies = nil
+	s.crashes++
+}
+
+// Crashes returns how many times the site has crashed.
+func (s *Site) Crashes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashes
+}
+
+// cachedReply looks up the memoised reply for a request id (at-most-once
+// delivery). Crashed sites have no cache.
+func (s *Site) cachedReply(reqID uint64) (any, error, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.replies[reqID]
+	return r.value, r.err, ok
+}
+
+// cacheReply memoises a handler's reply. A no-op after a crash.
+func (s *Site) cacheReply(reqID uint64, v any, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.replies != nil {
+		s.replies[reqID] = cachedReply{value: v, err: err}
+	}
 }
 
 // Recover brings the site back: committed states are rebuilt from the
@@ -174,22 +229,45 @@ func (s *Site) Recover() error {
 		return fmt.Errorf("dist: site %s is already up", s.id)
 	}
 	// Resolve in-doubt transactions first, appending the missing decision
-	// records so the redo pass below sees a complete log.
+	// records so the redo pass below sees a complete log. Recovery's log
+	// writes must not fail mid-resolution, so the injector is detached for
+	// the duration (a real system retries its recovery pass until stable
+	// storage accepts it).
+	s.disk.SetInjector(nil)
+	defer s.disk.SetInjector(s.inj)
 	recs := s.disk.Records()
 	inDoubt := make(map[histories.ActivityID]bool)
+	objectsOf := make(map[histories.ActivityID][]histories.ObjectID)
 	for _, r := range recs {
 		switch r.Kind {
 		case recovery.RecordIntentions:
+			if r.Torn {
+				continue
+			}
 			inDoubt[r.Txn] = true
+			objectsOf[r.Txn] = append(objectsOf[r.Txn], r.Object)
 		case recovery.RecordCommit, recovery.RecordAbort:
 			delete(inDoubt, r.Txn)
 		}
 	}
 	for txn := range inDoubt {
 		if s.dec.Committed(txn) {
-			s.disk.Append(recovery.Record{Kind: recovery.RecordCommit, Txn: txn})
+			if err := s.disk.Append(recovery.Record{Kind: recovery.RecordCommit, Txn: txn}); err != nil {
+				return fmt.Errorf("dist: recovering %s: %w", s.id, err)
+			}
+			// The transaction is durably committed (coordinator decision +
+			// our logged intentions) but this site crashed before
+			// installing it, so no commit event was ever emitted here.
+			// Record it now: nothing can have read the redone effects
+			// before this point, so the late commit event is a valid
+			// observation.
+			for _, obj := range objectsOf[txn] {
+				s.sink.Emit(histories.Commit(obj, txn))
+			}
 		} else {
-			s.disk.Append(recovery.Record{Kind: recovery.RecordAbort, Txn: txn})
+			if err := s.disk.Append(recovery.Record{Kind: recovery.RecordAbort, Txn: txn}); err != nil {
+				return fmt.Errorf("dist: recovering %s: %w", s.id, err)
+			}
 		}
 	}
 	specs := make(map[histories.ObjectID]spec.SerialSpec, len(s.types))
@@ -203,6 +281,7 @@ func (s *Site) Recover() error {
 	s.detector = locking.NewDetector()
 	s.objects = make(map[histories.ObjectID]*locking.Object, len(s.types))
 	s.prepared = make(map[histories.ActivityID]map[histories.ObjectID]bool)
+	s.replies = make(map[uint64]cachedReply)
 	for id, t := range s.types {
 		o, err := s.buildObject(id, t, s.guards[id], states[id])
 		if err != nil {
@@ -230,10 +309,19 @@ func (s *Site) object(id histories.ObjectID) (*locking.Object, error) {
 
 // --- server-side message handlers ---------------------------------------
 
-func (s *Site) handleInvoke(obj histories.ObjectID, txn *cc.TxnInfo, inv spec.Invocation) (value.Value, error) {
+// handleInvoke executes one invocation. seq is the number of calls the
+// client believes the transaction has completed at this object; if the
+// site's count disagrees, a crash wiped the transaction's volatile
+// intentions between its operations, and executing further calls would let
+// a partial transaction commit — refuse with the retryable ErrStaleTxn
+// instead.
+func (s *Site) handleInvoke(obj histories.ObjectID, txn *cc.TxnInfo, inv spec.Invocation, seq int) (value.Value, error) {
 	o, err := s.object(obj)
 	if err != nil {
 		return value.Nil(), err
+	}
+	if got := len(o.PendingCalls(txn)); got != seq {
+		return value.Nil(), fmt.Errorf("%w: %s at %s has %d of %d calls", ErrStaleTxn, txn.ID, s.id, got, seq)
 	}
 	s.registerTxn(txn)
 	return o.Invoke(txn, inv)
@@ -249,21 +337,38 @@ func (s *Site) registerTxn(txn *cc.TxnInfo) {
 }
 
 // handlePrepare forces the transaction's intentions at obj to the site's
-// log and marks it prepared (the participant's "yes" vote).
-func (s *Site) handlePrepare(obj histories.ObjectID, txn *cc.TxnInfo) error {
+// log and marks it prepared (the participant's "yes" vote). expect is the
+// client's count of the transaction's completed calls here; a mismatch
+// means a crash wiped part of the transaction, so the site votes no. A
+// failed or torn log append also votes no: an unlogged yes-vote would let
+// a commit decision outrun the intentions that make it redoable.
+func (s *Site) handlePrepare(obj histories.ObjectID, txn *cc.TxnInfo, expect int) error {
 	o, err := s.object(obj)
 	if err != nil {
 		return err
 	}
+	calls := o.PendingCalls(txn)
+	if len(calls) != expect {
+		return fmt.Errorf("%w: %s at %s has %d of %d calls at prepare", ErrStaleTxn, txn.ID, s.id, len(calls), expect)
+	}
 	if err := o.Prepare(txn); err != nil {
 		return err
 	}
-	s.disk.Append(recovery.Record{
+	if err := s.disk.Append(recovery.Record{
 		Kind:   recovery.RecordIntentions,
 		Txn:    txn.ID,
 		Object: obj,
-		Calls:  o.PendingCalls(txn),
-	})
+		Calls:  calls,
+	}); err != nil {
+		return fmt.Errorf("dist: prepare %s at %s: %w", txn.ID, s.id, err)
+	}
+	if s.inj.Fires(fault.SiteCrashPrepare) {
+		// Crash window: the yes-vote is durable but never reaches the
+		// coordinator. The transaction is now in doubt here; recovery
+		// resolves it against the coordinator's decision log.
+		s.Crash()
+		return fmt.Errorf("%w: %s (crashed after logging prepare)", ErrSiteDown, s.id)
+	}
 	s.mu.Lock()
 	if s.prepared != nil {
 		m := s.prepared[txn.ID]
@@ -281,12 +386,31 @@ func (s *Site) handlePrepare(obj histories.ObjectID, txn *cc.TxnInfo) error {
 // after preparing, the volatile intentions are gone; recovery has already
 // redone them from the log, so the commit is a no-op there — idempotence
 // comes from the write-ahead log, not the in-memory object.
+//
+// A failed local commit-record append is tolerated: the coordinator's
+// decision log is the transaction's durable outcome, so the next recovery
+// resolves the (locally still in-doubt) transaction to committed and
+// redoes it from the logged intentions. Two crash windows are injectable:
+// before the local commit record (recovery resolves against the decision
+// log) and after it (recovery redoes the installation).
 func (s *Site) handleCommit(obj histories.ObjectID, txn *cc.TxnInfo) error {
 	o, err := s.object(obj)
 	if err != nil {
 		return err
 	}
-	s.disk.Append(recovery.Record{Kind: recovery.RecordCommit, Txn: txn.ID})
+	if s.inj.Fires(fault.SiteCrashCommitBeforeLog) {
+		s.Crash()
+		return fmt.Errorf("%w: %s (crashed before logging commit)", ErrSiteDown, s.id)
+	}
+	_ = s.disk.Append(recovery.Record{Kind: recovery.RecordCommit, Txn: txn.ID})
+	if s.inj.Fires(fault.SiteCrashCommitAfterLog) {
+		// The commit is durable but not installed; restart will redo it.
+		// Emit the commit event now — the log append was the observable
+		// commit point at this site.
+		s.sink.Emit(histories.Commit(obj, txn.ID))
+		s.Crash()
+		return fmt.Errorf("%w: %s (crashed after logging commit)", ErrSiteDown, s.id)
+	}
 	o.Commit(txn, histories.TSNone)
 	s.forget(txn)
 	return nil
@@ -297,7 +421,8 @@ func (s *Site) handleAbort(obj histories.ObjectID, txn *cc.TxnInfo) error {
 	if err != nil {
 		return err
 	}
-	s.disk.Append(recovery.Record{Kind: recovery.RecordAbort, Txn: txn.ID})
+	// A failed abort-record append is ignored: recovery presumes abort.
+	_ = s.disk.Append(recovery.Record{Kind: recovery.RecordAbort, Txn: txn.ID})
 	o.Abort(txn)
 	s.forget(txn)
 	return nil

@@ -1,0 +1,259 @@
+// Package fault is a seeded, deterministic fault-injection subsystem. The
+// paper treats failure as a first-class event — atomicity is exactly the
+// property that survives aborts, crashes and restarts — so the layers that
+// can fail (stable storage, the message network, the sites) expose named
+// fault points and consult an Injector at each one.
+//
+// Determinism: whether the n-th hit of a fault point fires is a pure
+// function of (seed, point, n). Concurrency may change how many times each
+// point is reached in a given run, but it can never change the decision at
+// a given (point, hit) pair, so a seed pins the fault schedule: re-running
+// the same scenario with the same seed reproduces the same injected faults.
+// The injector additionally records an activation trace for diagnostics.
+//
+// All methods are safe on a nil *Injector (they report "never fires"), so
+// instrumented code needs no nil checks at fault points.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Point names a fault point. The instrumented packages hit these points;
+// which of them fire is configured per injector with Enable.
+type Point string
+
+// The named fault points wired through the system.
+const (
+	// DiskAppendFail: a stable-storage append fails cleanly (nothing is
+	// written). Hit by recovery.Disk.Append.
+	DiskAppendFail Point = "disk.append.fail"
+	// DiskAppendTorn: a stable-storage append tears — a prefix of the
+	// record's calls reaches the platter, the append reports failure, and
+	// restart discards the torn record (checksum model). Hit by
+	// recovery.Disk.Append for records carrying calls.
+	DiskAppendTorn Point = "disk.append.torn"
+	// NetRequestDrop: a request message is lost before delivery; the
+	// caller times out and retransmits. Hit by dist.Network per attempt.
+	NetRequestDrop Point = "net.request.drop"
+	// NetRequestDup: a request message is delivered twice; the duplicate's
+	// reply is discarded (the site's reply cache makes delivery
+	// idempotent). Hit by dist.Network after a successful delivery.
+	NetRequestDup Point = "net.request.dup"
+	// NetReplyDrop: the reply message is lost; the handler has executed
+	// but the caller times out and retransmits (answered from the reply
+	// cache). Hit by dist.Network per attempt.
+	NetReplyDrop Point = "net.reply.drop"
+	// NetDelay: extra message latency (the rule's Delay), reordering
+	// concurrent messages. Hit by dist.Network per attempt.
+	NetDelay Point = "net.delay"
+	// SiteCrashPrepare: the participant crashes after forcing its
+	// intentions to the log but before its yes-vote reaches the
+	// coordinator — the transaction is in doubt at this site. Hit by
+	// dist.Site in the prepare handler.
+	SiteCrashPrepare Point = "site.crash.prepare"
+	// SiteCrashCommitBeforeLog: the participant crashes on receiving the
+	// commit decision, before logging it — recovery must resolve the
+	// in-doubt transaction against the coordinator's decision log. Hit by
+	// dist.Site in the commit handler.
+	SiteCrashCommitBeforeLog Point = "site.crash.commit.before-log"
+	// SiteCrashCommitAfterLog: the participant crashes after logging the
+	// commit record but before installing the intentions in volatile
+	// state — restart redoes the installation from the log. Hit by
+	// dist.Site in the commit handler.
+	SiteCrashCommitAfterLog Point = "site.crash.commit.after-log"
+)
+
+// Rule configures when an enabled fault point fires.
+type Rule struct {
+	// Prob is the firing probability in [0, 1] per hit.
+	Prob float64
+	// Limit caps the total number of activations; 0 means unlimited.
+	Limit int
+	// Delay is the extra latency injected by delay-style points.
+	Delay time.Duration
+}
+
+// Activation records one firing of a fault point.
+type Activation struct {
+	// Point that fired.
+	Point Point
+	// Hit is the 1-based per-point hit number at which it fired.
+	Hit uint64
+}
+
+// ruleState is a Rule plus its per-point counters.
+type ruleState struct {
+	Rule
+	hits  uint64
+	fired int
+}
+
+// Injector decides, deterministically from its seed, whether each hit of a
+// named fault point fires. The zero of *Injector (nil) never fires.
+type Injector struct {
+	seed uint64
+
+	mu    sync.Mutex
+	rules map[Point]*ruleState
+	trace []Activation
+}
+
+// New returns an injector with the given seed and no points enabled.
+func New(seed int64) *Injector {
+	return &Injector{seed: uint64(seed), rules: make(map[Point]*ruleState)}
+}
+
+// Seed returns the injector's seed.
+func (in *Injector) Seed() int64 {
+	if in == nil {
+		return 0
+	}
+	return int64(in.seed)
+}
+
+// Enable arms point p under rule r (replacing any previous rule and
+// resetting its counters).
+func (in *Injector) Enable(p Point, r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules[p] = &ruleState{Rule: r}
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective mixer whose output is
+// uniform enough to threshold against a probability.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fnv64 hashes a fault-point name.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// decide is the pure decision function: does the hit-th hit of p fire under
+// probability prob with seed?
+func decide(seed uint64, p Point, hit uint64, prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	u := splitmix64(seed ^ fnv64(string(p)) ^ hit*0x9e3779b97f4a7c15)
+	return float64(u>>11)/(1<<53) < prob
+}
+
+// hit registers one hit of p and reports whether it fires, recording the
+// activation.
+func (in *Injector) hit(p Point) (Rule, bool) {
+	if in == nil {
+		return Rule{}, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	rs, ok := in.rules[p]
+	if !ok {
+		return Rule{}, false
+	}
+	rs.hits++
+	if rs.Limit > 0 && rs.fired >= rs.Limit {
+		return Rule{}, false
+	}
+	if !decide(in.seed, p, rs.hits, rs.Prob) {
+		return Rule{}, false
+	}
+	rs.fired++
+	in.trace = append(in.trace, Activation{Point: p, Hit: rs.hits})
+	return rs.Rule, true
+}
+
+// Fires registers one hit of p and reports whether the fault fires.
+func (in *Injector) Fires(p Point) bool {
+	_, fired := in.hit(p)
+	return fired
+}
+
+// Delay registers one hit of p and returns the rule's extra latency if the
+// fault fires, zero otherwise.
+func (in *Injector) Delay(p Point) time.Duration {
+	r, fired := in.hit(p)
+	if !fired {
+		return 0
+	}
+	return r.Delay
+}
+
+// Schedule previews, without consuming hits, which of the first n hits of p
+// would fire under its enabled rule (ignoring Limit): the deterministic
+// fault schedule the seed pins for that point.
+func (in *Injector) Schedule(p Point, n int) []bool {
+	if in == nil {
+		return make([]bool, n)
+	}
+	in.mu.Lock()
+	var prob float64
+	if rs, ok := in.rules[p]; ok {
+		prob = rs.Prob
+	}
+	seed := in.seed
+	in.mu.Unlock()
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = decide(seed, p, uint64(i+1), prob)
+	}
+	return out
+}
+
+// Trace returns a copy of the activation trace, in firing order.
+func (in *Injector) Trace() []Activation {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Activation(nil), in.trace...)
+}
+
+// Stats returns hits and activations per enabled point.
+func (in *Injector) Stats() map[Point][2]uint64 {
+	out := make(map[Point][2]uint64)
+	if in == nil {
+		return out
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for p, rs := range in.rules {
+		out[p] = [2]uint64{rs.hits, uint64(rs.fired)}
+	}
+	return out
+}
+
+// Summary renders per-point hit/fire counts, for diagnostic dumps.
+func (in *Injector) Summary() string {
+	stats := in.Stats()
+	points := make([]string, 0, len(stats))
+	for p := range stats {
+		points = append(points, string(p))
+	}
+	sort.Strings(points)
+	var b strings.Builder
+	fmt.Fprintf(&b, "injector seed=%d\n", in.Seed())
+	for _, p := range points {
+		s := stats[Point(p)]
+		fmt.Fprintf(&b, "  %-30s hits=%-6d fired=%d\n", p, s[0], s[1])
+	}
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSeedDeterminism: two injectors with the same seed and rules, hit in
+// the same order, produce identical decisions and identical traces — the
+// fault schedule is a function of the seed.
+func TestSeedDeterminism(t *testing.T) {
+	points := []Point{NetRequestDrop, NetReplyDrop, DiskAppendTorn, SiteCrashPrepare}
+	build := func() *Injector {
+		in := New(42)
+		for _, p := range points {
+			in.Enable(p, Rule{Prob: 0.3})
+		}
+		return in
+	}
+	a, b := build(), build()
+	for i := 0; i < 500; i++ {
+		p := points[i%len(points)]
+		if a.Fires(p) != b.Fires(p) {
+			t.Fatalf("decision diverged at hit %d of %s", i, p)
+		}
+	}
+	ta, tb := a.Trace(), b.Trace()
+	if len(ta) == 0 {
+		t.Fatal("no activations at prob 0.3 over 500 hits")
+	}
+	if len(ta) != len(tb) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("traces differ at %d: %v vs %v", i, ta[i], tb[i])
+		}
+	}
+}
+
+// TestSeedsDiffer: different seeds give different schedules.
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	a.Enable(NetRequestDrop, Rule{Prob: 0.5})
+	b.Enable(NetRequestDrop, Rule{Prob: 0.5})
+	same := true
+	for i := 0; i < 200; i++ {
+		if a.Fires(NetRequestDrop) != b.Fires(NetRequestDrop) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical 200-hit schedules")
+	}
+}
+
+// TestScheduleMatchesFires: Schedule previews exactly the decisions Fires
+// makes (no Limit in play).
+func TestScheduleMatchesFires(t *testing.T) {
+	in := New(7)
+	in.Enable(DiskAppendFail, Rule{Prob: 0.25})
+	want := in.Schedule(DiskAppendFail, 100)
+	for i, w := range want {
+		if got := in.Fires(DiskAppendFail); got != w {
+			t.Fatalf("hit %d: Fires=%v, Schedule=%v", i+1, got, w)
+		}
+	}
+}
+
+// TestProbabilityEndpoints: prob 1 always fires, prob 0 and unknown points
+// never fire.
+func TestProbabilityEndpoints(t *testing.T) {
+	in := New(3)
+	in.Enable(NetDelay, Rule{Prob: 1, Delay: 5 * time.Millisecond})
+	in.Enable(NetRequestDup, Rule{Prob: 0})
+	for i := 0; i < 20; i++ {
+		if d := in.Delay(NetDelay); d != 5*time.Millisecond {
+			t.Fatalf("prob-1 delay point returned %v", d)
+		}
+		if in.Fires(NetRequestDup) {
+			t.Fatal("prob-0 point fired")
+		}
+		if in.Fires(SiteCrashPrepare) {
+			t.Fatal("un-enabled point fired")
+		}
+	}
+}
+
+// TestLimit: a Limit-1 rule fires exactly once however many hits follow.
+func TestLimit(t *testing.T) {
+	in := New(9)
+	in.Enable(SiteCrashPrepare, Rule{Prob: 1, Limit: 1})
+	fired := 0
+	for i := 0; i < 50; i++ {
+		if in.Fires(SiteCrashPrepare) {
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("limit-1 rule fired %d times", fired)
+	}
+	if tr := in.Trace(); len(tr) != 1 || tr[0] != (Activation{Point: SiteCrashPrepare, Hit: 1}) {
+		t.Fatalf("trace = %v", in.Trace())
+	}
+}
+
+// TestNilInjector: every method is a safe no-op on nil.
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if in.Fires(NetRequestDrop) {
+		t.Error("nil injector fired")
+	}
+	if d := in.Delay(NetDelay); d != 0 {
+		t.Errorf("nil injector delay %v", d)
+	}
+	if tr := in.Trace(); tr != nil {
+		t.Errorf("nil injector trace %v", tr)
+	}
+	if s := in.Schedule(NetDelay, 3); len(s) != 3 || s[0] || s[1] || s[2] {
+		t.Errorf("nil injector schedule %v", s)
+	}
+	if in.Seed() != 0 {
+		t.Error("nil injector seed")
+	}
+	if len(in.Stats()) != 0 {
+		t.Error("nil injector stats")
+	}
+}
+
+// TestStatsAndSummary: counters track hits and activations.
+func TestStatsAndSummary(t *testing.T) {
+	in := New(11)
+	in.Enable(NetRequestDrop, Rule{Prob: 1, Limit: 2})
+	for i := 0; i < 5; i++ {
+		in.Fires(NetRequestDrop)
+	}
+	s := in.Stats()[NetRequestDrop]
+	if s[0] != 5 || s[1] != 2 {
+		t.Fatalf("stats = %v, want hits=5 fired=2", s)
+	}
+	if sum := in.Summary(); sum == "" {
+		t.Fatal("empty summary")
+	}
+}

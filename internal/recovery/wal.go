@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 
+	"weihl83/internal/cc"
+	"weihl83/internal/fault"
 	"weihl83/internal/histories"
 	"weihl83/internal/spec"
 )
@@ -28,30 +30,66 @@ type Record struct {
 	Object histories.ObjectID // RecordIntentions and RecordInstalled
 	Calls  []spec.Call        // RecordIntentions
 	TS     histories.Timestamp
+	// Torn marks a record whose append failed partway: only a prefix of
+	// its calls reached stable storage. Restart discards torn records,
+	// modelling checksum-validated log entries.
+	Torn bool
 }
 
+// ErrWriteFailed reports a failed stable-storage append. It wraps
+// cc.ErrUnavailable: a transaction whose log write fails must abort but may
+// be retried.
+var ErrWriteFailed = fmt.Errorf("recovery: stable-storage write failed: %w", cc.ErrUnavailable)
+
 // Disk is the stable-storage abstraction: everything appended survives a
-// Crash; nothing else does. It is safe for concurrent use.
+// Crash; nothing else does. It is safe for concurrent use. An attached
+// fault injector can make appends fail or tear (fault.DiskAppendFail,
+// fault.DiskAppendTorn).
 type Disk struct {
 	mu      sync.Mutex
 	records []Record
+	inj     *fault.Injector
 }
 
-// Append durably appends a record.
-func (d *Disk) Append(r Record) {
+// SetInjector attaches a fault injector (nil detaches).
+func (d *Disk) SetInjector(in *fault.Injector) {
+	d.mu.Lock()
+	d.inj = in
+	d.mu.Unlock()
+}
+
+// Append durably appends a record. A torn append writes a checksummed-away
+// prefix of the record's calls and reports failure; a failed append writes
+// nothing. Either way the caller must treat the record as not logged.
+func (d *Disk) Append(r Record) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	cp := r
 	cp.Calls = append([]spec.Call(nil), r.Calls...)
+	if len(cp.Calls) > 0 && d.inj.Fires(fault.DiskAppendTorn) {
+		torn := cp
+		torn.Calls = cp.Calls[:len(cp.Calls)/2]
+		torn.Torn = true
+		d.records = append(d.records, torn)
+		return fmt.Errorf("%w: torn append of %s record for %s", ErrWriteFailed, "intentions", r.Txn)
+	}
+	if d.inj.Fires(fault.DiskAppendFail) {
+		return fmt.Errorf("%w: append for %s", ErrWriteFailed, r.Txn)
+	}
 	d.records = append(d.records, cp)
+	return nil
 }
 
-// Records returns a snapshot of the log.
+// Records returns a deep-copied snapshot of the log: mutating a returned
+// record's Calls cannot alias the live log.
 func (d *Disk) Records() []Record {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	out := make([]Record, len(d.records))
 	copy(out, d.records)
+	for i := range out {
+		out[i].Calls = append([]spec.Call(nil), out[i].Calls...)
+	}
 	return out
 }
 
@@ -66,7 +104,8 @@ func (d *Disk) Len() int {
 // replaying the intentions of committed transactions in commit order — the
 // redo pass of intentions-list recovery. Transactions with no commit record
 // (active or aborted at the crash) contribute nothing, which is exactly the
-// recoverability half of atomicity: they appear never to have run.
+// recoverability half of atomicity: they appear never to have run. Torn
+// records fail their checksum and are discarded.
 func Restart(d *Disk, specs map[histories.ObjectID]spec.SerialSpec) (map[histories.ObjectID]spec.State, error) {
 	states := make(map[histories.ObjectID]spec.State, len(specs))
 	for id, s := range specs {
@@ -75,6 +114,9 @@ func Restart(d *Disk, specs map[histories.ObjectID]spec.SerialSpec) (map[histori
 	recs := d.Records()
 	intentions := make(map[histories.ActivityID]map[histories.ObjectID]*IntentionsList)
 	for _, r := range recs {
+		if r.Torn {
+			continue
+		}
 		switch r.Kind {
 		case RecordIntentions:
 			m := intentions[r.Txn]

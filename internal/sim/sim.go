@@ -17,6 +17,7 @@ import (
 	"weihl83/internal/hybridcc"
 	"weihl83/internal/locking"
 	"weihl83/internal/mvcc"
+	"weihl83/internal/recovery"
 	"weihl83/internal/tx"
 )
 
@@ -113,6 +114,12 @@ type Config struct {
 	// SemiQueue substitutes the nondeterministic semiqueue for the FIFO
 	// queue in queue workloads (experiment A4).
 	SemiQueue bool
+	// WAL, when set, write-ahead-logs every commit so the system's state
+	// survives a crash-restart (recovery.Restart); chaos runs inject disk
+	// faults through it.
+	WAL *recovery.Disk
+	// Backoff paces Run's retries (zero value = defaults).
+	Backoff tx.Backoff
 }
 
 // System is a ready-to-run system: a manager plus its registered objects.
@@ -171,6 +178,8 @@ func NewSystem(cfg Config, wantAccounts int, wantQueue bool) (*System, error) {
 		Detector:   doomer,
 		Record:     cfg.Record,
 		MaxRetries: cfg.MaxRetries,
+		WAL:        cfg.WAL,
+		Backoff:    cfg.Backoff,
 	})
 	if err != nil {
 		return nil, err

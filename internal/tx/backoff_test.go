@@ -1,0 +1,183 @@
+package tx_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"weihl83/internal/cc"
+	"weihl83/internal/tx"
+	"weihl83/internal/value"
+)
+
+// recordingSleeper captures the delays Run chooses instead of sleeping, so
+// backoff behaviour is asserted without wall-clock waits.
+type recordingSleeper struct {
+	delays []time.Duration
+}
+
+func (r *recordingSleeper) sleep(ctx context.Context, d time.Duration) error {
+	r.delays = append(r.delays, d)
+	return ctx.Err()
+}
+
+func conflictManager(t *testing.T, cfg tx.Config) *tx.Manager {
+	t.Helper()
+	m, err := tx.NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(alwaysConflict{}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestBackoffDelaysGrowCapped: recorded retry delays follow capped
+// exponential backoff with equal jitter — each delay lies in
+// [ceil/2, ceil] for ceil = min(Max, Base·2^retry), and once the cap is
+// reached delays stay within [Max/2, Max].
+func TestBackoffDelaysGrowCapped(t *testing.T) {
+	rec := &recordingSleeper{}
+	base, max := 100*time.Microsecond, 800*time.Microsecond
+	m := conflictManager(t, tx.Config{
+		Property:   tx.Dynamic,
+		MaxRetries: 10,
+		Backoff:    tx.Backoff{Base: base, Max: max, Seed: 7, Sleep: rec.sleep},
+	})
+	err := m.Run(func(txn *tx.Txn) error {
+		_, err := txn.Invoke("x", "op", value.Nil())
+		return err
+	})
+	if !errors.Is(err, cc.ErrConflict) {
+		t.Fatalf("Run = %v, want exhausted conflict", err)
+	}
+	if len(rec.delays) != 9 {
+		t.Fatalf("recorded %d delays, want 9 (10 attempts)", len(rec.delays))
+	}
+	for i, d := range rec.delays {
+		ceil := base
+		for j := 0; j < i && ceil < max; j++ {
+			ceil *= 2
+		}
+		if ceil > max {
+			ceil = max
+		}
+		if d < ceil/2 || d > ceil {
+			t.Errorf("delay %d = %v, want within [%v, %v]", i, d, ceil/2, ceil)
+		}
+	}
+	// The cap binds from retry 3 on (100µs·2³ = 800µs).
+	for i := 3; i < len(rec.delays); i++ {
+		if rec.delays[i] < max/2 || rec.delays[i] > max {
+			t.Errorf("capped delay %d = %v escaped [%v, %v]", i, rec.delays[i], max/2, max)
+		}
+	}
+}
+
+// TestBackoffSeedReproducible: two managers with the same Backoff seed
+// produce identical delay sequences; a different seed produces a different
+// one.
+func TestBackoffSeedReproducible(t *testing.T) {
+	sequence := func(seed int64) []time.Duration {
+		rec := &recordingSleeper{}
+		m := conflictManager(t, tx.Config{
+			Property:   tx.Dynamic,
+			MaxRetries: 8,
+			Backoff:    tx.Backoff{Seed: seed, Sleep: rec.sleep},
+		})
+		_ = m.Run(func(txn *tx.Txn) error {
+			_, err := txn.Invoke("x", "op", value.Nil())
+			return err
+		})
+		return rec.delays
+	}
+	a, b := sequence(42), sequence(42)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("sequences %v / %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := sequence(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical delay sequences")
+	}
+}
+
+// TestRunCtxExpiredReturnsPromptly: an already-expired context makes RunCtx
+// return immediately with the context's error — no attempt runs.
+func TestRunCtxExpiredReturnsPromptly(t *testing.T) {
+	m := conflictManager(t, tx.Config{Property: tx.Dynamic})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	calls := 0
+	start := time.Now()
+	err := m.RunCtx(ctx, func(txn *tx.Txn) error {
+		calls++
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunCtx under expired deadline = %v, want DeadlineExceeded", err)
+	}
+	if calls != 0 {
+		t.Errorf("fn ran %d times under an expired context", calls)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("RunCtx took %v to notice the expired context", elapsed)
+	}
+}
+
+// TestRunCtxCancelStopsRetryChain: cancelling mid-retry stops the chain at
+// the next backoff wait and surfaces context.Canceled.
+func TestRunCtxCancelStopsRetryChain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := conflictManager(t, tx.Config{
+		Property:   tx.Dynamic,
+		MaxRetries: 1000,
+		Backoff: tx.Backoff{Sleep: func(ctx context.Context, _ time.Duration) error {
+			return ctx.Err()
+		}},
+	})
+	calls := 0
+	err := m.RunCtx(ctx, func(txn *tx.Txn) error {
+		calls++
+		if calls == 3 {
+			cancel()
+		}
+		_, err := txn.Invoke("x", "op", value.Nil())
+		return err
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx after cancel = %v, want Canceled", err)
+	}
+	if calls != 3 {
+		t.Errorf("fn ran %d times, want 3 (cancel stops the chain)", calls)
+	}
+}
+
+// TestRunReadOnlyCtx: the read-only variant honours its context too.
+func TestRunReadOnlyCtx(t *testing.T) {
+	m := conflictManager(t, tx.Config{Property: tx.Dynamic})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.RunReadOnlyCtx(ctx, func(txn *tx.Txn) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunReadOnlyCtx = %v, want Canceled", err)
+	}
+	// And succeeds under a live context.
+	if err := m.RunReadOnlyCtx(context.Background(), func(txn *tx.Txn) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

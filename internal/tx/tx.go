@@ -7,10 +7,13 @@
 package tx
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"weihl83/internal/cc"
 	"weihl83/internal/histories"
@@ -69,6 +72,35 @@ type callsReporter interface {
 	PendingCalls(txn *cc.TxnInfo) []spec.Call
 }
 
+// Backoff configures retry pacing in Run: capped exponential backoff with
+// equal jitter. The zero value selects the defaults.
+type Backoff struct {
+	// Base is the first retry's delay ceiling (default 100µs).
+	Base time.Duration
+	// Max caps the per-retry delay ceiling (default 10ms).
+	Max time.Duration
+	// Seed seeds the jitter (default 1); a fixed seed makes the delay
+	// sequence reproducible.
+	Seed int64
+	// Sleep, when set, replaces the delay implementation: it receives the
+	// retry context and the chosen delay and may return an error to stop
+	// retrying (tests inject a recorder here; the default is a
+	// context-aware timer wait).
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (b *Backoff) fill() {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Microsecond
+	}
+	if b.Max <= 0 {
+		b.Max = 10 * time.Millisecond
+	}
+	if b.Seed == 0 {
+		b.Seed = 1
+	}
+}
+
 // Config configures a Manager.
 type Config struct {
 	// Property selects the timestamp regime. Required.
@@ -91,6 +123,9 @@ type Config struct {
 	Decision func(txn histories.ActivityID)
 	// MaxRetries bounds automatic retries in Run (default 100).
 	MaxRetries int
+	// Backoff paces the retries in Run. The zero value selects capped
+	// exponential backoff with equal jitter at the defaults.
+	Backoff Backoff
 }
 
 // Manager coordinates transactions over a set of registered resources.
@@ -104,6 +139,9 @@ type Manager struct {
 
 	commits atomic.Int64
 	aborts  atomic.Int64
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
 }
 
 // ErrManagerConfig reports an invalid configuration.
@@ -122,9 +160,11 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 100
 	}
+	(&cfg.Backoff).fill()
 	return &Manager{
 		cfg:       cfg,
 		resources: make(map[histories.ObjectID]cc.Resource),
+		jitter:    rand.New(rand.NewSource(cfg.Backoff.Seed)),
 	}, nil
 }
 
@@ -290,17 +330,27 @@ func (t *Txn) Commit() error {
 		defer t.m.commitMu.Unlock()
 	}
 	if disk := t.m.cfg.WAL; disk != nil {
+		// A failed (or torn) log write before the commit record aborts the
+		// transaction: the commit record is the atomic commit point, and
+		// nothing before it may be considered durable. Already-appended
+		// intentions without a commit record are ignored by Restart.
 		for _, r := range t.joined {
 			if cr, ok := r.(callsReporter); ok {
-				disk.Append(recovery.Record{
+				if err := disk.Append(recovery.Record{
 					Kind:   recovery.RecordIntentions,
 					Txn:    t.info.ID,
 					Object: r.ObjectID(),
 					Calls:  cr.PendingCalls(&t.info),
-				})
+				}); err != nil {
+					t.Abort()
+					return fmt.Errorf("tx: logging intentions: %w", err)
+				}
 			}
 		}
-		disk.Append(recovery.Record{Kind: recovery.RecordCommit, Txn: t.info.ID, TS: cts})
+		if err := disk.Append(recovery.Record{Kind: recovery.RecordCommit, Txn: t.info.ID, TS: cts}); err != nil {
+			t.Abort()
+			return fmt.Errorf("tx: logging commit: %w", err)
+		}
 	}
 	if t.m.cfg.Decision != nil {
 		t.m.cfg.Decision(t.info.ID)
@@ -319,7 +369,9 @@ func (t *Txn) Abort() {
 		return
 	}
 	if disk := t.m.cfg.WAL; disk != nil {
-		disk.Append(recovery.Record{Kind: recovery.RecordAbort, Txn: t.info.ID})
+		// A failed abort-record append is ignored: restart presumes abort
+		// for transactions without a commit record.
+		_ = disk.Append(recovery.Record{Kind: recovery.RecordAbort, Txn: t.info.ID})
 	}
 	for _, r := range t.joined {
 		r.Abort(&t.info)
@@ -337,21 +389,78 @@ func (t *Txn) finish(s Status) {
 
 // Run executes fn inside a transaction with automatic retry: if fn or
 // Commit fails with a retryable protocol error (deadlock, timeout,
-// timestamp conflict), the transaction is aborted and fn re-run in a fresh
-// one (a new activity). Non-retryable errors abort and return. fn may
+// timestamp conflict, resource outage), the transaction is aborted and fn
+// re-run in a fresh one (a new activity), after a capped exponential
+// backoff delay with jitter. Non-retryable errors abort and return. fn may
 // return cc-wrapped errors from Invoke directly.
 func (m *Manager) Run(fn func(t *Txn) error) error {
-	return m.run(fn, false)
+	return m.run(context.Background(), fn, false)
 }
 
 // RunReadOnly is Run with read-only transactions.
 func (m *Manager) RunReadOnly(fn func(t *Txn) error) error {
-	return m.run(fn, true)
+	return m.run(context.Background(), fn, true)
 }
 
-func (m *Manager) run(fn func(t *Txn) error, readOnly bool) error {
+// RunCtx is Run bounded by ctx: an expired or cancelled context stops the
+// retry chain promptly (before the next attempt and during backoff waits)
+// and returns the context's error. fn itself is not interrupted mid-flight;
+// ctx bounds the chain, not an individual attempt.
+func (m *Manager) RunCtx(ctx context.Context, fn func(t *Txn) error) error {
+	return m.run(ctx, fn, false)
+}
+
+// RunReadOnlyCtx is RunCtx with read-only transactions.
+func (m *Manager) RunReadOnlyCtx(ctx context.Context, fn func(t *Txn) error) error {
+	return m.run(ctx, fn, true)
+}
+
+// retryDelay picks the delay before retry number retry (0-based): equal
+// jitter on a capped exponential ceiling — half the ceiling guaranteed,
+// half jittered, so delays grow but concurrent retriers still spread out.
+func (m *Manager) retryDelay(retry int) time.Duration {
+	b := m.cfg.Backoff
+	ceil := b.Base
+	for i := 0; i < retry && ceil < b.Max; i++ {
+		ceil *= 2
+	}
+	if ceil > b.Max {
+		ceil = b.Max
+	}
+	half := ceil / 2
+	m.jitterMu.Lock()
+	j := time.Duration(m.jitter.Int63n(int64(half) + 1))
+	m.jitterMu.Unlock()
+	return half + j
+}
+
+// pause waits the retry delay, honouring ctx.
+func (m *Manager) pause(ctx context.Context, retry int) error {
+	d := m.retryDelay(retry)
+	if sleep := m.cfg.Backoff.Sleep; sleep != nil {
+		return sleep(ctx, d)
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+func (m *Manager) run(ctx context.Context, fn func(t *Txn) error, readOnly bool) error {
 	var lastErr error
 	for attempt := 0; attempt < m.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if err := m.pause(ctx, attempt-1); err != nil {
+				return fmt.Errorf("tx: %w (after %d attempts, last: %v)", err, attempt, lastErr)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("tx: %w", err)
+		}
 		t := m.begin(readOnly)
 		err := fn(t)
 		if err == nil {

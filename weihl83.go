@@ -28,6 +28,7 @@
 package weihl83
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -36,6 +37,7 @@ import (
 	"weihl83/internal/cc"
 	"weihl83/internal/clock"
 	"weihl83/internal/core"
+	"weihl83/internal/fault"
 	"weihl83/internal/histories"
 	"weihl83/internal/hybridcc"
 	"weihl83/internal/locking"
@@ -75,6 +77,35 @@ type (
 	// Disk is the stable-storage abstraction used for write-ahead logging
 	// and crash-restart simulation.
 	Disk = recovery.Disk
+	// Backoff configures Run's retry pacing: capped exponential backoff
+	// with equal jitter (the zero value selects the defaults).
+	Backoff = tx.Backoff
+	// Injector is a seeded deterministic fault injector: decisions are a
+	// pure function of (seed, point, hit), so a seed replays its fault
+	// schedule exactly. Attach one with Disk.SetInjector (stable-storage
+	// faults) or the dist package's Network/Site hooks (message and crash
+	// faults).
+	Injector = fault.Injector
+	// FaultPoint names an injectable fault site.
+	FaultPoint = fault.Point
+	// FaultRule sets a point's firing probability, activation limit and
+	// delay.
+	FaultRule = fault.Rule
+)
+
+// NewInjector returns a fault injector whose schedule is pinned by seed.
+func NewInjector(seed int64) *Injector { return fault.New(seed) }
+
+// Fault points injectable at this package's level: the stable-storage
+// hazards of a Disk. (The dist package consults the message and
+// site-crash points.)
+const (
+	// DiskAppendFail makes a write-ahead-log append write nothing and
+	// report a retryable failure.
+	DiskAppendFail = fault.DiskAppendFail
+	// DiskAppendTorn makes an append persist only a prefix of its
+	// intentions; restart discards the torn record.
+	DiskAppendTorn = fault.DiskAppendTorn
 )
 
 // Property selects the local atomicity property a System enforces.
@@ -120,6 +151,9 @@ type Options struct {
 	// WAL, when non-nil, receives intentions and commit records, enabling
 	// Restart.
 	WAL *Disk
+	// Backoff paces Run's retries (zero value = capped exponential backoff
+	// with equal jitter at the defaults).
+	Backoff Backoff
 }
 
 // System is a collection of atomic objects plus a transaction manager.
@@ -152,6 +186,7 @@ func NewSystem(opts Options) (*System, error) {
 		Record:     opts.Record,
 		MaxRetries: opts.MaxRetries,
 		WAL:        opts.WAL,
+		Backoff:    opts.Backoff,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("weihl83: %w", err)
@@ -267,6 +302,18 @@ func (s *System) Run(fn func(*Txn) error) error { return s.manager.Run(fn) }
 
 // RunReadOnly is Run with a read-only transaction.
 func (s *System) RunReadOnly(fn func(*Txn) error) error { return s.manager.RunReadOnly(fn) }
+
+// RunCtx is Run bounded by ctx: an expired or cancelled context stops the
+// retry chain promptly (before the next attempt and during backoff waits)
+// and returns the context's error.
+func (s *System) RunCtx(ctx context.Context, fn func(*Txn) error) error {
+	return s.manager.RunCtx(ctx, fn)
+}
+
+// RunReadOnlyCtx is RunCtx with a read-only transaction.
+func (s *System) RunReadOnlyCtx(ctx context.Context, fn func(*Txn) error) error {
+	return s.manager.RunReadOnlyCtx(ctx, fn)
+}
 
 // History returns the recorded history (empty unless Options.Record).
 func (s *System) History() History { return s.manager.History() }
