@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos check clean
+.PHONY: all build vet test race chaos check bench-smoke clean
 
 all: check
 
@@ -26,6 +26,13 @@ chaos:
 	$(GO) run ./cmd/chaos -property dynamic -runs 10
 	$(GO) run ./cmd/chaos -property static -runs 10
 	$(GO) run ./cmd/chaos -property hybrid -runs 10
+
+# bench-smoke compiles and exercises every benchmark once and produces a
+# machine-readable bankbench result at a tiny scale — a fast regression
+# gate for the bench and -json paths, not a measurement.
+bench-smoke:
+	$(GO) run ./cmd/bankbench -json -exp e5 -workers 2 -transfers 10 -audits 4 -accounts 4 > BENCH_smoke.json
+	$(GO) test -bench=. -benchtime=1x ./...
 
 clean:
 	$(GO) clean ./...

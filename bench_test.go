@@ -18,6 +18,7 @@ import (
 	"weihl83/internal/histories"
 	"weihl83/internal/locking"
 	"weihl83/internal/mvcc"
+	"weihl83/internal/obs"
 	"weihl83/internal/paper"
 	"weihl83/internal/recovery"
 	"weihl83/internal/sched"
@@ -150,6 +151,23 @@ func benchBank(b *testing.B, kind sim.Kind, audits bool) {
 func BenchmarkE5AuditLocking(b *testing.B) { benchBank(b, sim.KindCommut, true) }
 func BenchmarkE5AuditMVCC(b *testing.B)    { benchBank(b, sim.KindMVCC, true) }
 func BenchmarkE5AuditHybrid(b *testing.B)  { benchBank(b, sim.KindHybrid, true) }
+
+// --- F2: observability overhead ------------------------------------------
+//
+// The same E5-style workload with the event tracer off (the default: every
+// instrumented site pays one atomic load) and on (events land in the ring).
+// Comparing the two sub-benchmarks bounds the tracer's hot-path cost; the
+// acceptance bar is <5% for the disabled path.
+func BenchmarkF2ObsTraceOff(b *testing.B) {
+	obs.Default.Tracer().Disable()
+	benchBank(b, sim.KindCommut, true)
+}
+
+func BenchmarkF2ObsTraceOn(b *testing.B) {
+	obs.Default.Tracer().Enable()
+	defer obs.Default.Tracer().Disable()
+	benchBank(b, sim.KindCommut, true)
+}
 
 func BenchmarkE9LockingAudit(b *testing.B) { benchBank(b, sim.KindEscrow, true) }
 func BenchmarkE9HybridAudit(b *testing.B)  { benchBank(b, sim.KindHybrid, true) }

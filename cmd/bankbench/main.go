@@ -8,14 +8,21 @@
 //	bankbench -exp all   everything
 //
 // Flags scale the workload (-transfers, -audits, -workers, -accounts).
+// With -json, the human-readable tables go to stderr and stdout carries one
+// machine-readable JSON document: every table row plus the process-wide
+// observability snapshot — suitable for redirecting into a committed
+// BENCH_*.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"weihl83/internal/obs"
 	"weihl83/internal/sim"
 )
 
@@ -24,6 +31,70 @@ type scale struct {
 	transfers int
 	audits    int
 	accounts  int
+}
+
+// tout receives the human-readable tables (stdout normally, stderr under
+// -json so stdout stays pure JSON).
+var tout io.Writer = os.Stdout
+
+// benchRow is one table row in machine-readable form.
+type benchRow struct {
+	Exp               string                `json:"exp"`
+	Kind              string                `json:"kind"`
+	Labels            map[string]int64      `json:"labels,omitempty"`
+	WallNS            int64                 `json:"wall_ns"`
+	TransfersPerSec   float64               `json:"transfers_per_sec"`
+	TransferRetryRate float64               `json:"transfer_retry_rate"`
+	TransferFailed    int64                 `json:"transfer_failed"`
+	AuditsPerSec      float64               `json:"audits_per_sec"`
+	AuditRetryRate    float64               `json:"audit_retry_rate"`
+	Violations        int64                 `json:"violations"`
+	TransferLatency   obs.HistogramSnapshot `json:"transfer_latency_ns"`
+	AuditLatency      obs.HistogramSnapshot `json:"audit_latency_ns"`
+}
+
+// benchDoc is the -json output: rows plus the observability snapshot
+// accumulated across every run in the invocation.
+type benchDoc struct {
+	Experiment string       `json:"experiment"`
+	Scale      scaleDoc     `json:"scale"`
+	Rows       []benchRow   `json:"rows"`
+	Obs        obs.Snapshot `json:"obs"`
+}
+
+type scaleDoc struct {
+	Workers   int `json:"workers"`
+	Transfers int `json:"transfers"`
+	Audits    int `json:"audits"`
+	Accounts  int `json:"accounts"`
+}
+
+// jsonDoc is non-nil when -json collects rows.
+var jsonDoc *benchDoc
+
+// record adds one row to the -json document (a no-op otherwise).
+func record(exp string, kind sim.Kind, labels map[string]int64, m *sim.Metrics) {
+	if jsonDoc == nil || m == nil {
+		return
+	}
+	auditRate := float64(0)
+	if m.Wall > 0 {
+		auditRate = float64(m.AuditCommits()) / m.Wall.Seconds()
+	}
+	jsonDoc.Rows = append(jsonDoc.Rows, benchRow{
+		Exp:               exp,
+		Kind:              kind.String(),
+		Labels:            labels,
+		WallNS:            int64(m.Wall),
+		TransfersPerSec:   m.TransferThroughput(),
+		TransferRetryRate: m.TransferAbortRate(),
+		TransferFailed:    m.TransferFailed(),
+		AuditsPerSec:      auditRate,
+		AuditRetryRate:    m.AuditAbortRate(),
+		Violations:        m.ConservationViolations(),
+		TransferLatency:   m.TransferLatencyStats(),
+		AuditLatency:      m.AuditLatencyStats(),
+	})
 }
 
 func main() {
@@ -36,8 +107,18 @@ func run() int {
 	transfers := flag.Int("transfers", 200, "transfers per worker")
 	audits := flag.Int("audits", 50, "audits per audit worker")
 	accounts := flag.Int("accounts", 8, "number of accounts")
+	jsonFlag := flag.Bool("json", false, "emit machine-readable JSON on stdout (tables go to stderr)")
 	flag.Parse()
 	sc := scale{workers: *workers, transfers: *transfers, audits: *audits, accounts: *accounts}
+	if *jsonFlag {
+		tout = os.Stderr
+		jsonDoc = &benchDoc{
+			Experiment: *exp,
+			Scale:      scaleDoc{Workers: sc.workers, Transfers: sc.transfers, Audits: sc.audits, Accounts: sc.accounts},
+			Rows:       []benchRow{},
+		}
+		obs.Default.Reset() // scope the snapshot to this invocation
+	}
 
 	ok := true
 	switch *exp {
@@ -54,6 +135,15 @@ func run() int {
 	default:
 		fmt.Fprintln(os.Stderr, "bankbench: unknown experiment", *exp)
 		return 2
+	}
+	if jsonDoc != nil {
+		jsonDoc.Obs = obs.Default.Snapshot(false)
+		out, err := json.MarshalIndent(jsonDoc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bankbench: marshal:", err)
+			return 1
+		}
+		fmt.Println(string(out))
 	}
 	if !ok {
 		return 1
@@ -80,8 +170,8 @@ func runBank(kind sim.Kind, cfg sim.Config, p sim.BankParams) (*sim.Metrics, boo
 // locking, audits block updates and deadlock; under mvcc and hybrid they
 // are cheap and never abort.
 func e5(sc scale) bool {
-	fmt.Println("\nE5 — long read-only activities (audit span sweep), §4.2.3")
-	fmt.Printf("%-10s %6s %12s %12s %12s %12s %12s\n",
+	fmt.Fprintln(tout, "\nE5 — long read-only activities (audit span sweep), §4.2.3")
+	fmt.Fprintf(tout, "%-10s %6s %12s %12s %12s %12s %12s\n",
 		"kind", "span", "xfer/s", "xferRetry", "auditRetry", "auditMean", "violations")
 	okAll := true
 	for _, kind := range []sim.Kind{sim.KindCommut, sim.KindMVCC, sim.KindHybrid} {
@@ -111,8 +201,9 @@ func e5(sc scale) bool {
 			if m == nil {
 				continue
 			}
-			fmt.Printf("%-10s %6d %12.0f %12.3f %12.3f %12v %12d\n",
-				kind, span, m.TransferThroughput(), m.TransferAbortRate(), m.AuditAbortRate(), m.MeanAuditLatency().Round(1000), m.ConservationViolations)
+			fmt.Fprintf(tout, "%-10s %6d %12.0f %12.3f %12.3f %12v %12d\n",
+				kind, span, m.TransferThroughput(), m.TransferAbortRate(), m.AuditAbortRate(), m.MeanAuditLatency().Round(1000), m.ConservationViolations())
+			record("e5", kind, map[string]int64{"span": int64(span)}, m)
 		}
 	}
 	return okAll
@@ -122,8 +213,8 @@ func e5(sc scale) bool {
 // (§4.2.3). Sweep the skew; static aborts rise, dynamic is immune (it has
 // no timestamps).
 func e6(sc scale) bool {
-	fmt.Println("\nE6 — clock-skew sweep for updates, §4.2.3")
-	fmt.Printf("%-10s %6s %12s %12s %12s\n", "kind", "skew", "xfer/s", "retry/commit", "failed")
+	fmt.Fprintln(tout, "\nE6 — clock-skew sweep for updates, §4.2.3")
+	fmt.Fprintf(tout, "%-10s %6s %12s %12s %12s\n", "kind", "skew", "xfer/s", "retry/commit", "failed")
 	okAll := true
 	transfers := sc.transfers
 	if transfers > 50 {
@@ -146,8 +237,9 @@ func e6(sc scale) bool {
 			if m == nil {
 				continue
 			}
-			fmt.Printf("%-10s %6d %12.0f %12.3f %12d\n",
-				kind, skew, m.TransferThroughput(), m.TransferAbortRate(), m.TransferFailed)
+			fmt.Fprintf(tout, "%-10s %6d %12.0f %12.3f %12d\n",
+				kind, skew, m.TransferThroughput(), m.TransferAbortRate(), m.TransferFailed())
+			record("e6", kind, map[string]int64{"skew": skew}, m)
 			if kind == sim.KindCommut {
 				break // dynamic atomicity has no timestamps; one row suffices
 			}
@@ -159,8 +251,8 @@ func e6(sc scale) bool {
 	// the data-dependent rule admits any timestamp disorder while the
 	// classical read/write rule keeps aborting — the §5 "semantics matter"
 	// point on the static side.
-	fmt.Println("\nE6b — blind updates only: data-dependent vs classical validation")
-	fmt.Printf("%-16s %6s %12s %12s\n", "kind", "skew", "xfer/s", "retry/commit")
+	fmt.Fprintln(tout, "\nE6b — blind updates only: data-dependent vs classical validation")
+	fmt.Fprintf(tout, "%-16s %6s %12s %12s\n", "kind", "skew", "xfer/s", "retry/commit")
 	for _, kind := range []sim.Kind{sim.KindMVCC, sim.KindMVCCClassical} {
 		for _, skew := range []int64{0, 8, 32} {
 			p := sim.BankParams{
@@ -177,7 +269,8 @@ func e6(sc scale) bool {
 			if m == nil {
 				continue
 			}
-			fmt.Printf("%-16s %6d %12.0f %12.3f\n", kind, skew, m.TransferThroughput(), m.TransferAbortRate())
+			fmt.Fprintf(tout, "%-16s %6d %12.0f %12.3f\n", kind, skew, m.TransferThroughput(), m.TransferAbortRate())
+			record("e6b", kind, map[string]int64{"skew": skew}, m)
 		}
 	}
 	return okAll
@@ -186,8 +279,8 @@ func e6(sc scale) bool {
 // e7: §5.1's single-account contention — classical read/write locking vs
 // argument-aware commutativity vs state-based (escrow) dynamic atomicity.
 func e7(sc scale) bool {
-	fmt.Println("\nE7 — single-account withdrawal contention, §5.1")
-	fmt.Printf("%-16s %12s %12s %12s %12s\n", "kind", "xfer/s", "xferRetry", "meanLat", "waits")
+	fmt.Fprintln(tout, "\nE7 — single-account withdrawal contention, §5.1")
+	fmt.Fprintf(tout, "%-16s %12s %12s %12s %12s\n", "kind", "xfer/s", "xferRetry", "meanLat", "waits")
 	okAll := true
 	transfers := sc.transfers
 	if transfers > 50 {
@@ -221,8 +314,9 @@ func e7(sc scale) bool {
 				waits += w
 			}
 		}
-		fmt.Printf("%-16s %12.0f %12.3f %12v %12d\n",
+		fmt.Fprintf(tout, "%-16s %12.0f %12.3f %12v %12d\n",
 			kind, m.TransferThroughput(), m.TransferAbortRate(), m.MeanTransferLatency().Round(1000), waits)
+		record("e7", kind, map[string]int64{"waits": waits}, m)
 	}
 	return okAll
 }
@@ -230,8 +324,8 @@ func e7(sc scale) bool {
 // e9: the Lamport banking example (§4.3.3): transfers with concurrent
 // full-span audits, locking vs hybrid. Hybrid audits never interfere.
 func e9(sc scale) bool {
-	fmt.Println("\nE9 — Lamport transfer/audit mix, §4.3.3")
-	fmt.Printf("%-10s %12s %12s %12s %12s %12s\n",
+	fmt.Fprintln(tout, "\nE9 — Lamport transfer/audit mix, §4.3.3")
+	fmt.Fprintf(tout, "%-10s %12s %12s %12s %12s %12s\n",
 		"kind", "xfer/s", "xferRetry", "audit/s", "auditMean", "violations")
 	okAll := true
 	for _, kind := range []sim.Kind{sim.KindCommut, sim.KindEscrow, sim.KindHybrid} {
@@ -255,10 +349,11 @@ func e9(sc scale) bool {
 		}
 		auditRate := float64(0)
 		if m.Wall > 0 {
-			auditRate = float64(m.AuditCommits) / m.Wall.Seconds()
+			auditRate = float64(m.AuditCommits()) / m.Wall.Seconds()
 		}
-		fmt.Printf("%-10s %12.0f %12.3f %12.0f %12v %12d\n",
-			kind, m.TransferThroughput(), m.TransferAbortRate(), auditRate, m.MeanAuditLatency().Round(1000), m.ConservationViolations)
+		fmt.Fprintf(tout, "%-10s %12.0f %12.3f %12.0f %12v %12d\n",
+			kind, m.TransferThroughput(), m.TransferAbortRate(), auditRate, m.MeanAuditLatency().Round(1000), m.ConservationViolations())
+		record("e9", kind, nil, m)
 	}
 	return okAll
 }

@@ -88,12 +88,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "FAIL seed=%d: %v\n", cfg.Seed, err)
 			if rep != nil {
 				fmt.Fprintln(os.Stderr, rep.Dump())
+				// The full observability snapshot — every counter,
+				// histogram and the transaction event trace — as one JSON
+				// document, for replaying the failure offline.
+				if js, jerr := rep.Obs.JSON(); jerr == nil {
+					fmt.Fprintln(os.Stderr, string(js))
+				}
 			}
 		case *verbose:
 			fmt.Println(rep.Dump())
+			// Summary, not String: -v output must stay byte-identical across
+			// replays of a seed, so no wall-clock latency values here.
+			fmt.Print(rep.Obs.Summary())
 		default:
 			fmt.Printf("ok   seed=%d property=%s commits=%d aborts=%d crashes=%d balances=%v\n",
 				rep.Seed, rep.Property, rep.Commits, rep.Aborts, rep.Crashes, rep.Balances)
+			fmt.Printf("     obs: tx.commit=%d tx.retry=%d locking.waits=%d dist.rpc.retransmits=%d wal.appends=%d fault.fires=%d trace=%d events\n",
+				rep.Obs.Counter("tx.commit"), rep.Obs.Counter("tx.retry"),
+				rep.Obs.Counter("locking.waits"), rep.Obs.Counter("dist.rpc.retransmits"),
+				rep.Obs.Counter("wal.appends"), rep.Obs.Counter("fault.fires"),
+				rep.Obs.TraceRecorded)
 		}
 	}
 	if failed > 0 {

@@ -42,6 +42,32 @@ var (
 	ErrUnavailable = errors.New("resource temporarily unavailable")
 )
 
+// AbortCause names the sentinel behind an abort error, for aborts-by-cause
+// metrics: "deadlock", "timeout", "doomed", "conflict", "unavailable",
+// "readonly", "invalid-op", "unknown-txn", or "other".
+func AbortCause(err error) string {
+	switch {
+	case errors.Is(err, ErrDeadlock):
+		return "deadlock"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, ErrDoomed):
+		return "doomed"
+	case errors.Is(err, ErrConflict):
+		return "conflict"
+	case errors.Is(err, ErrUnavailable):
+		return "unavailable"
+	case errors.Is(err, ErrReadOnly):
+		return "readonly"
+	case errors.Is(err, ErrInvalidOp):
+		return "invalid-op"
+	case errors.Is(err, ErrUnknownTxn):
+		return "unknown-txn"
+	default:
+		return "other"
+	}
+}
+
 // Retryable reports whether err is a transient protocol abort: the caller
 // should abort the transaction and may run it again.
 func Retryable(err error) bool {

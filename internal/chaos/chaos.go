@@ -30,6 +30,7 @@ import (
 	"weihl83/internal/fault"
 	"weihl83/internal/histories"
 	"weihl83/internal/locking"
+	"weihl83/internal/obs"
 	"weihl83/internal/recovery"
 	"weihl83/internal/sim"
 	"weihl83/internal/spec"
@@ -102,6 +103,10 @@ type Report struct {
 	// Trace is the injector's activation trace; Injector its summary.
 	Trace    []fault.Activation
 	Injector string
+	// Obs is the observability snapshot scoped to this run: counters and
+	// histograms from every layer, plus the transaction event trace (the
+	// tracer is enabled for the duration of the run).
+	Obs obs.Snapshot
 }
 
 // Dump renders the report for diagnostics.
@@ -139,14 +144,32 @@ const perTransfer = 5
 // whenever the system was built, including on failure.
 func Run(ctx context.Context, cfg Config) (*Report, error) {
 	(&cfg).fill()
+	// Scope the process-wide observability registry to this run: reset the
+	// counters and enable the event tracer, then attach the snapshot to the
+	// report — one JSON document explains the run end to end.
+	obs.Default.Reset()
+	tr := obs.Default.Tracer()
+	wasEnabled := tr.Enabled()
+	tr.Enable()
+	defer func() {
+		if !wasEnabled {
+			tr.Disable()
+		}
+	}()
+	var rep *Report
+	var err error
 	switch cfg.Property {
 	case tx.Dynamic:
-		return runDist(ctx, cfg)
+		rep, err = runDist(ctx, cfg)
 	case tx.Static, tx.Hybrid:
-		return runLocal(ctx, cfg)
+		rep, err = runLocal(ctx, cfg)
 	default:
 		return nil, fmt.Errorf("chaos: unknown property %d", cfg.Property)
 	}
+	if rep != nil {
+		rep.Obs = obs.Default.Snapshot(true)
+	}
+	return rep, err
 }
 
 // recorder collects the global event history from site sinks.

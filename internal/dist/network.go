@@ -32,6 +32,16 @@ import (
 
 	"weihl83/internal/cc"
 	"weihl83/internal/fault"
+	"weihl83/internal/obs"
+)
+
+// Observability for the message layer. Attempts beyond the first are
+// retransmissions; timeouts count calls whose whole budget ran out.
+var (
+	obsRPCCalls       = obs.Default.Counter("dist.rpc.calls")
+	obsRPCAttempts    = obs.Default.Counter("dist.rpc.attempts")
+	obsRPCRetransmits = obs.Default.Counter("dist.rpc.retransmits")
+	obsRPCTimeouts    = obs.Default.Counter("dist.rpc.timeouts")
 )
 
 // SiteID names a site.
@@ -192,8 +202,13 @@ func call[Req any, Resp any](n *Network, site SiteID, req Req, handle func(s *Si
 	inj := n.injector()
 	timeout, retransmits := n.rpcParams()
 	reqID := n.reqSeq.Add(1)
+	obsRPCCalls.Inc()
 	var lastErr error
 	for attempt := 0; attempt <= retransmits; attempt++ {
+		obsRPCAttempts.Inc()
+		if attempt > 0 {
+			obsRPCRetransmits.Inc()
+		}
 		n.delay() // request latency
 		if d := inj.Delay(fault.NetDelay); d > 0 {
 			time.Sleep(d)
@@ -222,6 +237,7 @@ func call[Req any, Resp any](n *Network, site SiteID, req Req, handle func(s *Si
 		}
 		return resp, herr
 	}
+	obsRPCTimeouts.Inc()
 	if errors.Is(lastErr, ErrSiteDown) {
 		return zero, lastErr
 	}

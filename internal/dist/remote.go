@@ -2,11 +2,22 @@ package dist
 
 import (
 	"sync"
+	"time"
 
 	"weihl83/internal/cc"
 	"weihl83/internal/histories"
+	"weihl83/internal/obs"
 	"weihl83/internal/spec"
 	"weihl83/internal/value"
+)
+
+// Observability: per-phase round-trip latency of the remote protocol, as
+// seen by the coordinator (includes retransmission waits).
+var (
+	obsInvokeLat  = obs.Default.Histogram("dist.2pc.invoke_ns")
+	obsPrepareLat = obs.Default.Histogram("dist.2pc.prepare_ns")
+	obsCommitLat  = obs.Default.Histogram("dist.2pc.commit_ns")
+	obsAbortLat   = obs.Default.Histogram("dist.2pc.abort_ns")
 )
 
 // RemoteResource is a cc.Resource proxy for an object hosted at another
@@ -66,9 +77,11 @@ func (r *RemoteResource) forget(txn histories.ActivityID) {
 // again once the site recovers).
 func (r *RemoteResource) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, error) {
 	n := r.seqOf(txn.ID)
+	start := time.Now()
 	v, err := call(r.net, r.site, inv, func(s *Site, inv spec.Invocation) (value.Value, error) {
 		return s.handleInvoke(r.obj, txn, inv, n)
 	})
+	obsInvokeLat.Observe(int64(time.Since(start)))
 	if err == nil {
 		r.bump(txn.ID)
 	}
@@ -80,9 +93,11 @@ func (r *RemoteResource) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Val
 func (r *RemoteResource) Prepare(txn *cc.TxnInfo) error {
 	n := r.seqOf(txn.ID)
 	type req struct{}
+	start := time.Now()
 	_, err := call(r.net, r.site, req{}, func(s *Site, _ req) (struct{}, error) {
 		return struct{}{}, s.handlePrepare(r.obj, txn, n)
 	})
+	obsPrepareLat.Observe(int64(time.Since(start)))
 	return err
 }
 
@@ -92,9 +107,11 @@ func (r *RemoteResource) Prepare(txn *cc.TxnInfo) error {
 // write-ahead logging in two-phase commit.
 func (r *RemoteResource) Commit(txn *cc.TxnInfo, _ histories.Timestamp) {
 	type req struct{}
+	start := time.Now()
 	_, _ = call(r.net, r.site, req{}, func(s *Site, _ req) (struct{}, error) {
 		return struct{}{}, s.handleCommit(r.obj, txn)
 	})
+	obsCommitLat.Observe(int64(time.Since(start)))
 	r.forget(txn.ID)
 }
 
@@ -102,8 +119,10 @@ func (r *RemoteResource) Commit(txn *cc.TxnInfo, _ histories.Timestamp) {
 // dropped: recovery presumes abort for undecided transactions.
 func (r *RemoteResource) Abort(txn *cc.TxnInfo) {
 	type req struct{}
+	start := time.Now()
 	_, _ = call(r.net, r.site, req{}, func(s *Site, _ req) (struct{}, error) {
 		return struct{}{}, s.handleAbort(r.obj, txn)
 	})
+	obsAbortLat.Observe(int64(time.Since(start)))
 	r.forget(txn.ID)
 }

@@ -11,9 +11,20 @@ import (
 	"weihl83/internal/fault"
 	"weihl83/internal/histories"
 	"weihl83/internal/locking"
+	"weihl83/internal/obs"
 	"weihl83/internal/recovery"
 	"weihl83/internal/spec"
 	"weihl83/internal/value"
+)
+
+// Observability for site lifecycle and the at-most-once reply cache.
+var (
+	obsSiteCrashes    = obs.Default.Counter("dist.site.crashes")
+	obsSiteRecoveries = obs.Default.Counter("dist.site.recoveries")
+	obsCacheHits      = obs.Default.Counter("dist.reply.cache.hits")
+	obsInDoubtCommits = obs.Default.Counter("dist.recover.indoubt.commits")
+	obsInDoubtAborts  = obs.Default.Counter("dist.recover.indoubt.aborts")
+	obsSiteTrace      = obs.Default.Tracer()
 )
 
 // DecisionLog is the coordinator's stable record of commit decisions,
@@ -190,6 +201,10 @@ func (s *Site) Crash() {
 	s.prepared = nil
 	s.replies = nil
 	s.crashes++
+	obsSiteCrashes.Inc()
+	if obsSiteTrace.Enabled() {
+		obsSiteTrace.Record(obs.TraceEvent{Kind: obs.KindCrash, Site: string(s.id)})
+	}
 }
 
 // Crashes returns how many times the site has crashed.
@@ -205,6 +220,9 @@ func (s *Site) cachedReply(reqID uint64) (any, error, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	r, ok := s.replies[reqID]
+	if ok {
+		obsCacheHits.Inc()
+	}
 	return r.value, r.err, ok
 }
 
@@ -255,6 +273,7 @@ func (s *Site) Recover() error {
 			if err := s.disk.Append(recovery.Record{Kind: recovery.RecordCommit, Txn: txn}); err != nil {
 				return fmt.Errorf("dist: recovering %s: %w", s.id, err)
 			}
+			obsInDoubtCommits.Inc()
 			// The transaction is durably committed (coordinator decision +
 			// our logged intentions) but this site crashed before
 			// installing it, so no commit event was ever emitted here.
@@ -268,6 +287,7 @@ func (s *Site) Recover() error {
 			if err := s.disk.Append(recovery.Record{Kind: recovery.RecordAbort, Txn: txn}); err != nil {
 				return fmt.Errorf("dist: recovering %s: %w", s.id, err)
 			}
+			obsInDoubtAborts.Inc()
 		}
 	}
 	specs := make(map[histories.ObjectID]spec.SerialSpec, len(s.types))
@@ -290,6 +310,10 @@ func (s *Site) Recover() error {
 		s.objects[id] = o
 	}
 	s.up = true
+	obsSiteRecoveries.Inc()
+	if obsSiteTrace.Enabled() {
+		obsSiteTrace.Record(obs.TraceEvent{Kind: obs.KindRecover, Site: string(s.id)})
+	}
 	return nil
 }
 

@@ -21,6 +21,16 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"weihl83/internal/obs"
+)
+
+// Observability: total and per-point activation counts, plus a trace event
+// per firing (the tracer places each fault among the transaction events it
+// perturbed).
+var (
+	obsFires = obs.Default.Counter("fault.fires")
+	obsTrace = obs.Default.Tracer()
 )
 
 // Point names a fault point. The instrumented packages hit these points;
@@ -177,6 +187,11 @@ func (in *Injector) hit(p Point) (Rule, bool) {
 	}
 	rs.fired++
 	in.trace = append(in.trace, Activation{Point: p, Hit: rs.hits})
+	obsFires.Inc()
+	obs.Default.Counter("fault.fire." + string(p)).Inc()
+	if obsTrace.Enabled() {
+		obsTrace.Record(obs.TraceEvent{Kind: obs.KindFault, Note: string(p)})
+	}
 	return rs.Rule, true
 }
 

@@ -13,13 +13,25 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"weihl83/internal/adts"
 	"weihl83/internal/cc"
 	"weihl83/internal/histories"
 	"weihl83/internal/locking"
+	"weihl83/internal/obs"
 	"weihl83/internal/spec"
 	"weihl83/internal/value"
+)
+
+// Observability for the read-only side; the update side is instrumented by
+// the inner locking object.
+var (
+	obsQueries  = obs.Default.Counter("hybrid.queries")
+	obsROWaits  = obs.Default.Counter("hybrid.rowaits")
+	obsWaitLat  = obs.Default.Histogram("hybrid.wait_ns")
+	obsVersions = obs.Default.Histogram("hybrid.versions")
+	obsTrace    = obs.Default.Tracer()
 )
 
 // Config configures a hybrid object.
@@ -157,9 +169,16 @@ func (o *Object) query(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, error
 	o.sink.Emit(histories.Invoke(o.id, txn.ID, inv.Op, inv.Arg))
 	for len(o.prepared) > 0 {
 		o.roWaits++
+		obsROWaits.Inc()
+		waitStart := time.Now()
 		ch := o.gen
 		o.mu.Unlock()
 		<-ch
+		blocked := time.Since(waitStart)
+		obsWaitLat.Observe(int64(blocked))
+		if obsTrace.Enabled() {
+			obsTrace.Record(obs.TraceEvent{Kind: obs.KindWait, Txn: string(txn.ID), Obj: string(o.id), Dur: blocked})
+		}
 		o.mu.Lock()
 	}
 	st := o.stateBelow(txn.TS)
@@ -168,6 +187,7 @@ func (o *Object) query(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, error
 		return value.Nil(), fmt.Errorf("hybridcc: %s at %s: %w: %v", txn.ID, o.id, cc.ErrInvalidOp, err)
 	}
 	o.queries++
+	obsQueries.Inc()
 	o.sink.Emit(histories.Return(o.id, txn.ID, out.Result))
 	return out.Result, nil
 }
@@ -232,6 +252,7 @@ func (o *Object) Commit(txn *cc.TxnInfo, ts histories.Timestamp) {
 			o.corrupt(fmt.Errorf("hybridcc: version replay at %s: %w", o.id, err))
 		} else {
 			o.versions = append(o.versions, version{ts: ts, state: st})
+			obsVersions.Observe(int64(len(o.versions)))
 		}
 	}
 	delete(o.prepared, txn.ID)

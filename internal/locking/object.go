@@ -11,9 +11,20 @@ import (
 	"weihl83/internal/adts"
 	"weihl83/internal/cc"
 	"weihl83/internal/histories"
+	"weihl83/internal/obs"
 	"weihl83/internal/recovery"
 	"weihl83/internal/spec"
 	"weihl83/internal/value"
+)
+
+// Observability: conflict-wait metrics for the locking protocols. Waits
+// are the slow path, so the extra clock reads cost nothing on granted
+// invocations.
+var (
+	obsGrants  = obs.Default.Counter("locking.grants")
+	obsWaits   = obs.Default.Counter("locking.waits")
+	obsWaitLat = obs.Default.Histogram("locking.wait_ns")
+	obsTrace   = obs.Default.Tracer()
 )
 
 // Config configures a locking object.
@@ -232,6 +243,8 @@ func (o *Object) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, erro
 		// generation channel captured under the lock prevents lost
 		// wake-ups.
 		o.waits++
+		obsWaits.Inc()
+		waitStart := time.Now()
 		ch := o.gen
 		o.mu.Unlock()
 		if o.detector != nil {
@@ -249,6 +262,11 @@ func (o *Object) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, erro
 		}
 		if o.detector != nil {
 			o.detector.ClearWaiting(txn.ID)
+		}
+		blocked := time.Since(waitStart)
+		obsWaitLat.Observe(int64(blocked))
+		if obsTrace.Enabled() {
+			obsTrace.Record(obs.TraceEvent{Kind: obs.KindWait, Txn: string(txn.ID), Obj: string(o.id), Dur: blocked})
 		}
 		o.mu.Lock()
 		if timedOut {
@@ -273,6 +291,7 @@ func (o *Object) viewOf(e *txnEntry) (spec.State, error) {
 // grant records the call. Callers must hold o.mu.
 func (o *Object) grant(txn *cc.TxnInfo, e *txnEntry, cand spec.Call, next spec.State) {
 	o.grants++
+	obsGrants.Inc()
 	if o.inPlace {
 		e.undo.Record(o.ty.Invert(o.base, cand.Inv, cand.Result))
 		o.base = next

@@ -29,11 +29,25 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"weihl83/internal/cc"
 	"weihl83/internal/histories"
+	"weihl83/internal/obs"
 	"weihl83/internal/spec"
 	"weihl83/internal/value"
+)
+
+// Observability. Chain length is observed at each grant so the histogram
+// tracks how long the version log actually gets under load, not just its
+// final size.
+var (
+	obsGrants    = obs.Default.Counter("mvcc.grants")
+	obsWaits     = obs.Default.Counter("mvcc.waits")
+	obsConflicts = obs.Default.Counter("mvcc.conflicts")
+	obsWaitLat   = obs.Default.Histogram("mvcc.wait_ns")
+	obsChainLen  = obs.Default.Histogram("mvcc.chain.len")
+	obsTrace     = obs.Default.Tracer()
 )
 
 // Config configures a multi-version object.
@@ -255,6 +269,7 @@ func (o *Object) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, erro
 	if txn.TS <= o.baseTS {
 		// The versions below this timestamp have been truncated away.
 		o.conflicts++
+		obsConflicts.Inc()
 		return value.Nil(), fmt.Errorf("mvcc: %s(ts %d) at %s below compaction watermark %d: %w",
 			txn.ID, txn.TS, o.id, o.baseTS, cc.ErrConflict)
 	}
@@ -275,9 +290,16 @@ func (o *Object) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, erro
 			break
 		}
 		o.waits++
+		obsWaits.Inc()
+		waitStart := time.Now()
 		ch := o.gen
 		o.mu.Unlock()
 		<-ch
+		waited := time.Since(waitStart)
+		obsWaitLat.Observe(int64(waited))
+		if obsTrace.Enabled() {
+			obsTrace.Record(obs.TraceEvent{Kind: obs.KindWait, Txn: string(txn.ID), Obj: string(o.id), Dur: waited})
+		}
 		o.mu.Lock()
 	}
 
@@ -321,6 +343,7 @@ func (o *Object) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, erro
 	// invalidate it.
 	if o.classical && o.isWrite(inv.Op) && len(later) > 0 {
 		o.conflicts++
+		obsConflicts.Inc()
 		return value.Nil(), fmt.Errorf("mvcc: %s(ts %d) at %s writes below %s(ts %d) (classical rule): %w",
 			txn.ID, txn.TS, o.id, later[0].txn, later[0].ts, cc.ErrConflict)
 	}
@@ -353,6 +376,7 @@ func (o *Object) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, erro
 	}
 	if chosen == nil {
 		o.conflicts++
+		obsConflicts.Inc()
 		return value.Nil(), lastErr
 	}
 
@@ -368,6 +392,8 @@ func (o *Object) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, erro
 		o.changed()
 	}
 	o.grants++
+	obsGrants.Inc()
+	obsChainLen.Observe(int64(len(o.entries)))
 	o.sink.Emit(histories.Return(o.id, txn.ID, cand.Result))
 	return cand.Result, nil
 }

@@ -1,0 +1,15 @@
+package obs
+
+import "sync/atomic"
+
+// Thin wrappers so the metric types can embed plain int64 fields (keeping
+// their zero values useful and their layout padded exactly as declared)
+// while all access stays atomic.
+
+func atomicAdd(p *int64, d int64) { atomic.AddInt64(p, d) }
+
+func atomicLoad(p *int64) int64 { return atomic.LoadInt64(p) }
+
+func atomicStore(p *int64, v int64) { atomic.StoreInt64(p, v) }
+
+func atomicCAS(p *int64, old, new int64) bool { return atomic.CompareAndSwapInt64(p, old, new) }

@@ -7,8 +7,25 @@ import (
 	"weihl83/internal/cc"
 	"weihl83/internal/fault"
 	"weihl83/internal/histories"
+	"weihl83/internal/obs"
 	"weihl83/internal/spec"
 )
+
+// Observability for stable storage. Byte counts are an estimate of the
+// serialized record size (the model keeps records in memory), good enough
+// to compare logging volume across runs.
+var (
+	obsWALAppends = obs.Default.Counter("wal.appends")
+	obsWALBytes   = obs.Default.Counter("wal.append.bytes")
+	obsWALFailed  = obs.Default.Counter("wal.append.failed")
+	obsWALTorn    = obs.Default.Counter("wal.append.torn")
+)
+
+// recordBytes estimates a record's serialized size: a fixed header plus a
+// per-call overhead.
+func recordBytes(r Record) int64 {
+	return 64 + 48*int64(len(r.Calls))
+}
 
 // RecordKind discriminates write-ahead-log records.
 type RecordKind int
@@ -71,12 +88,16 @@ func (d *Disk) Append(r Record) error {
 		torn.Calls = cp.Calls[:len(cp.Calls)/2]
 		torn.Torn = true
 		d.records = append(d.records, torn)
+		obsWALTorn.Inc()
 		return fmt.Errorf("%w: torn append of %s record for %s", ErrWriteFailed, "intentions", r.Txn)
 	}
 	if d.inj.Fires(fault.DiskAppendFail) {
+		obsWALFailed.Inc()
 		return fmt.Errorf("%w: append for %s", ErrWriteFailed, r.Txn)
 	}
 	d.records = append(d.records, cp)
+	obsWALAppends.Inc()
+	obsWALBytes.Add(recordBytes(cp))
 	return nil
 }
 

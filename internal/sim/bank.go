@@ -110,6 +110,7 @@ func runWithRetry(m *tx.Manager, readOnly bool, maxRetries int, fn func(*tx.Txn)
 		} else {
 			t.Abort()
 		}
+		tx.NoteAbort(err)
 		if !cc.Retryable(err) {
 			return retries, err
 		}

@@ -2,59 +2,88 @@ package sim
 
 import (
 	"fmt"
-	"sync"
 	"time"
+
+	"weihl83/internal/obs"
 )
 
-// Metrics aggregates the measurements a workload run reports. Rates are
-// derived, not stored.
+// Metrics aggregates the measurements a workload run reports, built on the
+// observability primitives (zero-value counters and histograms from
+// internal/obs) so concurrent workers record without a mutex and latency
+// quantiles come for free. Rates are derived, not stored.
 type Metrics struct {
-	mu sync.Mutex
-
 	Wall time.Duration
 
-	TransferCommits int64
-	TransferRetries int64
-	TransferFailed  int64 // retries exhausted
-	TransferLatency time.Duration
+	transferCommits obs.Counter
+	transferRetries obs.Counter
+	transferFailed  obs.Counter // retries exhausted
+	transferLat     obs.Histogram
 
-	AuditCommits int64
-	AuditRetries int64
-	AuditFailed  int64
-	AuditLatency time.Duration
+	auditCommits obs.Counter
+	auditRetries obs.Counter
+	auditFailed  obs.Counter
+	auditLat     obs.Histogram
 
-	// ConservationViolations counts audits whose observed total differed
-	// from the invariant (must stay zero for atomic protocols).
-	ConservationViolations int64
+	// violations counts audits whose observed total differed from the
+	// invariant (must stay zero for atomic protocols).
+	violations obs.Counter
 }
 
 // addTransfer records one completed transfer attempt chain.
 func (m *Metrics) addTransfer(lat time.Duration, retries int64, failed bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.TransferLatency += lat
-	m.TransferRetries += retries
+	m.transferLat.Observe(int64(lat))
+	m.transferRetries.Add(retries)
 	if failed {
-		m.TransferFailed++
+		m.transferFailed.Inc()
 	} else {
-		m.TransferCommits++
+		m.transferCommits.Inc()
 	}
 }
 
 // addAudit records one completed audit attempt chain.
 func (m *Metrics) addAudit(lat time.Duration, retries int64, failed, violated bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.AuditLatency += lat
-	m.AuditRetries += retries
+	m.auditLat.Observe(int64(lat))
+	m.auditRetries.Add(retries)
 	if failed {
-		m.AuditFailed++
+		m.auditFailed.Inc()
 	} else {
-		m.AuditCommits++
+		m.auditCommits.Inc()
 	}
 	if violated {
-		m.ConservationViolations++
+		m.violations.Inc()
 	}
+}
+
+// TransferCommits returns the number of committed transfer chains.
+func (m *Metrics) TransferCommits() int64 { return m.transferCommits.Load() }
+
+// TransferRetries returns the total retries across all transfer chains.
+func (m *Metrics) TransferRetries() int64 { return m.transferRetries.Load() }
+
+// TransferFailed returns the transfer chains that exhausted their retries.
+func (m *Metrics) TransferFailed() int64 { return m.transferFailed.Load() }
+
+// AuditCommits returns the number of committed audit chains.
+func (m *Metrics) AuditCommits() int64 { return m.auditCommits.Load() }
+
+// AuditRetries returns the total retries across all audit chains.
+func (m *Metrics) AuditRetries() int64 { return m.auditRetries.Load() }
+
+// AuditFailed returns the audit chains that exhausted their retries.
+func (m *Metrics) AuditFailed() int64 { return m.auditFailed.Load() }
+
+// ConservationViolations returns how many audits saw a non-conserved total.
+func (m *Metrics) ConservationViolations() int64 { return m.violations.Load() }
+
+// TransferLatencyStats summarises the per-chain transfer latency
+// distribution (committed and failed chains alike).
+func (m *Metrics) TransferLatencyStats() obs.HistogramSnapshot {
+	return obs.SnapshotOf(&m.transferLat)
+}
+
+// AuditLatencyStats summarises the per-chain audit latency distribution.
+func (m *Metrics) AuditLatencyStats() obs.HistogramSnapshot {
+	return obs.SnapshotOf(&m.auditLat)
 }
 
 // TransferThroughput returns committed transfers per second of wall time.
@@ -62,39 +91,44 @@ func (m *Metrics) TransferThroughput() float64 {
 	if m.Wall <= 0 {
 		return 0
 	}
-	return float64(m.TransferCommits) / m.Wall.Seconds()
+	return float64(m.TransferCommits()) / m.Wall.Seconds()
 }
 
 // MeanTransferLatency returns the mean wall time per committed transfer.
+// The histogram's sum is exact, so this matches summing the durations.
 func (m *Metrics) MeanTransferLatency() time.Duration {
-	if m.TransferCommits == 0 {
+	commits := m.TransferCommits()
+	if commits == 0 {
 		return 0
 	}
-	return m.TransferLatency / time.Duration(m.TransferCommits)
+	return time.Duration(m.transferLat.Sum()) / time.Duration(commits)
 }
 
 // MeanAuditLatency returns the mean wall time per committed audit.
 func (m *Metrics) MeanAuditLatency() time.Duration {
-	if m.AuditCommits == 0 {
+	commits := m.AuditCommits()
+	if commits == 0 {
 		return 0
 	}
-	return m.AuditLatency / time.Duration(m.AuditCommits)
+	return time.Duration(m.auditLat.Sum()) / time.Duration(commits)
 }
 
 // TransferAbortRate returns retries per committed transfer.
 func (m *Metrics) TransferAbortRate() float64 {
-	if m.TransferCommits == 0 {
+	commits := m.TransferCommits()
+	if commits == 0 {
 		return 0
 	}
-	return float64(m.TransferRetries) / float64(m.TransferCommits)
+	return float64(m.TransferRetries()) / float64(commits)
 }
 
 // AuditAbortRate returns retries per committed audit.
 func (m *Metrics) AuditAbortRate() float64 {
-	if m.AuditCommits == 0 {
+	commits := m.AuditCommits()
+	if commits == 0 {
 		return 0
 	}
-	return float64(m.AuditRetries) / float64(m.AuditCommits)
+	return float64(m.AuditRetries()) / float64(commits)
 }
 
 // String renders a one-line summary.
@@ -102,8 +136,8 @@ func (m *Metrics) String() string {
 	return fmt.Sprintf(
 		"wall=%v transfers=%d (retries=%d, fail=%d, mean=%v) audits=%d (retries=%d, fail=%d, mean=%v) violations=%d",
 		m.Wall.Round(time.Millisecond),
-		m.TransferCommits, m.TransferRetries, m.TransferFailed, m.MeanTransferLatency().Round(time.Microsecond),
-		m.AuditCommits, m.AuditRetries, m.AuditFailed, m.MeanAuditLatency().Round(time.Microsecond),
-		m.ConservationViolations,
+		m.TransferCommits(), m.TransferRetries(), m.TransferFailed(), m.MeanTransferLatency().Round(time.Microsecond),
+		m.AuditCommits(), m.AuditRetries(), m.AuditFailed(), m.MeanAuditLatency().Round(time.Microsecond),
+		m.ConservationViolations(),
 	)
 }

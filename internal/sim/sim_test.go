@@ -44,14 +44,14 @@ func TestBankWorkloadAcrossKinds(t *testing.T) {
 			if err != nil {
 				t.Fatalf("run: %v (%s)", err, m)
 			}
-			if m.ConservationViolations != 0 {
-				t.Errorf("conservation violated %d times", m.ConservationViolations)
+			if m.ConservationViolations() != 0 {
+				t.Errorf("conservation violated %d times", m.ConservationViolations())
 			}
-			if m.TransferCommits != int64(p.TransferWorkers*p.TransfersPerWorker) {
-				t.Errorf("transfer commits %d", m.TransferCommits)
+			if m.TransferCommits() != int64(p.TransferWorkers*p.TransfersPerWorker) {
+				t.Errorf("transfer commits %d", m.TransferCommits())
 			}
-			if m.AuditCommits != int64(p.AuditWorkers*p.AuditsPerWorker) {
-				t.Errorf("audit commits %d", m.AuditCommits)
+			if m.AuditCommits() != int64(p.AuditWorkers*p.AuditsPerWorker) {
+				t.Errorf("audit commits %d", m.AuditCommits())
 			}
 
 			h := sys.Manager.History()
@@ -98,7 +98,7 @@ func TestQueueWorkloadAcrossKinds(t *testing.T) {
 			}
 			// Committed consumer txns include empty dequeues; but committed
 			// producer txns are exact.
-			if m.TransferCommits == 0 {
+			if m.TransferCommits() == 0 {
 				t.Error("no producer commits")
 			}
 		})
@@ -205,6 +205,15 @@ func TestMetricsDerived(t *testing.T) {
 	var empty Metrics
 	if empty.TransferThroughput() != 0 || empty.MeanTransferLatency() != 0 || empty.MeanAuditLatency() != 0 || empty.TransferAbortRate() != 0 || empty.AuditAbortRate() != 0 {
 		t.Error("zero metrics not zero")
+	}
+	// The latency stats come from real histograms now: quantiles are
+	// conservative upper bounds capped by the max, so p99 ≤ max.
+	stats := m.TransferLatencyStats()
+	if stats.Count != 2 || stats.Max != 4e6 || stats.P99 > stats.Max {
+		t.Errorf("transfer latency stats %+v", stats)
+	}
+	if a := m.AuditLatencyStats(); a.Count != 1 || a.Sum != 6e6 {
+		t.Errorf("audit latency stats %+v", a)
 	}
 }
 

@@ -17,10 +17,42 @@ import (
 
 	"weihl83/internal/cc"
 	"weihl83/internal/histories"
+	"weihl83/internal/obs"
 	"weihl83/internal/recovery"
 	"weihl83/internal/spec"
 	"weihl83/internal/value"
 )
+
+// Observability: the runtime publishes transaction lifecycle metrics into
+// the process-wide obs registry. Pointers are resolved once; the per-event
+// cost is a few atomic adds (and nothing but one atomic load for trace
+// points while the tracer is disabled).
+var (
+	obsBegins    = obs.Default.Counter("tx.begin")
+	obsCommits   = obs.Default.Counter("tx.commit")
+	obsAborts    = obs.Default.Counter("tx.abort")
+	obsRetries   = obs.Default.Counter("tx.retry")
+	obsExhausted = obs.Default.Counter("tx.retries.exhausted")
+	obsBackoffs  = obs.Default.Counter("tx.backoff.sleeps")
+
+	obsCommitLat  = obs.Default.Histogram("tx.commit.latency_ns")
+	obsAbortLat   = obs.Default.Histogram("tx.abort.latency_ns")
+	obsBackoffLat = obs.Default.Histogram("tx.backoff.sleep_ns")
+	obsPrepareLat = obs.Default.Histogram("tx.2pc.prepare_ns")
+	obsInstallLat = obs.Default.Histogram("tx.2pc.commit_ns")
+
+	obsTrace = obs.Default.Tracer()
+)
+
+// NoteAbort publishes an abort's cause to the aborts-by-cause counters
+// (tx.abort.deadlock, tx.abort.conflict, ...). Retry drivers call it with
+// the error that doomed the attempt; a nil error is a no-op.
+func NoteAbort(err error) {
+	if err == nil {
+		return
+	}
+	obs.Default.Counter("tx.abort." + cc.AbortCause(err)).Inc()
+}
 
 // Property selects the local atomicity property the system runs under; it
 // determines when transactions choose timestamps.
@@ -218,10 +250,11 @@ const (
 // Txn is one transaction (activity). Txns are not safe for concurrent use
 // by multiple goroutines: an activity is a sequential process (§2).
 type Txn struct {
-	m      *Manager
-	info   cc.TxnInfo
-	joined []cc.Resource
-	status Status
+	m       *Manager
+	info    cc.TxnInfo
+	joined  []cc.Resource
+	status  Status
+	started time.Time
 }
 
 // Begin starts an update transaction.
@@ -240,8 +273,10 @@ func (m *Manager) begin(readOnly bool) *Txn {
 			ID:  histories.ActivityID(fmt.Sprintf("t%d", seq)),
 			Seq: seq,
 		},
-		status: StatusActive,
+		status:  StatusActive,
+		started: time.Now(),
 	}
+	obsBegins.Inc()
 	switch m.cfg.Property {
 	case Static:
 		t.info.TS = m.cfg.Clock.Next()
@@ -253,6 +288,13 @@ func (m *Manager) begin(readOnly bool) *Txn {
 	}
 	if m.cfg.Detector != nil {
 		m.cfg.Detector.Register(t.info.ID, seq)
+	}
+	if obsTrace.Enabled() {
+		note := ""
+		if readOnly {
+			note = "readonly"
+		}
+		obsTrace.Record(obs.TraceEvent{Kind: obs.KindInitiate, Txn: string(t.info.ID), Note: note})
 	}
 	return t
 }
@@ -286,6 +328,13 @@ func (t *Txn) Invoke(obj histories.ObjectID, op string, arg value.Value) (value.
 		return value.Nil(), fmt.Errorf("%w: %s", ErrNoResource, obj)
 	}
 	t.join(r)
+	if obsTrace.Enabled() {
+		obsTrace.Record(obs.TraceEvent{Kind: obs.KindInvoke, Txn: string(t.info.ID), Obj: string(obj), Note: op})
+		t0 := time.Now()
+		v, err := r.Invoke(&t.info, spec.Invocation{Op: op, Arg: arg})
+		obsTrace.Record(obs.TraceEvent{Kind: obs.KindReturn, Txn: string(t.info.ID), Obj: string(obj), Note: op, Dur: time.Since(t0)})
+		return v, err
+	}
 	return r.Invoke(&t.info, spec.Invocation{Op: op, Arg: arg})
 }
 
@@ -304,11 +353,19 @@ func (t *Txn) Commit() error {
 	if t.status != StatusActive {
 		return ErrTxnDone
 	}
+	prepStart := time.Now()
 	for _, r := range t.joined {
+		r0 := time.Now()
 		if err := r.Prepare(&t.info); err != nil {
 			t.Abort()
 			return fmt.Errorf("tx: prepare failed: %w", err)
 		}
+		if obsTrace.Enabled() {
+			obsTrace.Record(obs.TraceEvent{Kind: obs.KindPrepare, Txn: string(t.info.ID), Obj: string(r.ObjectID()), Dur: time.Since(r0)})
+		}
+	}
+	if len(t.joined) > 0 {
+		obsPrepareLat.Observe(int64(time.Since(prepStart)))
 	}
 	var cts histories.Timestamp
 	switch {
@@ -352,14 +409,27 @@ func (t *Txn) Commit() error {
 			return fmt.Errorf("tx: logging commit: %w", err)
 		}
 	}
+	if obsTrace.Enabled() {
+		obsTrace.Record(obs.TraceEvent{Kind: obs.KindDecide, Txn: string(t.info.ID)})
+	}
 	if t.m.cfg.Decision != nil {
 		t.m.cfg.Decision(t.info.ID)
 	}
+	installStart := time.Now()
 	for _, r := range t.joined {
 		r.Commit(&t.info, cts)
 	}
+	if len(t.joined) > 0 {
+		obsInstallLat.Observe(int64(time.Since(installStart)))
+	}
 	t.finish(StatusCommitted)
 	t.m.commits.Add(1)
+	obsCommits.Inc()
+	life := time.Since(t.started)
+	obsCommitLat.Observe(int64(life))
+	if obsTrace.Enabled() {
+		obsTrace.Record(obs.TraceEvent{Kind: obs.KindCommit, Txn: string(t.info.ID), Dur: life})
+	}
 	return nil
 }
 
@@ -378,6 +448,12 @@ func (t *Txn) Abort() {
 	}
 	t.finish(StatusAborted)
 	t.m.aborts.Add(1)
+	obsAborts.Inc()
+	life := time.Since(t.started)
+	obsAbortLat.Observe(int64(life))
+	if obsTrace.Enabled() {
+		obsTrace.Record(obs.TraceEvent{Kind: obs.KindAbort, Txn: string(t.info.ID), Dur: life})
+	}
 }
 
 func (t *Txn) finish(s Status) {
@@ -437,6 +513,11 @@ func (m *Manager) retryDelay(retry int) time.Duration {
 // pause waits the retry delay, honouring ctx.
 func (m *Manager) pause(ctx context.Context, retry int) error {
 	d := m.retryDelay(retry)
+	obsBackoffs.Inc()
+	obsBackoffLat.Observe(int64(d))
+	if obsTrace.Enabled() {
+		obsTrace.Record(obs.TraceEvent{Kind: obs.KindBackoff, Dur: d})
+	}
 	if sleep := m.cfg.Backoff.Sleep; sleep != nil {
 		return sleep(ctx, d)
 	}
@@ -471,10 +552,16 @@ func (m *Manager) run(ctx context.Context, fn func(t *Txn) error, readOnly bool)
 		} else {
 			t.Abort()
 		}
+		NoteAbort(err)
 		if !cc.Retryable(err) {
 			return err
 		}
+		obsRetries.Inc()
+		if obsTrace.Enabled() {
+			obsTrace.Record(obs.TraceEvent{Kind: obs.KindRetry, Txn: string(t.info.ID), Note: cc.AbortCause(err)})
+		}
 		lastErr = err
 	}
+	obsExhausted.Inc()
 	return fmt.Errorf("tx: retries exhausted: %w", lastErr)
 }

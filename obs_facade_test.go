@@ -1,0 +1,105 @@
+package weihl83_test
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"weihl83"
+	"weihl83/internal/cc"
+)
+
+// TestMetricsFacade drives a small contended workload through the public
+// API and checks the observability snapshot covers it: begins, commits,
+// retryable aborts by cause, and (with tracing on) a coherent event trace.
+func TestMetricsFacade(t *testing.T) {
+	weihl83.ResetMetrics()
+	weihl83.Trace(true)
+	defer weihl83.Trace(false)
+
+	sys, err := weihl83.NewSystem(weihl83.Options{Property: weihl83.Dynamic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddObject("acct", weihl83.Account(), weihl83.WithGuard(weihl83.GuardEscrow)); err != nil {
+		t.Fatal(err)
+	}
+	const workers, deposits = 4, 25
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			var err error
+			for i := 0; i < deposits && err == nil; i++ {
+				err = sys.Run(func(txn *weihl83.Txn) error {
+					_, e := txn.Invoke("acct", weihl83.OpDeposit, weihl83.Int(1))
+					return e
+				})
+			}
+			done <- err
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := weihl83.Metrics(true)
+	if got := snap.Counter("tx.begin"); got < workers*deposits {
+		t.Errorf("tx.begin = %d, want >= %d", got, workers*deposits)
+	}
+	if got := snap.Counter("tx.commit"); got < workers*deposits {
+		t.Errorf("tx.commit = %d, want >= %d", got, workers*deposits)
+	}
+	if h, ok := snap.Histograms["tx.commit.latency_ns"]; !ok || h.Count < workers*deposits {
+		t.Errorf("commit latency histogram missing or short: %+v", h)
+	}
+	if snap.Counter("locking.grants") == 0 {
+		t.Error("no locking grants recorded")
+	}
+	if snap.TraceRecorded == 0 || len(snap.Trace) == 0 {
+		t.Error("tracing enabled but no events recorded")
+	}
+	var sawCommit bool
+	for _, e := range snap.Trace {
+		if e.Kind == "commit" {
+			sawCommit = true
+			break
+		}
+	}
+	if !sawCommit {
+		t.Error("trace has no commit events")
+	}
+	if evs := weihl83.TraceEvents(); len(evs) == 0 {
+		t.Error("TraceEvents empty")
+	}
+	raw, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw) {
+		t.Error("snapshot JSON invalid")
+	}
+
+	weihl83.ResetMetrics()
+	if weihl83.Metrics(false).Counter("tx.commit") != 0 {
+		t.Error("ResetMetrics did not zero")
+	}
+}
+
+// TestAbortCauseFacade checks the public cause classifier against the
+// sentinel vocabulary.
+func TestAbortCauseFacade(t *testing.T) {
+	cases := map[string]error{
+		"deadlock":    cc.ErrDeadlock,
+		"timeout":     cc.ErrTimeout,
+		"conflict":    cc.ErrConflict,
+		"unavailable": cc.ErrUnavailable,
+		"other":       errors.New("boom"),
+	}
+	for want, err := range cases {
+		if got := weihl83.AbortCause(err); got != want {
+			t.Errorf("AbortCause(%v) = %q, want %q", err, got, want)
+		}
+	}
+}

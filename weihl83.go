@@ -42,6 +42,7 @@ import (
 	"weihl83/internal/hybridcc"
 	"weihl83/internal/locking"
 	"weihl83/internal/mvcc"
+	"weihl83/internal/obs"
 	"weihl83/internal/recovery"
 	"weihl83/internal/spec"
 	"weihl83/internal/tx"
@@ -367,3 +368,53 @@ func (s *System) Restart() (map[ObjectID]string, error) {
 // Retryable reports whether err is a transient protocol abort (deadlock,
 // timeout, timestamp conflict) that Run would retry.
 func Retryable(err error) bool { return cc.Retryable(err) }
+
+// AbortCause names the protocol reason behind an abort error ("deadlock",
+// "timeout", "conflict", "unavailable", ...), the key under which
+// aborts-by-cause metrics are counted.
+func AbortCause(err error) string { return cc.AbortCause(err) }
+
+// --- Observability -------------------------------------------------------
+//
+// Every layer of the library reports into one process-wide metrics
+// registry: lock-cheap counters and fixed-bucket histograms on the hot
+// paths, plus an optional bounded ring of transaction trace events. The
+// functions below are the public surface of internal/obs.
+
+type (
+	// MetricsSnapshot is one sample of every counter and histogram, with
+	// the trace ring's contents when tracing was enabled. It marshals to
+	// JSON (see its JSON method) for machine-readable dumps.
+	MetricsSnapshot = obs.Snapshot
+	// HistogramSnapshot summarises one histogram (count, sum, mean, max
+	// and conservative p50/p90/p99).
+	HistogramSnapshot = obs.HistogramSnapshot
+	// TraceEvent is one entry of the transaction event trace: initiate,
+	// invoke/return, conflict waits, retryable aborts, backoff sleeps,
+	// two-phase-commit phases, fault activations, site crash/recovery.
+	TraceEvent = obs.TraceEvent
+	// TraceKind classifies a TraceEvent.
+	TraceKind = obs.Kind
+)
+
+// Metrics samples the process-wide metrics registry. withTrace additionally
+// drains the event tracer's ring into the snapshot.
+func Metrics(withTrace bool) MetricsSnapshot { return obs.Default.Snapshot(withTrace) }
+
+// ResetMetrics zeroes every counter, histogram and the trace ring (metric
+// identities are preserved, so benchmarks can reset between runs).
+func ResetMetrics() { obs.Default.Reset() }
+
+// Trace turns transaction event tracing on or off. Disabled (the default),
+// the instrumented hot paths pay one atomic load per potential event;
+// enabled, events land in a bounded ring that overwrites the oldest entries.
+func Trace(enable bool) {
+	if enable {
+		obs.Default.Tracer().Enable()
+	} else {
+		obs.Default.Tracer().Disable()
+	}
+}
+
+// TraceEvents returns the trace ring's current contents in sequence order.
+func TraceEvents() []TraceEvent { return obs.Default.Tracer().Events() }
