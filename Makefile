@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos check bench-smoke clean
+.PHONY: all build vet test race chaos chaos-smoke check bench-smoke clean
 
 all: check
 
@@ -26,6 +26,18 @@ chaos:
 	$(GO) run ./cmd/chaos -property dynamic -runs 10
 	$(GO) run ./cmd/chaos -property static -runs 10
 	$(GO) run ./cmd/chaos -property hybrid -runs 10
+
+# chaos-smoke is the CI chaos gate: a fixed-seed batch under every
+# atomicity property, with the full distributed fault surface enabled for
+# the dynamic runs — site crashes inside 2PC, coordinator crashes around
+# its decision log, network partitions, and WAL checkpointing (including
+# torn checkpoints). Every run must satisfy all three oracles: the exact
+# atomicity checker, money conservation, and crash-all-sites restart
+# replay.
+chaos-smoke:
+	$(GO) run ./cmd/chaos -property dynamic -seed 1 -runs 5 -coordcrash 0.05 -partition 0.5 -checkpoint 2ms
+	$(GO) run ./cmd/chaos -property static -seed 1 -runs 5
+	$(GO) run ./cmd/chaos -property hybrid -seed 1 -runs 5
 
 # bench-smoke compiles and exercises every benchmark once and produces a
 # machine-readable bankbench result at a tiny scale — a fast regression

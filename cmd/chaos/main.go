@@ -12,6 +12,7 @@
 //	chaos -property dynamic -seed 7 -runs 10
 //	chaos -property hybrid -torn 0.1 -fail 0.1
 //	chaos -property dynamic -drop 0.2 -dup 0.2 -crash 0.05 -timeout 30s
+//	chaos -property dynamic -coordcrash 0.05 -partition 0.5 -checkpoint 2ms
 package main
 
 import (
@@ -40,6 +41,9 @@ func main() {
 		torn     = flag.Float64("torn", 0.05, "torn log-append probability")
 		failP    = flag.Float64("fail", 0.05, "failed log-append probability")
 		crash    = flag.Float64("crash", 0.03, "site-crash window probability (dynamic)")
+		ccrash   = flag.Float64("coordcrash", 0.03, "coordinator-crash window probability (dynamic)")
+		part     = flag.Float64("partition", 0.0, "network-partition probability per partition tick (dynamic)")
+		ckpt     = flag.Duration("checkpoint", 0, "checkpoint+compact the logs this often (0 disables; dynamic)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "wall-clock bound per run")
 		verbose  = flag.Bool("v", false, "dump every run, not just failures")
 	)
@@ -74,10 +78,14 @@ func main() {
 			FailProb:         *failP,
 			CrashPrepareProb: *crash,
 			CrashCommitProb:  *crash,
+			CoordCrashProb:   *ccrash,
+			PartitionProb:    *part,
+			CheckpointEvery:  *ckpt,
 		}
 		if prop != tx.Dynamic {
 			cfg.DropProb, cfg.DupProb, cfg.ReplyDropProb, cfg.DelayProb = 0, 0, 0, 0
 			cfg.CrashPrepareProb, cfg.CrashCommitProb = 0, 0
+			cfg.CoordCrashProb, cfg.PartitionProb, cfg.CheckpointEvery = 0, 0, 0
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		rep, err := chaos.Run(ctx, cfg)

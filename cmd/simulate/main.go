@@ -8,6 +8,7 @@
 //	simulate -kind escrow -workload bank -workers 4 -txns 100
 //	simulate -kind mvcc -workload queue -workers 2 -txns 50
 //	simulate -kind hybrid -workload bank -verify -workers 2 -txns 3
+//	simulate -kind commut -workload bank -wal -checkpoint
 package main
 
 import (
@@ -18,7 +19,9 @@ import (
 	"weihl83/internal/adts"
 	"weihl83/internal/core"
 	"weihl83/internal/histories"
+	"weihl83/internal/recovery"
 	"weihl83/internal/sim"
+	"weihl83/internal/spec"
 	"weihl83/internal/tx"
 )
 
@@ -47,6 +50,8 @@ func run() int {
 	audits := flag.Int("audits", 0, "audit transactions per audit worker (bank workload)")
 	skew := flag.Int64("skew", 0, "timestamp skew (static kinds)")
 	verify := flag.Bool("verify", false, "record the history and check the local atomicity property")
+	wal := flag.Bool("wal", false, "write-ahead-log every commit (enables crash-restart and -checkpoint)")
+	checkpoint := flag.Bool("checkpoint", false, "checkpoint+compact the log after the run and verify restart equivalence (implies -wal)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
 
@@ -56,6 +61,11 @@ func run() int {
 		return 2
 	}
 	cfg := sim.Config{Kind: kind, Record: *verify, Skew: *skew, Seed: *seed}
+	var disk *recovery.Disk
+	if *wal || *checkpoint {
+		disk = &recovery.Disk{}
+		cfg.WAL = disk
+	}
 
 	var sys *sim.System
 	var metrics *sim.Metrics
@@ -95,6 +105,44 @@ func run() int {
 	}
 	fmt.Printf("kind=%s workload=%s %s\n", kind, *workload, metrics)
 	fmt.Printf("transfer throughput: %.0f txn/s\n", metrics.TransferThroughput())
+
+	if disk != nil {
+		specs := make(map[histories.ObjectID]spec.SerialSpec)
+		if *workload == "bank" {
+			for i := 0; i < *accounts; i++ {
+				specs[histories.ObjectID(fmt.Sprintf("acct%d", i))] = adts.AccountSpec{}
+			}
+		} else {
+			specs["queue"] = adts.QueueSpec{}
+		}
+		fmt.Printf("wal: %d records\n", disk.Len())
+		if *checkpoint {
+			// Restart must rebuild the same committed states from the
+			// compacted log as from the full one.
+			before, err := recovery.Restart(disk, specs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "simulate: restart before checkpoint:", err)
+				return 1
+			}
+			reclaimed, err := disk.Checkpoint(specs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "simulate: checkpoint:", err)
+				return 1
+			}
+			after, err := recovery.Restart(disk, specs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "simulate: restart after checkpoint:", err)
+				return 1
+			}
+			for id, st := range before {
+				if got, ok := after[id]; !ok || got.Key() != st.Key() {
+					fmt.Fprintf(os.Stderr, "simulate: CHECKPOINT DIVERGED at %s: full-log %q vs compacted %q\n", id, st.Key(), after[id].Key())
+					return 1
+				}
+			}
+			fmt.Printf("checkpoint: compacted to %d records, ~%d bytes reclaimed; restart states identical\n", disk.Len(), reclaimed)
+		}
+	}
 
 	if *verify {
 		h := sys.Manager.History()

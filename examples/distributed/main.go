@@ -1,12 +1,13 @@
-// Distributed: two sites, cross-site transfers, a crash, and recovery.
+// Distributed: two sites, cross-site transfers, crashes, and recovery.
 //
 // The paper's setting is distributed (the Argus project): objects live at
 // different sites, transactions span them via two-phase commit, and
 // recoverability must hold through site crashes. This example hosts one
-// escrow account per site, runs cross-site transfers over a simulated
-// network, then crashes a participant after it voted yes in two-phase
-// commit — and shows recovery redoing the commit from the participant's
-// write-ahead log plus the coordinator's decision record.
+// escrow account per site with a crashable coordinator, runs cross-site
+// transfers over a simulated network, then crashes a participant after it
+// voted yes — and crashes the coordinator too, so the recovering
+// participant cannot ask it for the outcome and instead learns the commit
+// from its peer through the cooperative termination protocol.
 //
 // Run with: go run ./examples/distributed
 package main
@@ -20,19 +21,23 @@ import (
 	"weihl83/internal/cc"
 	"weihl83/internal/dist"
 	"weihl83/internal/histories"
+	"weihl83/internal/spec"
 	"weihl83/internal/tx"
 	"weihl83/internal/value"
 )
 
 func main() {
 	network := dist.NewNetwork(100*time.Microsecond, 500*time.Microsecond, 1)
-	decisions := dist.NewDecisionLog()
-
-	siteA, err := dist.NewSite(dist.SiteConfig{ID: "A", Network: network, Decisions: decisions})
+	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{ID: "C", Network: network})
 	if err != nil {
 		log.Fatal(err)
 	}
-	siteB, err := dist.NewSite(dist.SiteConfig{ID: "B", Network: network, Decisions: decisions})
+
+	siteA, err := dist.NewSite(dist.SiteConfig{ID: "A", Network: network, Coordinator: "C"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	siteB, err := dist.NewSite(dist.SiteConfig{ID: "B", Network: network, Coordinator: "C"})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,8 +49,8 @@ func main() {
 	}
 
 	manager, err := tx.NewManager(tx.Config{
-		Property: tx.Dynamic,
-		Decision: decisions.RecordCommit,
+		Property:    tx.Dynamic,
+		Coordinator: coord,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -80,33 +85,40 @@ func main() {
 	fmt.Println("after 3 cross-site transfers:")
 	printBalances(siteA, siteB)
 
-	// Crash B after it prepares but before it hears the commit.
+	// Drive one two-phase commit by hand: crash B after it prepares, then
+	// crash the coordinator after it logged the decision — B must recover
+	// the outcome from its peer A.
 	txn := manager.Begin()
-	if _, err := txn.Invoke("savings", adts.OpWithdraw, value.Int(10)); err != nil {
-		log.Fatal(err)
-	}
-	if _, err := txn.Invoke("checking", adts.OpDeposit, value.Int(10)); err != nil {
-		log.Fatal(err)
-	}
-	info := &cc.TxnInfo{ID: txn.ID()}
+	info := &cc.TxnInfo{ID: txn.ID(), Participants: []string{"A", "B"}}
 	ra := dist.NewRemoteResource(network, "A", "savings")
 	rb := dist.NewRemoteResource(network, "B", "checking")
+	if _, err := ra.Invoke(info, spec.Invocation{Op: adts.OpWithdraw, Arg: value.Int(10)}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := rb.Invoke(info, spec.Invocation{Op: adts.OpDeposit, Arg: value.Int(10)}); err != nil {
+		log.Fatal(err)
+	}
+	coord.Begin(txn.ID())
 	if err := ra.Prepare(info); err != nil {
 		log.Fatal(err)
 	}
 	if err := rb.Prepare(info); err != nil {
 		log.Fatal(err)
 	}
-	decisions.RecordCommit(txn.ID()) // the commit point
+	if err := coord.Decide(txn.ID(), true); err != nil { // the commit point
+		log.Fatal(err)
+	}
 	siteB.Crash()
 	fmt.Println("\nsite B crashed after voting yes; delivering commits...")
 	ra.Commit(info, histories.TSNone)
 	rb.Commit(info, histories.TSNone) // lost: B is down
+	coord.Crash()
+	fmt.Println("coordinator crashed too: B cannot ask it for the outcome")
 
 	if err := siteB.Recover(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("site B recovered: in-doubt transaction resolved against the decision log")
+	fmt.Println("site B recovered: in-doubt transaction resolved by peer A's commit record")
 	printBalances(siteA, siteB)
 }
 

@@ -7,6 +7,7 @@ package cc
 
 import (
 	"errors"
+	"fmt"
 
 	"weihl83/internal/histories"
 	"weihl83/internal/spec"
@@ -41,6 +42,15 @@ var (
 	// retries instead of surfacing hard errors.
 	ErrUnavailable = errors.New("resource temporarily unavailable")
 )
+
+// ErrCoordinatorDown: the transaction's coordinator crashed (or is
+// unreachable) while the outcome was being decided, so the client cannot
+// learn whether the decision was made durable. The client-side transaction
+// is an orphan (§6): the runtime finishes it without broadcasting aborts —
+// participants that prepared stay in doubt and resolve through the
+// cooperative termination protocol, never against the client's guess. It
+// wraps ErrUnavailable (retryable).
+var ErrCoordinatorDown = fmt.Errorf("transaction coordinator down: %w", ErrUnavailable)
 
 // AbortCause names the sentinel behind an abort error, for aborts-by-cause
 // metrics: "deadlock", "timeout", "doomed", "conflict", "unavailable",
@@ -92,6 +102,12 @@ type TxnInfo struct {
 	Seq int64
 	// ReadOnly marks hybrid-atomicity read-only activities.
 	ReadOnly bool
+	// Participants names the sites taking part in the transaction's
+	// two-phase commit (set by the runtime before prepare when resources
+	// report their site). A participant persists the list with its
+	// yes-vote so an in-doubt recovery knows which peers to poll during
+	// cooperative termination.
+	Participants []string
 }
 
 // Resource is an object managed by an online protocol. Invoke may block

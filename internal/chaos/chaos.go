@@ -63,9 +63,25 @@ type Config struct {
 	// after forcing the vote, crash on commit before logging it, crash
 	// after logging but before installing.
 	CrashPrepareProb, CrashCommitProb float64
+	// CoordCrashProb arms the coordinator's crash windows around the
+	// decision force (dynamic only; enabled after seeding, so the seed
+	// deposit cannot be orphaned and retried into a double deposit).
+	CoordCrashProb float64
+	// PartitionProb arms the partition driver: every PartitionEvery it
+	// consults fault.NetPartition and, when it fires, splits the network
+	// into rotating groups for PartitionWindow, then heals (dynamic only;
+	// started after seeding).
+	PartitionProb   float64
+	PartitionEvery  time.Duration
+	PartitionWindow time.Duration
+	// CheckpointEvery, when positive, checkpoints every up site's (and the
+	// coordinator's) write-ahead log on that cadence, compacting it
+	// mid-run (dynamic only).
+	CheckpointEvery time.Duration
 	// RecoverEvery is the recoverer's cadence for bringing crashed sites
-	// back up (default 200µs; dynamic only). Zero disables the recoverer —
-	// only safe when no crash faults are enabled.
+	// (and the coordinator) back up and running the in-doubt resolver at
+	// up sites (default 200µs; dynamic only). Zero disables the recoverer
+	// — only safe when no crash or partition faults are enabled.
 	RecoverEvery time.Duration
 }
 
@@ -76,11 +92,20 @@ func (c *Config) fill() {
 	if c.Txns <= 0 {
 		c.Txns = 3
 	}
-	if c.RecoverEvery <= 0 && (c.CrashPrepareProb > 0 || c.CrashCommitProb > 0) {
+	if c.RecoverEvery <= 0 && (c.CrashPrepareProb > 0 || c.CrashCommitProb > 0 ||
+		c.CoordCrashProb > 0 || c.PartitionProb > 0) {
 		c.RecoverEvery = 200 * time.Microsecond
 	}
 	if c.Delay <= 0 {
 		c.Delay = 50 * time.Microsecond
+	}
+	if c.PartitionProb > 0 {
+		if c.PartitionEvery <= 0 {
+			c.PartitionEvery = 500 * time.Microsecond
+		}
+		if c.PartitionWindow <= 0 {
+			c.PartitionWindow = 1500 * time.Microsecond
+		}
 	}
 }
 
@@ -129,9 +154,15 @@ func (c Config) injector() *fault.Injector {
 	in.Enable(fault.NetDelay, fault.Rule{Prob: c.DelayProb, Delay: c.Delay})
 	in.Enable(fault.DiskAppendTorn, fault.Rule{Prob: c.TornProb})
 	in.Enable(fault.DiskAppendFail, fault.Rule{Prob: c.FailProb})
+	in.Enable(fault.DiskCheckpointTorn, fault.Rule{Prob: c.TornProb})
 	in.Enable(fault.SiteCrashPrepare, fault.Rule{Prob: c.CrashPrepareProb})
 	in.Enable(fault.SiteCrashCommitBeforeLog, fault.Rule{Prob: c.CrashCommitProb})
 	in.Enable(fault.SiteCrashCommitAfterLog, fault.Rule{Prob: c.CrashCommitProb})
+	in.Enable(fault.NetPartition, fault.Rule{Prob: c.PartitionProb})
+	// The coordinator crash windows (fault.CoordCrashBeforeLog/AfterLog)
+	// are armed by runDist after the seed deposit commits: an orphaned,
+	// committed-but-retried seed would double the deposit and break the
+	// conservation oracle, while orphaned transfers are sum-preserving.
 	return in
 }
 
@@ -213,8 +244,8 @@ func transfer(txn *tx.Txn, worker, round int) error {
 	return err
 }
 
-// runWorkers seeds acct0 and runs the concurrent transfer workload.
-func runWorkers(ctx context.Context, cfg Config, m *tx.Manager) error {
+// seedWorkload deposits the run's total into acct0.
+func seedWorkload(ctx context.Context, cfg Config, m *tx.Manager) error {
 	total := int64(cfg.Workers * cfg.Txns * perTransfer)
 	if err := m.RunCtx(ctx, func(txn *tx.Txn) error {
 		_, err := txn.Invoke("acct0", adts.OpDeposit, value.Int(total))
@@ -222,6 +253,19 @@ func runWorkers(ctx context.Context, cfg Config, m *tx.Manager) error {
 	}); err != nil {
 		return fmt.Errorf("chaos: seeding: %w", err)
 	}
+	return nil
+}
+
+// runWorkers seeds acct0 and runs the concurrent transfer workload.
+func runWorkers(ctx context.Context, cfg Config, m *tx.Manager) error {
+	if err := seedWorkload(ctx, cfg, m); err != nil {
+		return err
+	}
+	return runTransfers(ctx, cfg, m)
+}
+
+// runTransfers runs the concurrent transfer workload.
+func runTransfers(ctx context.Context, cfg Config, m *tx.Manager) error {
 	errs := make(chan error, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		go func(w int) {
@@ -266,21 +310,29 @@ func checkHistory(prop tx.Property, h histories.History) string {
 }
 
 // runDist is the dynamic-atomicity mode: two sites, escrow accounts on
-// each, a FIFO queue, distributed two-phase commit, message faults and
-// site-crash windows, with a recoverer reviving crashed sites.
+// each, a FIFO queue, a crashable coordinator with its own decision log,
+// distributed two-phase commit, message faults, site- and
+// coordinator-crash windows, network partitions and WAL checkpointing,
+// with a recoverer reviving crashed nodes and driving the in-doubt
+// resolver. The client's messages originate at the coordinator's network
+// position, so an open partition cuts transactions off from the sites on
+// the far side.
 func runDist(ctx context.Context, cfg Config) (*Report, error) {
 	inj := cfg.injector()
 	rec := &recorder{}
 	net := dist.NewNetwork(0, 0, cfg.Seed)
 	net.SetInjector(inj)
 	net.SetRPC(300*time.Microsecond, 7)
-	dec := dist.NewDecisionLog()
+	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{ID: "C", Network: net, Injector: inj})
+	if err != nil {
+		return nil, err
+	}
 
 	newSite := func(id dist.SiteID) (*dist.Site, error) {
 		return dist.NewSite(dist.SiteConfig{
 			ID:          id,
 			Network:     net,
-			Decisions:   dec,
+			Coordinator: "C",
 			Sink:        rec.sink(),
 			Injector:    inj,
 			WaitTimeout: 2 * time.Millisecond,
@@ -306,34 +358,35 @@ func runDist(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, err
 	}
 	m, err := tx.NewManager(tx.Config{
-		Property:   tx.Dynamic,
-		Decision:   dec.RecordCommit,
-		MaxRetries: 10000,
-		Backoff:    tx.Backoff{Base: 50 * time.Microsecond, Max: 2 * time.Millisecond, Seed: cfg.Seed + 1},
+		Property:    tx.Dynamic,
+		Coordinator: coord,
+		MaxRetries:  10000,
+		Backoff:     tx.Backoff{Base: 50 * time.Microsecond, Max: 2 * time.Millisecond, Seed: cfg.Seed + 1},
 	})
 	if err != nil {
 		return nil, err
 	}
 	for _, r := range []cc.Resource{
-		dist.NewRemoteResource(net, "A", "acct0"),
-		dist.NewRemoteResource(net, "B", "acct1"),
-		dist.NewRemoteResource(net, "B", "queue"),
+		dist.NewRemoteResourceAt(net, "C", "A", "acct0"),
+		dist.NewRemoteResourceAt(net, "C", "B", "acct1"),
+		dist.NewRemoteResourceAt(net, "C", "B", "queue"),
 	} {
 		if err := m.Register(r); err != nil {
 			return nil, err
 		}
 	}
 
-	// The recoverer revives crashed sites for as long as the workload runs.
-	// Crashes happen only inside the injected protocol windows, where the
-	// decision log makes in-doubt resolution unambiguous.
-	stopRecoverer := func() {}
+	// Background drivers run while the transfer workload does. The
+	// recoverer revives crashed sites and the coordinator and runs the
+	// in-doubt resolver at up sites; the partition driver opens windows
+	// when fault.NetPartition fires; the checkpoint driver compacts logs.
+	done := make(chan struct{})
+	var drivers sync.WaitGroup
+	stopDrivers := func() { close(done); drivers.Wait() }
 	if cfg.RecoverEvery > 0 {
-		done := make(chan struct{})
-		var wg sync.WaitGroup
-		wg.Add(1)
+		drivers.Add(1)
 		go func() {
-			defer wg.Done()
+			defer drivers.Done()
 			tick := time.NewTicker(cfg.RecoverEvery)
 			defer tick.Stop()
 			for {
@@ -341,53 +394,184 @@ func runDist(ctx context.Context, cfg Config) (*Report, error) {
 				case <-done:
 					return
 				case <-tick.C:
+					if !coord.Up() {
+						_ = coord.Recover()
+					}
 					for _, s := range net.Sites() {
 						if !s.Up() {
+							// ErrStillInDoubt (coordinator down or
+							// partitioned, peers silent) is retried on the
+							// next tick.
 							_ = s.Recover()
+						} else {
+							s.ResolveInDoubt(2 * time.Millisecond)
+							// Reclaim locks of unprepared transactions whose
+							// client-side abort never arrived (partitioned
+							// away or retransmissions exhausted); nothing
+							// else ever visits them. Live clients finish in
+							// well under the idle threshold.
+							s.AbortAbandoned(25 * time.Millisecond)
 						}
 					}
 				}
 			}
 		}()
-		stopRecoverer = func() { close(done); wg.Wait() }
+	}
+	if cfg.PartitionProb > 0 {
+		splits := [][][]dist.SiteID{
+			{{"C", "A"}, {"B"}},
+			{{"C", "B"}, {"A"}},
+			{{"A", "B"}, {"C"}},
+		}
+		drivers.Add(1)
+		go func() {
+			defer drivers.Done()
+			tick := time.NewTicker(cfg.PartitionEvery)
+			defer tick.Stop()
+			next := 0
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					if !inj.Fires(fault.NetPartition) {
+						continue
+					}
+					net.Partition(splits[next%len(splits)]...)
+					next++
+					select {
+					case <-done:
+						net.Heal()
+						return
+					case <-time.After(cfg.PartitionWindow):
+					}
+					net.Heal()
+				}
+			}
+		}()
+	}
+	if cfg.CheckpointEvery > 0 {
+		drivers.Add(1)
+		go func() {
+			defer drivers.Done()
+			tick := time.NewTicker(cfg.CheckpointEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					for _, s := range net.Sites() {
+						if s.Up() {
+							_, _ = s.Checkpoint()
+						}
+					}
+					if coord.Up() {
+						_, _ = coord.Checkpoint()
+					}
+				}
+			}
+		}()
 	}
 
-	workErr := runWorkers(ctx, cfg, m)
-	stopRecoverer()
+	workErr := seedWorkload(ctx, cfg, m)
+	if workErr == nil {
+		// Arm the coordinator crash windows only now: see injector().
+		inj.Enable(fault.CoordCrashBeforeLog, fault.Rule{Prob: cfg.CoordCrashProb})
+		inj.Enable(fault.CoordCrashAfterLog, fault.Rule{Prob: cfg.CoordCrashProb})
+		workErr = runTransfers(ctx, cfg, m)
+	}
+	stopDrivers()
 
-	// Final recovery: every site up, every in-doubt transaction resolved
-	// against the decision log, every committed effect installed.
-	for _, s := range net.Sites() {
-		if !s.Up() {
-			if err := s.Recover(); err != nil {
-				return nil, fmt.Errorf("chaos: final recovery of %s: %w", s.ID(), err)
+	// Final phase: heal the network, detach message faults (their damage is
+	// done; what remains is bringing the system to a checkable state), and
+	// quiesce — every node up, every in-doubt transaction resolved through
+	// the termination protocol, every committed effect installed.
+	net.Heal()
+	net.SetInjector(nil)
+	if !coord.Up() {
+		if err := coord.Recover(); err != nil {
+			return nil, fmt.Errorf("chaos: final coordinator recovery: %w", err)
+		}
+	}
+	for round := 0; ; round++ {
+		allUp := true
+		pending := 0
+		for _, s := range net.Sites() {
+			if !s.Up() {
+				if err := s.Recover(); err != nil {
+					allUp = false
+					continue
+				}
 			}
+			s.ResolveInDoubt(0)
+			// Every worker has exited, so any still-unprepared invoker is
+			// abandoned by definition.
+			s.AbortAbandoned(0)
+			pending += s.PendingInDoubt()
+		}
+		if allUp && pending == 0 {
+			break
+		}
+		if round >= 200 {
+			return nil, fmt.Errorf("chaos: final recovery did not quiesce: allUp=%v pending=%d", allUp, pending)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+
+	// Restart-replay oracle: crash every site and recover it, so the final
+	// committed states are provably reconstructible from the write-ahead
+	// logs (checkpoint + suffix after compaction) plus the termination
+	// protocol — never from surviving volatile state.
+	probes := []struct {
+		s   *dist.Site
+		ids []histories.ObjectID
+	}{{siteA, []histories.ObjectID{"acct0"}}, {siteB, []histories.ObjectID{"acct1", "queue"}}}
+	before := make(map[histories.ObjectID]string)
+	for _, p := range probes {
+		for _, id := range p.ids {
+			key, err := p.s.CommittedStateKey(id)
+			if err != nil {
+				return nil, err
+			}
+			before[id] = key
+		}
+	}
+	for _, p := range probes {
+		p.s.Crash()
+		if err := p.s.Recover(); err != nil {
+			return nil, fmt.Errorf("chaos: restart oracle recovering %s: %w", p.s.ID(), err)
 		}
 	}
 
 	rep := &Report{Property: cfg.Property, Seed: cfg.Seed, Trace: inj.Trace(), Injector: inj.Summary()}
 	rep.Commits, rep.Aborts = m.Stats()
-	rep.Crashes = siteA.Crashes() + siteB.Crashes()
+	rep.Crashes = siteA.Crashes() + siteB.Crashes() + coord.Crashes()
 	h := rec.history()
 	rep.Events = len(h)
 
 	// Conservation, read from the committed states directly (no extra
 	// transactions, so the checked history stays the workload's own).
 	var sum int64
-	for _, probe := range []struct {
-		s  *dist.Site
-		id histories.ObjectID
-	}{{siteA, "acct0"}, {siteB, "acct1"}} {
-		key, err := probe.s.CommittedStateKey(probe.id)
-		if err != nil {
-			return rep, err
+	var replayErr error
+	for _, p := range probes {
+		for _, id := range p.ids {
+			key, err := p.s.CommittedStateKey(id)
+			if err != nil {
+				return rep, err
+			}
+			if key != before[id] && replayErr == nil {
+				replayErr = fmt.Errorf("chaos: restart replay of %s = %q, live committed = %q", id, key, before[id])
+			}
+			if id != "queue" {
+				b, err := strconv.ParseInt(key, 10, 64)
+				if err != nil {
+					return rep, fmt.Errorf("chaos: account state %q: %w", key, err)
+				}
+				rep.Balances = append(rep.Balances, b)
+				sum += b
+			}
 		}
-		b, err := strconv.ParseInt(key, 10, 64)
-		if err != nil {
-			return rep, fmt.Errorf("chaos: account state %q: %w", key, err)
-		}
-		rep.Balances = append(rep.Balances, b)
-		sum += b
 	}
 	total := int64(cfg.Workers * cfg.Txns * perTransfer)
 	rep.Conserved = sum == total
@@ -395,6 +579,9 @@ func runDist(ctx context.Context, cfg Config) (*Report, error) {
 
 	if workErr != nil {
 		return rep, workErr
+	}
+	if replayErr != nil {
+		return rep, replayErr
 	}
 	if !rep.Conserved {
 		return rep, fmt.Errorf("chaos: conservation violated: balances %v sum %d, want %d", rep.Balances, sum, total)

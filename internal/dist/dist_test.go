@@ -16,11 +16,11 @@ import (
 	"weihl83/internal/value"
 )
 
-// testCluster is two sites, each hosting one escrow account, a shared
-// decision log, and a transaction manager over remote proxies.
+// testCluster is two sites, each hosting one escrow account, a crashable
+// coordinator, and a transaction manager over remote proxies.
 type testCluster struct {
 	net      *Network
-	dec      *DecisionLog
+	coord    *Coordinator
 	siteA    *Site
 	siteB    *Site
 	remA     *RemoteResource
@@ -59,16 +59,19 @@ func newClusterInj(t *testing.T, maxDelay time.Duration, inj *fault.Injector) *t
 	t.Helper()
 	c := &testCluster{
 		net:      NewNetwork(0, maxDelay, 7),
-		dec:      NewDecisionLog(),
 		recorder: &recorder{},
 	}
 	c.net.SetInjector(inj)
 	var err error
-	c.siteA, err = NewSite(SiteConfig{ID: "A", Network: c.net, Decisions: c.dec, Sink: c.recorder.sink(), Injector: inj})
+	c.coord, err = NewCoordinator(CoordinatorConfig{ID: "C", Network: c.net, Injector: inj})
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.siteB, err = NewSite(SiteConfig{ID: "B", Network: c.net, Decisions: c.dec, Sink: c.recorder.sink(), Injector: inj})
+	c.siteA, err = NewSite(SiteConfig{ID: "A", Network: c.net, Coordinator: "C", Sink: c.recorder.sink(), Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.siteB, err = NewSite(SiteConfig{ID: "B", Network: c.net, Coordinator: "C", Sink: c.recorder.sink(), Injector: inj})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,8 +82,8 @@ func newClusterInj(t *testing.T, maxDelay time.Duration, inj *fault.Injector) *t
 		t.Fatal(err)
 	}
 	c.manager, err = tx.NewManager(tx.Config{
-		Property: tx.Dynamic,
-		Decision: c.dec.RecordCommit,
+		Property:    tx.Dynamic,
+		Coordinator: c.coord,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -211,16 +214,19 @@ func TestCrashAfterPrepareCommitRecovered(t *testing.T) {
 	if _, err := txn.Invoke("acct1", adts.OpDeposit, value.Int(10)); err != nil {
 		t.Fatal(err)
 	}
-	// Prepare both participants by hand, then record the decision — the
-	// coordinator's commit point — then crash B before it can hear the
-	// commit.
+	// Prepare both participants by hand, then make the decision durable at
+	// the coordinator — its commit point — then crash B before it can hear
+	// the commit.
+	c.coord.Begin(txn.ID())
 	for _, r := range []cc.Resource{c.remA, c.remB} {
-		info := &cc.TxnInfo{ID: txn.ID(), Seq: 0}
+		info := &cc.TxnInfo{ID: txn.ID(), Seq: 0, Participants: []string{"A", "B"}}
 		if err := r.Prepare(info); err != nil {
 			t.Fatal(err)
 		}
 	}
-	c.dec.RecordCommit(txn.ID())
+	if err := c.coord.Decide(txn.ID(), true); err != nil {
+		t.Fatal(err)
+	}
 	c.siteB.Crash()
 	// Deliver the commit: A applies it, B misses it.
 	for _, r := range []cc.Resource{c.remA, c.remB} {
@@ -294,16 +300,24 @@ func TestInvokeOnDownSiteIsRetryable(t *testing.T) {
 // TestSiteValidation covers construction errors and double recovery.
 func TestSiteValidation(t *testing.T) {
 	net := NewNetwork(0, 0, 1)
-	dec := NewDecisionLog()
 	if _, err := NewSite(SiteConfig{}); err == nil {
 		t.Error("empty SiteConfig accepted")
 	}
-	s, err := NewSite(SiteConfig{ID: "A", Network: net, Decisions: dec})
+	if _, err := NewSite(SiteConfig{ID: "A", Network: net}); err == nil {
+		t.Error("SiteConfig without a coordinator accepted")
+	}
+	s, err := NewSite(SiteConfig{ID: "A", Network: net, Coordinator: "C"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewSite(SiteConfig{ID: "A", Network: net, Decisions: dec}); err == nil {
+	if _, err := NewSite(SiteConfig{ID: "A", Network: net, Coordinator: "C"}); err == nil {
 		t.Error("duplicate site accepted")
+	}
+	if _, err := NewCoordinator(CoordinatorConfig{}); err == nil {
+		t.Error("empty CoordinatorConfig accepted")
+	}
+	if _, err := NewCoordinator(CoordinatorConfig{ID: "A", Network: net}); err == nil {
+		t.Error("coordinator named after an existing site accepted")
 	}
 	if err := s.AddObject("x", adts.IntSet(), nil); err != nil {
 		t.Fatal(err)

@@ -113,8 +113,8 @@ func TestCrashWindowBeforeCommitLogResolvedByDecision(t *testing.T) {
 	if err := txn.Commit(); err != nil {
 		t.Fatalf("commit = %v, want success (decision was durable)", err)
 	}
-	if !c.dec.Committed(txn.ID()) {
-		t.Fatal("decision log has no commit decision")
+	if !c.coord.Committed(txn.ID()) {
+		t.Fatal("coordinator's durable log has no commit decision")
 	}
 	if c.siteA.Up() {
 		t.Fatal("site A still up after injected crash")
@@ -219,12 +219,13 @@ func TestTornPrepareLogVotesNo(t *testing.T) {
 	}
 }
 
-// TestStaleTxnAfterMidTransactionCrash: a crash+recovery between a
-// transaction's operations wipes its volatile intentions; the site detects
-// the client/site call-count mismatch and refuses further operations with
-// the retryable ErrStaleTxn instead of letting a partial transaction
-// commit.
-func TestStaleTxnAfterMidTransactionCrash(t *testing.T) {
+// TestOrphanedTxnAfterMidTransactionCrash: a crash+recovery between a
+// transaction's operations wipes its volatile intentions and bumps the
+// site epoch; the piggybacked epoch disagrees and the site refuses further
+// operations with the retryable ErrOrphaned instead of letting a partial
+// transaction commit. (The call-count cross-check, ErrStaleTxn, remains as
+// the second line of defence for same-epoch divergence.)
+func TestOrphanedTxnAfterMidTransactionCrash(t *testing.T) {
 	c := newCluster(t, 0)
 	txn := c.manager.Begin()
 	if _, err := txn.Invoke("acct0", adts.OpDeposit, value.Int(5)); err != nil {
@@ -235,11 +236,11 @@ func TestStaleTxnAfterMidTransactionCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err := txn.Invoke("acct0", adts.OpDeposit, value.Int(7))
-	if !errors.Is(err, ErrStaleTxn) {
-		t.Fatalf("invoke after mid-transaction crash = %v, want ErrStaleTxn", err)
+	if !errors.Is(err, ErrOrphaned) {
+		t.Fatalf("invoke after mid-transaction crash = %v, want ErrOrphaned", err)
 	}
 	if !cc.Retryable(err) {
-		t.Fatalf("stale-transaction error %v is not retryable", err)
+		t.Fatalf("orphaned-transaction error %v is not retryable", err)
 	}
 	txn.Abort()
 	if got := c.balance(t, "acct0"); got != 0 {

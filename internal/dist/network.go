@@ -5,21 +5,25 @@
 //
 // A Site hosts protocol resources and a write-ahead log on its own stable
 // storage; it can crash (losing all volatile state) and recover (rebuilding
-// committed states from the log and resolving in-doubt transactions against
-// the coordinator's decision log). A RemoteResource is a cc.Resource proxy
-// that ships invocations, prepares, commits and aborts to a site as
-// messages, so the unchanged transaction runtime (internal/tx) drives
-// distributed two-phase commit.
+// committed states from the log and resolving in-doubt transactions through
+// the cooperative termination protocol). The Coordinator is itself
+// crashable: it forces decisions to its own write-ahead log before the
+// runtime broadcasts them. A RemoteResource is a cc.Resource proxy that
+// ships invocations, prepares, commits and aborts to a site as messages, so
+// the unchanged transaction runtime (internal/tx) drives distributed
+// two-phase commit.
 //
-// The network is unreliable under fault injection: messages can be
-// dropped, duplicated, delayed, and sites can crash inside the commit
-// protocol (see internal/fault for the named fault points). Requests carry
-// ids and sites keep a volatile reply cache, giving at-most-once delivery
-// semantics; the client side retransmits after a timeout, bounded by a
-// retransmission budget, so drop + retransmit + dedup composes to
+// The network is unreliable under fault injection: messages can be dropped,
+// duplicated, delayed, sites can crash inside the commit protocol, and the
+// network can partition into groups that cannot exchange messages until it
+// heals (see internal/fault for the named fault points). Requests carry ids
+// and sites keep a bounded volatile reply cache, giving at-most-once
+// delivery semantics; the client side retransmits after a timeout, bounded
+// by a retransmission budget, so drop + retransmit + dedup composes to
 // exactly-once until a crash wipes the cache — at which point the
-// per-transaction call-sequence check (see Site) detects the lost state and
-// aborts the transaction rather than committing partial effects.
+// per-transaction call-sequence check and the site epoch piggybacked on
+// every message detect the lost state and abort the transaction rather
+// than committing partial effects.
 package dist
 
 import (
@@ -32,19 +36,23 @@ import (
 
 	"weihl83/internal/cc"
 	"weihl83/internal/fault"
+	"weihl83/internal/histories"
 	"weihl83/internal/obs"
 )
 
 // Observability for the message layer. Attempts beyond the first are
-// retransmissions; timeouts count calls whose whole budget ran out.
+// retransmissions; timeouts count calls whose whole budget ran out;
+// partition counters track opened windows and deliveries they refused.
 var (
-	obsRPCCalls       = obs.Default.Counter("dist.rpc.calls")
-	obsRPCAttempts    = obs.Default.Counter("dist.rpc.attempts")
-	obsRPCRetransmits = obs.Default.Counter("dist.rpc.retransmits")
-	obsRPCTimeouts    = obs.Default.Counter("dist.rpc.timeouts")
+	obsRPCCalls         = obs.Default.Counter("dist.rpc.calls")
+	obsRPCAttempts      = obs.Default.Counter("dist.rpc.attempts")
+	obsRPCRetransmits   = obs.Default.Counter("dist.rpc.retransmits")
+	obsRPCTimeouts      = obs.Default.Counter("dist.rpc.timeouts")
+	obsPartitions       = obs.Default.Counter("dist.net.partitions")
+	obsPartitionBlocked = obs.Default.Counter("dist.net.partition.blocked")
 )
 
-// SiteID names a site.
+// SiteID names a site (or the coordinator) on the network.
 type SiteID string
 
 // ErrSiteDown reports a message sent to a crashed site. It wraps
@@ -64,15 +72,23 @@ var ErrRPCTimeout = fmt.Errorf("dist: request timed out after retransmissions: %
 // (retryable: the retry starts a fresh transaction).
 var ErrStaleTxn = fmt.Errorf("dist: transaction state lost at site: %w", cc.ErrUnavailable)
 
-// Network connects sites with randomized message latency and, under fault
-// injection, message drops, duplications and extra delays. Requests time
-// out and are retransmitted up to a bounded budget.
+// ErrPartitioned reports a message refused by an open network partition:
+// sender and receiver are in different groups until the partition heals.
+// It wraps cc.ErrUnavailable (retryable).
+var ErrPartitioned = fmt.Errorf("dist: network partitioned: %w", cc.ErrUnavailable)
+
+// Network connects sites and the coordinator with randomized message
+// latency and, under fault injection, message drops, duplications, extra
+// delays and partitions. Requests time out and are retransmitted up to a
+// bounded budget.
 type Network struct {
 	mu       sync.Mutex
 	rng      *rand.Rand
 	minDelay time.Duration
 	maxDelay time.Duration
 	sites    map[SiteID]*Site
+	coords   map[SiteID]*Coordinator
+	groups   map[SiteID]int // open partition: site -> group; nil when healed
 
 	inj         *fault.Injector
 	rpcTimeout  time.Duration
@@ -97,6 +113,7 @@ func NewNetwork(minDelay, maxDelay time.Duration, seed int64) *Network {
 		minDelay:    minDelay,
 		maxDelay:    maxDelay,
 		sites:       make(map[SiteID]*Site),
+		coords:      make(map[SiteID]*Coordinator),
 		rpcTimeout:  timeout,
 		retransmits: 2,
 	}
@@ -128,6 +145,58 @@ func (n *Network) SetRPC(timeout time.Duration, retransmits int) {
 	n.mu.Unlock()
 }
 
+// Partition splits the network: each listed group can only exchange
+// messages within itself. Nodes not listed in any group form one implicit
+// group of their own. The empty SiteID (an external client with no network
+// presence) is never partitioned from anything.
+func (n *Network) Partition(groups ...[]SiteID) {
+	n.mu.Lock()
+	n.groups = make(map[SiteID]int)
+	for g, members := range groups {
+		for _, id := range members {
+			n.groups[id] = g
+		}
+	}
+	n.mu.Unlock()
+	obsPartitions.Inc()
+}
+
+// Heal closes any open partition.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	n.groups = nil
+	n.mu.Unlock()
+}
+
+// Partitioned reports whether a partition is open.
+func (n *Network) Partitioned() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.groups != nil
+}
+
+// reachable reports whether a message from a can reach b under the current
+// partition (trivially true when the network is healed).
+func (n *Network) reachable(a, b SiteID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.groups == nil {
+		return true
+	}
+	if a == "" || b == "" {
+		return true
+	}
+	ga, ok := n.groups[a]
+	if !ok {
+		ga = -1
+	}
+	gb, ok := n.groups[b]
+	if !ok {
+		gb = -1
+	}
+	return ga == gb
+}
+
 func (n *Network) injector() *fault.Injector {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -147,7 +216,24 @@ func (n *Network) register(s *Site) error {
 	if _, dup := n.sites[s.id]; dup {
 		return fmt.Errorf("dist: duplicate site %s", s.id)
 	}
+	if _, dup := n.coords[s.id]; dup {
+		return fmt.Errorf("dist: site %s collides with a coordinator", s.id)
+	}
 	n.sites[s.id] = s
+	return nil
+}
+
+// registerCoordinator attaches a coordinator.
+func (n *Network) registerCoordinator(c *Coordinator) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.coords[c.id]; dup {
+		return fmt.Errorf("dist: duplicate coordinator %s", c.id)
+	}
+	if _, dup := n.sites[c.id]; dup {
+		return fmt.Errorf("dist: coordinator %s collides with a site", c.id)
+	}
+	n.coords[c.id] = c
 	return nil
 }
 
@@ -173,6 +259,19 @@ func (n *Network) Sites() []*Site {
 	return out
 }
 
+// node looks up an outcome-query answerer: the coordinator or a site.
+func (n *Network) node(id SiteID) (outcomeNode, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c, ok := n.coords[id]; ok {
+		return c, nil
+	}
+	if s, ok := n.sites[id]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("dist: unknown node %s", id)
+}
+
 // delay sleeps a random message latency.
 func (n *Network) delay() {
 	n.mu.Lock()
@@ -186,18 +285,24 @@ func (n *Network) delay() {
 	}
 }
 
-// call delivers a request to a site and returns its reply, simulating the
-// round trip with at-most-once semantics: the request carries an id, the
-// site caches its reply, and on a lost request or reply the caller waits
-// out the timeout and retransmits (a duplicate delivery is answered from
-// the cache). The handler runs on the callee's "server side"; a crashed
-// site refuses. When the retransmission budget runs out the call fails
-// with ErrSiteDown (refused throughout) or ErrRPCTimeout — both retryable.
-func call[Req any, Resp any](n *Network, site SiteID, req Req, handle func(s *Site, req Req) (Resp, error)) (Resp, error) {
+// call delivers a request from one node to a site and returns its reply
+// plus the site's current epoch, simulating the round trip with
+// at-most-once semantics: the request carries an id, the site caches its
+// reply, and on a lost request or reply the caller waits out the timeout
+// and retransmits (a duplicate delivery is answered from the cache). An
+// open partition between from and site refuses the attempt. expect is the
+// site epoch the client first observed for this transaction (zero: none
+// yet); a mismatch means the site crashed underneath the transaction, and
+// the delivery is refused with ErrOrphaned. The handler runs on the
+// callee's "server side"; a crashed site refuses. When the retransmission
+// budget runs out the call fails with ErrSiteDown (refused throughout),
+// ErrPartitioned (partitioned throughout) or ErrRPCTimeout — all
+// retryable.
+func call[Req any, Resp any](n *Network, from SiteID, site SiteID, expect uint64, txn histories.ActivityID, req Req, handle func(s *Site, req Req) (Resp, error)) (Resp, uint64, error) {
 	var zero Resp
 	s, err := n.Site(site)
 	if err != nil {
-		return zero, err
+		return zero, 0, err
 	}
 	inj := n.injector()
 	timeout, retransmits := n.rpcParams()
@@ -208,6 +313,12 @@ func call[Req any, Resp any](n *Network, site SiteID, req Req, handle func(s *Si
 		obsRPCAttempts.Inc()
 		if attempt > 0 {
 			obsRPCRetransmits.Inc()
+		}
+		if !n.reachable(from, site) {
+			obsPartitionBlocked.Inc()
+			lastErr = fmt.Errorf("%w: %s cannot reach %s", ErrPartitioned, from, site)
+			time.Sleep(timeout)
+			continue
 		}
 		n.delay() // request latency
 		if d := inj.Delay(fault.NetDelay); d > 0 {
@@ -223,11 +334,11 @@ func call[Req any, Resp any](n *Network, site SiteID, req Req, handle func(s *Si
 			time.Sleep(timeout)
 			continue
 		}
-		resp, herr := deliver(s, reqID, req, handle)
+		resp, epoch, herr := deliver(s, reqID, expect, txn, req, handle)
 		if inj.Fires(fault.NetRequestDup) {
 			// Deliver the duplicate; its reply is discarded. The reply
 			// cache makes this a no-op at the site.
-			_, _ = deliver(s, reqID, req, handle)
+			_, _, _ = deliver(s, reqID, expect, txn, req, handle)
 		}
 		n.delay() // response latency
 		if inj.Fires(fault.NetReplyDrop) {
@@ -235,24 +346,86 @@ func call[Req any, Resp any](n *Network, site SiteID, req Req, handle func(s *Si
 			time.Sleep(timeout)
 			continue
 		}
-		return resp, herr
+		return resp, epoch, herr
 	}
 	obsRPCTimeouts.Inc()
-	if errors.Is(lastErr, ErrSiteDown) {
-		return zero, lastErr
+	if errors.Is(lastErr, ErrSiteDown) || errors.Is(lastErr, ErrPartitioned) {
+		return zero, 0, lastErr
 	}
-	return zero, fmt.Errorf("%w (%v)", ErrRPCTimeout, lastErr)
+	return zero, 0, fmt.Errorf("%w (%v)", ErrRPCTimeout, lastErr)
 }
 
 // deliver executes one delivery of a request at a site, answering
 // duplicates from the site's volatile reply cache so redelivery never
-// re-executes the handler.
-func deliver[Req any, Resp any](s *Site, reqID uint64, req Req, handle func(s *Site, req Req) (Resp, error)) (Resp, error) {
+// re-executes the handler, and refusing epoch-mismatched (orphaned)
+// requests before they touch any state. The cache is same-epoch by
+// construction — a crash wipes it — so a cached reply needs no epoch
+// check.
+func deliver[Req any, Resp any](s *Site, reqID uint64, expect uint64, txn histories.ActivityID, req Req, handle func(s *Site, req Req) (Resp, error)) (Resp, uint64, error) {
 	if v, err, ok := s.cachedReply(reqID); ok {
 		resp, _ := v.(Resp)
-		return resp, err
+		return resp, s.Epoch(), err
+	}
+	if err := s.checkEpoch(expect); err != nil {
+		var zero Resp
+		return zero, s.Epoch(), err
 	}
 	resp, err := handle(s, req)
-	s.cacheReply(reqID, resp, err)
-	return resp, err
+	s.cacheReply(reqID, txn, resp, err)
+	return resp, s.Epoch(), err
+}
+
+// QueryOutcome asks node to about txn's outcome on behalf of from — the
+// message leg of the cooperative termination protocol. The query is
+// idempotent and carries no reply cache; it rides the same unreliable
+// message layer (drops, delays, partitions, down nodes) with the same
+// retransmission budget. An exhausted budget reports the node unreachable.
+func (n *Network) QueryOutcome(from, to SiteID, txn histories.ActivityID) (Outcome, error) {
+	node, err := n.node(to)
+	if err != nil {
+		return OutcomeUnknown, err
+	}
+	inj := n.injector()
+	timeout, retransmits := n.rpcParams()
+	obsRPCCalls.Inc()
+	var lastErr error
+	for attempt := 0; attempt <= retransmits; attempt++ {
+		obsRPCAttempts.Inc()
+		if attempt > 0 {
+			obsRPCRetransmits.Inc()
+		}
+		if !n.reachable(from, to) {
+			obsPartitionBlocked.Inc()
+			lastErr = fmt.Errorf("%w: %s cannot reach %s", ErrPartitioned, from, to)
+			time.Sleep(timeout)
+			continue
+		}
+		n.delay() // request latency
+		if d := inj.Delay(fault.NetDelay); d > 0 {
+			time.Sleep(d)
+		}
+		if inj.Fires(fault.NetRequestDrop) {
+			lastErr = fmt.Errorf("dist: outcome query to %s lost", to)
+			time.Sleep(timeout)
+			continue
+		}
+		if !node.Up() {
+			lastErr = fmt.Errorf("%w: %s", ErrSiteDown, to)
+			time.Sleep(timeout)
+			continue
+		}
+		out := node.queryOutcome(txn)
+		n.delay() // response latency
+		if inj.Fires(fault.NetReplyDrop) {
+			lastErr = fmt.Errorf("dist: outcome reply from %s lost", to)
+			time.Sleep(timeout)
+			continue
+		}
+		return out, nil
+	}
+	obsRPCTimeouts.Inc()
+	if errors.Is(lastErr, ErrSiteDown) || errors.Is(lastErr, ErrPartitioned) {
+		return OutcomeUnknown, lastErr
+	}
+	return OutcomeUnknown, fmt.Errorf("%w (%v)", ErrRPCTimeout, lastErr)
 }

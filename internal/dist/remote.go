@@ -12,7 +12,7 @@ import (
 )
 
 // Observability: per-phase round-trip latency of the remote protocol, as
-// seen by the coordinator (includes retransmission waits).
+// seen by the client (includes retransmission waits).
 var (
 	obsInvokeLat  = obs.Default.Histogram("dist.2pc.invoke_ns")
 	obsPrepareLat = obs.Default.Histogram("dist.2pc.prepare_ns")
@@ -29,30 +29,52 @@ var (
 // with every invoke and with the prepare request. The site cross-checks it
 // against its own intentions (see Site.handleInvoke): if a crash wiped the
 // transaction's volatile state in between, the counts disagree and the
-// transaction aborts retryably instead of committing partial effects.
+// transaction aborts retryably instead of committing partial effects. The
+// proxy also remembers the site epoch it first observed per transaction
+// and piggybacks it on every later message; if the site crashed in
+// between, the epochs disagree and the site refuses the orphaned message
+// (ErrOrphaned) before it touches any state.
 type RemoteResource struct {
-	net  *Network
-	site SiteID
-	obj  histories.ObjectID
+	net    *Network
+	origin SiteID // where the proxy's messages originate, for partitions
+	site   SiteID
+	obj    histories.ObjectID
 
-	mu  sync.Mutex
-	seq map[histories.ActivityID]int
+	mu     sync.Mutex
+	seq    map[histories.ActivityID]int
+	epochs map[histories.ActivityID]uint64
 }
 
 var _ cc.Resource = (*RemoteResource)(nil)
 
-// NewRemoteResource returns a proxy for obj at site.
+// NewRemoteResource returns a proxy for obj at site whose messages
+// originate outside the network ("" — an external client a partition
+// never cuts off).
 func NewRemoteResource(net *Network, site SiteID, obj histories.ObjectID) *RemoteResource {
+	return NewRemoteResourceAt(net, "", site, obj)
+}
+
+// NewRemoteResourceAt returns a proxy for obj at site whose messages
+// originate at origin, so an open partition separating origin from site
+// refuses them.
+func NewRemoteResourceAt(net *Network, origin, site SiteID, obj histories.ObjectID) *RemoteResource {
 	return &RemoteResource{
-		net:  net,
-		site: site,
-		obj:  obj,
-		seq:  make(map[histories.ActivityID]int),
+		net:    net,
+		origin: origin,
+		site:   site,
+		obj:    obj,
+		seq:    make(map[histories.ActivityID]int),
+		epochs: make(map[histories.ActivityID]uint64),
 	}
 }
 
 // ObjectID implements cc.Resource.
 func (r *RemoteResource) ObjectID() histories.ObjectID { return r.obj }
+
+// ParticipantSite names the site hosting this resource; the runtime
+// collects these into cc.TxnInfo.Participants before prepare, so every
+// yes-vote is logged with the peer set the termination protocol polls.
+func (r *RemoteResource) ParticipantSite() string { return string(r.site) }
 
 func (r *RemoteResource) seqOf(txn histories.ActivityID) int {
 	r.mu.Lock()
@@ -66,9 +88,26 @@ func (r *RemoteResource) bump(txn histories.ActivityID) {
 	r.mu.Unlock()
 }
 
+func (r *RemoteResource) epochOf(txn histories.ActivityID) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epochs[txn]
+}
+
+// noteEpoch pins the first site epoch the transaction observed; later
+// messages carry it so a site crash in between is detected.
+func (r *RemoteResource) noteEpoch(txn histories.ActivityID, epoch uint64) {
+	r.mu.Lock()
+	if _, ok := r.epochs[txn]; !ok && epoch != 0 {
+		r.epochs[txn] = epoch
+	}
+	r.mu.Unlock()
+}
+
 func (r *RemoteResource) forget(txn histories.ActivityID) {
 	r.mu.Lock()
 	delete(r.seq, txn)
+	delete(r.epochs, txn)
 	r.mu.Unlock()
 }
 
@@ -78,37 +117,42 @@ func (r *RemoteResource) forget(txn histories.ActivityID) {
 func (r *RemoteResource) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, error) {
 	n := r.seqOf(txn.ID)
 	start := time.Now()
-	v, err := call(r.net, r.site, inv, func(s *Site, inv spec.Invocation) (value.Value, error) {
+	v, epoch, err := call(r.net, r.origin, r.site, r.epochOf(txn.ID), txn.ID, inv, func(s *Site, inv spec.Invocation) (value.Value, error) {
 		return s.handleInvoke(r.obj, txn, inv, n)
 	})
 	obsInvokeLat.Observe(int64(time.Since(start)))
 	if err == nil {
 		r.bump(txn.ID)
+		r.noteEpoch(txn.ID, epoch)
 	}
 	return v, err
 }
 
 // Prepare implements cc.Resource: the participant's vote. A failure (site
-// down, doomed or stale transaction, failed log write) vetoes the commit.
+// down, doomed, stale or orphaned transaction, failed log write) vetoes
+// the commit.
 func (r *RemoteResource) Prepare(txn *cc.TxnInfo) error {
 	n := r.seqOf(txn.ID)
 	type req struct{}
 	start := time.Now()
-	_, err := call(r.net, r.site, req{}, func(s *Site, _ req) (struct{}, error) {
+	_, epoch, err := call(r.net, r.origin, r.site, r.epochOf(txn.ID), txn.ID, req{}, func(s *Site, _ req) (struct{}, error) {
 		return struct{}{}, s.handlePrepare(r.obj, txn, n)
 	})
 	obsPrepareLat.Observe(int64(time.Since(start)))
+	if err == nil {
+		r.noteEpoch(txn.ID, epoch)
+	}
 	return err
 }
 
 // Commit implements cc.Resource. Delivery to a crashed participant is
-// dropped: the coordinator's decision log plus the participant's logged
+// dropped: the coordinator's logged decision plus the participant's logged
 // intentions redo the commit during recovery, which is the point of
 // write-ahead logging in two-phase commit.
 func (r *RemoteResource) Commit(txn *cc.TxnInfo, _ histories.Timestamp) {
 	type req struct{}
 	start := time.Now()
-	_, _ = call(r.net, r.site, req{}, func(s *Site, _ req) (struct{}, error) {
+	_, _, _ = call(r.net, r.origin, r.site, r.epochOf(txn.ID), txn.ID, req{}, func(s *Site, _ req) (struct{}, error) {
 		return struct{}{}, s.handleCommit(r.obj, txn)
 	})
 	obsCommitLat.Observe(int64(time.Since(start)))
@@ -120,7 +164,7 @@ func (r *RemoteResource) Commit(txn *cc.TxnInfo, _ histories.Timestamp) {
 func (r *RemoteResource) Abort(txn *cc.TxnInfo) {
 	type req struct{}
 	start := time.Now()
-	_, _ = call(r.net, r.site, req{}, func(s *Site, _ req) (struct{}, error) {
+	_, _, _ = call(r.net, r.origin, r.site, r.epochOf(txn.ID), txn.ID, req{}, func(s *Site, _ req) (struct{}, error) {
 		return struct{}{}, s.handleAbort(r.obj, txn)
 	})
 	obsAbortLat.Observe(int64(time.Since(start)))

@@ -3,6 +3,7 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -17,42 +18,96 @@ import (
 	"weihl83/internal/value"
 )
 
-// Observability for site lifecycle and the at-most-once reply cache.
+// Observability for site lifecycle, the at-most-once reply cache, and
+// recovery's in-doubt resolution.
 var (
 	obsSiteCrashes    = obs.Default.Counter("dist.site.crashes")
 	obsSiteRecoveries = obs.Default.Counter("dist.site.recoveries")
 	obsCacheHits      = obs.Default.Counter("dist.reply.cache.hits")
+	obsCacheEvicts    = obs.Default.Counter("dist.reply.cache.evictions")
+	obsEpochOrphans   = obs.Default.Counter("dist.epoch.orphans")
 	obsInDoubtCommits = obs.Default.Counter("dist.recover.indoubt.commits")
 	obsInDoubtAborts  = obs.Default.Counter("dist.recover.indoubt.aborts")
+	obsAbandonedSwept = obs.Default.Counter("dist.abandoned.swept")
 	obsSiteTrace      = obs.Default.Tracer()
 )
 
-// DecisionLog is the coordinator's stable record of commit decisions,
-// consulted by recovering participants to resolve in-doubt transactions
-// (presumed abort: no commit record means abort).
+// ErrOrphaned reports a message carrying a site epoch older than the site's
+// current one: the sender is an orphan of a pre-crash activity (§6) — the
+// crash already wiped the state its message depends on, so executing it
+// would half-apply a dead transaction. It wraps cc.ErrUnavailable (the
+// retry starts a fresh transaction in the new epoch).
+var ErrOrphaned = fmt.Errorf("dist: orphaned message from a pre-crash epoch: %w", cc.ErrUnavailable)
+
+// ErrRefused reports an invoke or prepare for a transaction this site has
+// already resolved — refused during cooperative termination (a peer asked
+// about the transaction, this site had no record of it, and it durably
+// promised never to vote yes) or unilaterally aborted as abandoned. It
+// wraps cc.ErrUnavailable (retryable).
+var ErrRefused = fmt.Errorf("dist: refused: transaction already resolved at site: %w", cc.ErrUnavailable)
+
+// ErrStillInDoubt reports a recovery that could not resolve every in-doubt
+// transaction — the coordinator is down or partitioned away and no peer
+// knows the outcome. The site stays down; retry Recover once the partition
+// heals or the coordinator comes back. It wraps cc.ErrUnavailable.
+var ErrStillInDoubt = fmt.Errorf("dist: in-doubt transactions unresolved: %w", cc.ErrUnavailable)
+
+// DecisionLog is an in-memory commit/abort outcome log satisfying the
+// runtime's coordinator hook (tx.Coordinator) for single-process setups —
+// tests and the local simulator. It records both decisions explicitly, so
+// a decided abort is distinguishable from a transaction it never heard of.
+//
+// Distributed sites do NOT consult it: they resolve in-doubt transactions
+// through the cooperative termination protocol against a crashable
+// Coordinator and their peer participants.
 type DecisionLog struct {
-	mu        sync.Mutex
-	committed map[histories.ActivityID]bool
+	mu       sync.Mutex
+	outcomes map[histories.ActivityID]bool
 }
 
 // NewDecisionLog returns an empty decision log.
 func NewDecisionLog() *DecisionLog {
-	return &DecisionLog{committed: make(map[histories.ActivityID]bool)}
+	return &DecisionLog{outcomes: make(map[histories.ActivityID]bool)}
 }
 
-// RecordCommit durably records the decision to commit.
-func (d *DecisionLog) RecordCommit(txn histories.ActivityID) {
+// Begin satisfies tx.Coordinator; the in-memory log needs no begin record.
+func (d *DecisionLog) Begin(histories.ActivityID) {}
+
+// Decide records the outcome. It satisfies tx.Coordinator and never fails.
+func (d *DecisionLog) Decide(txn histories.ActivityID, commit bool) error {
 	d.mu.Lock()
-	d.committed[txn] = true
+	d.outcomes[txn] = commit
 	d.mu.Unlock()
+	return nil
 }
 
-// Committed reports whether txn was decided committed. Anything else is
-// presumed aborted.
+// RecordCommit records the decision to commit.
+func (d *DecisionLog) RecordCommit(txn histories.ActivityID) { _ = d.Decide(txn, true) }
+
+// RecordAbort records an explicit abort decision.
+func (d *DecisionLog) RecordAbort(txn histories.ActivityID) { _ = d.Decide(txn, false) }
+
+// Committed reports whether txn was decided committed.
 func (d *DecisionLog) Committed(txn histories.ActivityID) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.committed[txn]
+	return d.outcomes[txn]
+}
+
+// Outcome distinguishes decided-committed, decided-aborted, and
+// never-heard-of-it.
+func (d *DecisionLog) Outcome(txn histories.ActivityID) Outcome {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	commit, ok := d.outcomes[txn]
+	switch {
+	case !ok:
+		return OutcomeUnknown
+	case commit:
+		return OutcomeCommitted
+	default:
+		return OutcomeAborted
+	}
 }
 
 // SiteConfig configures a site.
@@ -61,9 +116,9 @@ type SiteConfig struct {
 	ID SiteID
 	// Network to attach to. Required.
 	Network *Network
-	// Decisions is the (globally reachable) coordinator decision log used
-	// during recovery. Required.
-	Decisions *DecisionLog
+	// Coordinator names the coordinator this site's in-doubt recoveries
+	// query first during cooperative termination. Required.
+	Coordinator SiteID
 	// Sink receives history events from the site's objects.
 	Sink cc.EventSink
 	// WaitTimeout, when positive, bounds every blocked lock wait at the
@@ -71,11 +126,18 @@ type SiteConfig struct {
 	// locks until the next recovery; a wait timeout turns the resulting
 	// indefinite blocking into retryable timeouts.
 	WaitTimeout time.Duration
+	// ReplyCacheCap bounds the at-most-once reply cache: once it holds
+	// more entries, replies of transactions with a durable outcome are
+	// evicted oldest-first. Entries of still-undecided transactions are
+	// pinned (evicting one would let a retransmission re-execute its
+	// handler), so the cache can transiently exceed the cap by the number
+	// of in-flight transactions. Zero selects the default of 1024.
+	ReplyCacheCap int
 	// Injector, when set, attaches fault injection to the site: crash
 	// windows inside the commit protocol (fault.SiteCrashPrepare,
 	// fault.SiteCrashCommitBeforeLog, fault.SiteCrashCommitAfterLog) and
 	// stable-storage faults on the site's disk (fault.DiskAppendFail,
-	// fault.DiskAppendTorn).
+	// fault.DiskAppendTorn, fault.DiskCheckpointTorn).
 	Injector *fault.Injector
 }
 
@@ -83,52 +145,100 @@ type SiteConfig struct {
 // stable storage, and crash/recover machinery. Objects at a site use
 // deferred update (intentions lists), the recovery technique the paper
 // pairs with the locking protocols.
+//
+// A crash bumps the site's epoch. Every message carries the epoch the
+// client first observed; a mismatch means the crash wiped state the
+// message depends on, and the site refuses with ErrOrphaned instead of
+// half-applying an orphaned activity.
 type Site struct {
 	id          SiteID
 	net         *Network
-	dec         *DecisionLog
+	coordID     SiteID
 	sink        cc.EventSink
 	waitTimeout time.Duration
 	inj         *fault.Injector
 
-	mu       sync.Mutex
-	up       bool
-	disk     *recovery.Disk // stable: survives crashes
-	types    map[histories.ObjectID]adts.Type
-	guards   map[histories.ObjectID]func(adts.Type) locking.Guard
-	objects  map[histories.ObjectID]*locking.Object // volatile
-	detector *locking.Detector                      // volatile
-	prepared map[histories.ActivityID]map[histories.ObjectID]bool
-	replies  map[uint64]cachedReply // volatile at-most-once reply cache
-	crashes  int64                  // total crashes, for diagnostics
+	// voteMu serialises yes-votes against termination-protocol refusals:
+	// a peer-outcome query that finds no trace of a transaction durably
+	// refuses it under voteMu, and handlePrepare checks for the refusal
+	// and appends its intentions under voteMu, so a refusal and a yes-vote
+	// for the same transaction cannot interleave.
+	voteMu sync.Mutex
+
+	// recoverMu serialises whole recovery passes.
+	recoverMu sync.Mutex
+
+	mu         sync.Mutex
+	up         bool
+	epoch      uint64
+	disk       *recovery.Disk // stable: survives crashes
+	types      map[histories.ObjectID]adts.Type
+	guards     map[histories.ObjectID]func(adts.Type) locking.Guard
+	objects    map[histories.ObjectID]*locking.Object // volatile
+	detector   *locking.Detector                      // volatile
+	prepared   map[histories.ActivityID]*preparedTxn  // volatile in-doubt set
+	active     map[histories.ActivityID]*activeTxn    // volatile unprepared-invoker set
+	decided    map[histories.ActivityID]bool          // volatile outcome cache (rebuilt from log)
+	replies    map[uint64]cachedReply                 // volatile at-most-once reply cache
+	replyOrder []uint64                               // insertion order, for eviction
+	replyCap   int
+	crashes    int64 // total crashes, for diagnostics
+}
+
+// preparedTxn tracks a transaction this site voted yes for and has not yet
+// learned the outcome of.
+type preparedTxn struct {
+	objects      map[histories.ObjectID]bool
+	participants []string
+	preparedAt   time.Time
+	attempts     int       // failed termination-protocol attempts
+	nextTry      time.Time // capped-backoff gate for the next attempt
+}
+
+// activeTxn tracks a transaction that has invoked operations here (and so
+// may hold locks) but has not prepared. Until its yes-vote this site may
+// unilaterally abort it, which is how locks leaked by a client whose abort
+// broadcast never arrived are eventually reclaimed (AbortAbandoned).
+type activeTxn struct {
+	objects  map[histories.ObjectID]bool
+	lastSeen time.Time
 }
 
 // cachedReply is a memoised handler result, keyed by request id.
 type cachedReply struct {
+	txn   histories.ActivityID
 	value any
 	err   error
 }
 
 // NewSite creates a site and attaches it to the network.
 func NewSite(cfg SiteConfig) (*Site, error) {
-	if cfg.ID == "" || cfg.Network == nil || cfg.Decisions == nil {
-		return nil, errors.New("dist: SiteConfig needs ID, Network and Decisions")
+	if cfg.ID == "" || cfg.Network == nil || cfg.Coordinator == "" {
+		return nil, errors.New("dist: SiteConfig needs ID, Network and Coordinator")
+	}
+	cap := cfg.ReplyCacheCap
+	if cap <= 0 {
+		cap = 1024
 	}
 	s := &Site{
 		id:          cfg.ID,
 		net:         cfg.Network,
-		dec:         cfg.Decisions,
+		coordID:     cfg.Coordinator,
 		sink:        cfg.Sink,
 		waitTimeout: cfg.WaitTimeout,
 		inj:         cfg.Injector,
 		up:          true,
+		epoch:       1,
 		disk:        &recovery.Disk{},
 		types:       make(map[histories.ObjectID]adts.Type),
 		guards:      make(map[histories.ObjectID]func(adts.Type) locking.Guard),
 		objects:     make(map[histories.ObjectID]*locking.Object),
 		detector:    locking.NewDetector(),
-		prepared:    make(map[histories.ActivityID]map[histories.ObjectID]bool),
+		prepared:    make(map[histories.ActivityID]*preparedTxn),
+		active:      make(map[histories.ActivityID]*activeTxn),
+		decided:     make(map[histories.ActivityID]bool),
 		replies:     make(map[uint64]cachedReply),
+		replyCap:    cap,
 	}
 	s.disk.SetInjector(cfg.Injector)
 	if err := cfg.Network.register(s); err != nil {
@@ -145,6 +255,13 @@ func (s *Site) Up() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.up
+}
+
+// Epoch returns the site's current epoch (bumped at every crash).
+func (s *Site) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
 }
 
 // Disk exposes the site's stable storage (for tests).
@@ -190,16 +307,21 @@ func (s *Site) buildObject(id histories.ObjectID, t adts.Type, guard func(adts.T
 }
 
 // Crash takes the site down, discarding every volatile structure: active
-// transactions, lock tables, committed in-memory states, the reply cache.
-// Only the disk survives.
+// transactions, lock tables, committed in-memory states, the in-doubt set,
+// the outcome cache, the reply cache. Only the disk survives. The epoch is
+// bumped so messages from pre-crash activities are detected as orphans.
 func (s *Site) Crash() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.up = false
+	s.epoch++
 	s.objects = nil
 	s.detector = nil
 	s.prepared = nil
+	s.active = nil
+	s.decided = nil
 	s.replies = nil
+	s.replyOrder = nil
 	s.crashes++
 	obsSiteCrashes.Inc()
 	if obsSiteTrace.Enabled() {
@@ -212,6 +334,18 @@ func (s *Site) Crashes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.crashes
+}
+
+// checkEpoch refuses messages from a pre-crash epoch. expect is the epoch
+// the client first observed at this site (zero: no expectation yet).
+func (s *Site) checkEpoch(expect uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if expect != 0 && expect != s.epoch {
+		obsEpochOrphans.Inc()
+		return fmt.Errorf("%w: %s is at epoch %d, message from epoch %d", ErrOrphaned, s.id, s.epoch, expect)
+	}
+	return nil
 }
 
 // cachedReply looks up the memoised reply for a request id (at-most-once
@@ -227,69 +361,168 @@ func (s *Site) cachedReply(reqID uint64) (any, error, bool) {
 }
 
 // cacheReply memoises a handler's reply. A no-op after a crash.
-func (s *Site) cacheReply(reqID uint64, v any, err error) {
+func (s *Site) cacheReply(reqID uint64, txn histories.ActivityID, v any, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.replies != nil {
-		s.replies[reqID] = cachedReply{value: v, err: err}
+	if s.replies == nil {
+		return
 	}
+	s.replies[reqID] = cachedReply{txn: txn, value: v, err: err}
+	s.replyOrder = append(s.replyOrder, reqID)
+	s.evictRepliesLocked()
 }
 
-// Recover brings the site back: committed states are rebuilt from the
-// write-ahead log (redo of logged intentions in commit order), and every
-// transaction that was prepared here but lacks a local commit or abort
-// record is resolved against the coordinator's decision log — commit if
-// decided, otherwise presumed abort.
-func (s *Site) Recover() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.up {
-		return fmt.Errorf("dist: site %s is already up", s.id)
+// evictRepliesLocked bounds the reply cache: oldest-first, evicting only
+// entries whose transaction has a durable outcome — their client can never
+// legitimately retransmit, while evicting an undecided entry would let a
+// retransmission re-execute its handler.
+func (s *Site) evictRepliesLocked() {
+	if s.replies == nil || len(s.replies) <= s.replyCap {
+		return
 	}
-	// Resolve in-doubt transactions first, appending the missing decision
-	// records so the redo pass below sees a complete log. Recovery's log
-	// writes must not fail mid-resolution, so the injector is detached for
-	// the duration (a real system retries its recovery pass until stable
-	// storage accepts it).
-	s.disk.SetInjector(nil)
-	defer s.disk.SetInjector(s.inj)
-	recs := s.disk.Records()
-	inDoubt := make(map[histories.ActivityID]bool)
-	objectsOf := make(map[histories.ActivityID][]histories.ObjectID)
-	for _, r := range recs {
-		switch r.Kind {
-		case recovery.RecordIntentions:
-			if r.Torn {
+	kept := make([]uint64, 0, len(s.replyOrder))
+	for _, id := range s.replyOrder {
+		r, ok := s.replies[id]
+		if !ok {
+			continue
+		}
+		if len(s.replies) > s.replyCap {
+			if _, done := s.decided[r.txn]; done {
+				delete(s.replies, id)
+				obsCacheEvicts.Inc()
 				continue
 			}
-			inDoubt[r.Txn] = true
-			objectsOf[r.Txn] = append(objectsOf[r.Txn], r.Object)
+		}
+		kept = append(kept, id)
+	}
+	s.replyOrder = kept
+}
+
+// Checkpoint snapshots the site's committed states into its write-ahead
+// log and compacts the log prefix the snapshot summarises, returning the
+// estimated bytes reclaimed.
+func (s *Site) Checkpoint() (int64, error) {
+	s.mu.Lock()
+	if !s.up {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s", ErrSiteDown, s.id)
+	}
+	specs := make(map[histories.ObjectID]spec.SerialSpec, len(s.types))
+	for id, t := range s.types {
+		specs[id] = t.Spec
+	}
+	s.mu.Unlock()
+	return s.disk.Checkpoint(specs)
+}
+
+// Recover brings the site back in three phases. First the write-ahead log
+// is scanned for in-doubt transactions: logged intentions with no commit or
+// abort record. Second, each is resolved through the cooperative
+// termination protocol — coordinator first, then peer participants, then
+// presumed abort when the coordinator durably knows nothing or every peer
+// unanimously refuses (see resolveOutcome); if any transaction stays
+// unresolved (coordinator down or partitioned, peers in doubt too) the
+// site stays down and Recover returns ErrStillInDoubt so the caller can
+// retry after the heal. Third, the resolved outcomes are appended to the
+// log and the committed states are rebuilt from it (redo of logged
+// intentions in commit order).
+func (s *Site) Recover() error {
+	s.recoverMu.Lock()
+	defer s.recoverMu.Unlock()
+	if s.Up() {
+		return fmt.Errorf("dist: site %s is already up", s.id)
+	}
+
+	// Phase 1: find in-doubt transactions in the log, in first-seen order.
+	type doubt struct {
+		txn          histories.ActivityID
+		objects      []histories.ObjectID
+		participants []string
+	}
+	inDoubt := make(map[histories.ActivityID]*doubt)
+	var order []histories.ActivityID
+	for _, r := range s.disk.Records() {
+		if r.Torn {
+			continue
+		}
+		switch r.Kind {
+		case recovery.RecordIntentions:
+			d := inDoubt[r.Txn]
+			if d == nil {
+				d = &doubt{txn: r.Txn}
+				inDoubt[r.Txn] = d
+				order = append(order, r.Txn)
+			}
+			d.objects = append(d.objects, r.Object)
+			d.participants = unionStrings(d.participants, r.Participants)
 		case recovery.RecordCommit, recovery.RecordAbort:
 			delete(inDoubt, r.Txn)
+		case recovery.RecordCheckpoint:
+			for txn := range r.Decided {
+				delete(inDoubt, txn)
+			}
 		}
 	}
-	for txn := range inDoubt {
-		if s.dec.Committed(txn) {
-			if err := s.disk.Append(recovery.Record{Kind: recovery.RecordCommit, Txn: txn}); err != nil {
-				return fmt.Errorf("dist: recovering %s: %w", s.id, err)
-			}
+
+	// Phase 2: cooperative termination, outside s.mu (it talks to the
+	// network).
+	type resolution struct {
+		d      *doubt
+		commit bool
+		path   string
+	}
+	var resolved []resolution
+	unresolved := 0
+	for _, txn := range order {
+		d, still := inDoubt[txn]
+		if !still {
+			continue
+		}
+		commit, path, ok := s.resolveOutcome(txn, d.participants)
+		if !ok {
+			unresolved++
+			continue
+		}
+		resolved = append(resolved, resolution{d: d, commit: commit, path: path})
+	}
+
+	// Phase 3: make the resolved outcomes durable (even when others remain
+	// unresolved — durable progress shrinks the next attempt), then
+	// rebuild. Recovery's log writes must not fail mid-resolution, so the
+	// injector is detached for the duration (a real system retries its
+	// recovery pass until stable storage accepts it).
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.disk.SetInjector(nil)
+	defer s.disk.SetInjector(s.inj)
+	for _, res := range resolved {
+		kind := recovery.RecordAbort
+		if res.commit {
+			kind = recovery.RecordCommit
+		}
+		if err := s.disk.Append(recovery.Record{Kind: kind, Txn: res.d.txn}); err != nil {
+			return fmt.Errorf("dist: recovering %s: %w", s.id, err)
+		}
+		obs.Default.Counter("dist.indoubt.resolved." + res.path).Inc()
+		if res.commit {
 			obsInDoubtCommits.Inc()
-			// The transaction is durably committed (coordinator decision +
-			// our logged intentions) but this site crashed before
-			// installing it, so no commit event was ever emitted here.
-			// Record it now: nothing can have read the redone effects
-			// before this point, so the late commit event is a valid
-			// observation.
-			for _, obj := range objectsOf[txn] {
-				s.sink.Emit(histories.Commit(obj, txn))
+			// The transaction is durably committed (coordinator or peer
+			// decision + our logged intentions) but this site crashed
+			// before installing it, so no commit event was ever emitted
+			// here. Record it now: nothing can have read the redone
+			// effects before this point, so the late commit event is a
+			// valid observation.
+			for _, obj := range res.d.objects {
+				s.sink.Emit(histories.Commit(obj, res.d.txn))
 			}
 		} else {
-			if err := s.disk.Append(recovery.Record{Kind: recovery.RecordAbort, Txn: txn}); err != nil {
-				return fmt.Errorf("dist: recovering %s: %w", s.id, err)
-			}
 			obsInDoubtAborts.Inc()
 		}
 	}
+	if unresolved > 0 {
+		return fmt.Errorf("%w: site %s: %d transaction(s) still in doubt", ErrStillInDoubt, s.id, unresolved)
+	}
+
 	specs := make(map[histories.ObjectID]spec.SerialSpec, len(s.types))
 	for id, t := range s.types {
 		specs[id] = t.Spec
@@ -300,8 +533,26 @@ func (s *Site) Recover() error {
 	}
 	s.detector = locking.NewDetector()
 	s.objects = make(map[histories.ObjectID]*locking.Object, len(s.types))
-	s.prepared = make(map[histories.ActivityID]map[histories.ObjectID]bool)
+	s.prepared = make(map[histories.ActivityID]*preparedTxn)
+	s.active = make(map[histories.ActivityID]*activeTxn)
 	s.replies = make(map[uint64]cachedReply)
+	s.replyOrder = nil
+	s.decided = make(map[histories.ActivityID]bool)
+	for _, r := range s.disk.Records() {
+		if r.Torn {
+			continue
+		}
+		switch r.Kind {
+		case recovery.RecordCommit:
+			s.decided[r.Txn] = true
+		case recovery.RecordAbort:
+			s.decided[r.Txn] = false
+		case recovery.RecordCheckpoint:
+			for txn := range r.Decided {
+				s.decided[txn] = true
+			}
+		}
+	}
 	for id, t := range s.types {
 		o, err := s.buildObject(id, t, s.guards[id], states[id])
 		if err != nil {
@@ -315,6 +566,23 @@ func (s *Site) Recover() error {
 		obsSiteTrace.Record(obs.TraceEvent{Kind: obs.KindRecover, Site: string(s.id)})
 	}
 	return nil
+}
+
+// unionStrings merges b into a without duplicates, preserving order.
+func unionStrings(a, b []string) []string {
+	for _, x := range b {
+		found := false
+		for _, y := range a {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			a = append(a, x)
+		}
+	}
+	return a
 }
 
 // object looks up a hosted object on a running site.
@@ -344,16 +612,46 @@ func (s *Site) handleInvoke(obj histories.ObjectID, txn *cc.TxnInfo, inv spec.In
 	if err != nil {
 		return value.Nil(), err
 	}
+	if s.isDecided(txn.ID) {
+		// A late or duplicate message from a transaction this site already
+		// resolved (aborted as abandoned, refused to a peer, or decided by
+		// 2PC). Executing it would re-acquire locks for a dead transaction.
+		return value.Nil(), fmt.Errorf("%w: invoke by %s at %s", ErrRefused, txn.ID, s.id)
+	}
 	if got := len(o.PendingCalls(txn)); got != seq {
 		return value.Nil(), fmt.Errorf("%w: %s at %s has %d of %d calls", ErrStaleTxn, txn.ID, s.id, got, seq)
 	}
-	s.registerTxn(txn)
-	return o.Invoke(txn, inv)
+	s.registerTxn(txn, obj)
+	v, err := o.Invoke(txn, inv)
+	if err == nil && s.isDecided(txn.ID) {
+		// The abandoned-transaction sweeper resolved this transaction while
+		// the invoke was in flight; its freshly granted locks would leak.
+		// Undo and refuse.
+		o.Abort(txn)
+		return value.Nil(), fmt.Errorf("%w: invoke by %s at %s", ErrRefused, txn.ID, s.id)
+	}
+	return v, err
 }
 
-func (s *Site) registerTxn(txn *cc.TxnInfo) {
+func (s *Site) isDecided(txn histories.ActivityID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.decided[txn]
+	return ok
+}
+
+func (s *Site) registerTxn(txn *cc.TxnInfo, obj histories.ObjectID) {
 	s.mu.Lock()
 	det := s.detector
+	if s.active != nil {
+		a := s.active[txn.ID]
+		if a == nil {
+			a = &activeTxn{objects: make(map[histories.ObjectID]bool)}
+			s.active[txn.ID] = a
+		}
+		a.objects[obj] = true
+		a.lastSeen = time.Now()
+	}
 	s.mu.Unlock()
 	if det != nil {
 		det.Register(txn.ID, txn.Seq)
@@ -361,11 +659,15 @@ func (s *Site) registerTxn(txn *cc.TxnInfo) {
 }
 
 // handlePrepare forces the transaction's intentions at obj to the site's
-// log and marks it prepared (the participant's "yes" vote). expect is the
-// client's count of the transaction's completed calls here; a mismatch
-// means a crash wiped part of the transaction, so the site votes no. A
-// failed or torn log append also votes no: an unlogged yes-vote would let
-// a commit decision outrun the intentions that make it redoable.
+// log — with the participant list, so an in-doubt recovery knows which
+// peers to poll — and marks it prepared (the participant's "yes" vote).
+// expect is the client's count of the transaction's completed calls here;
+// a mismatch means a crash wiped part of the transaction, so the site
+// votes no. A failed or torn log append also votes no: an unlogged
+// yes-vote would let a commit decision outrun the intentions that make it
+// redoable. A transaction this site already resolved (an abort applied, or
+// a refusal promised to a querying peer) is voted no under voteMu, so a
+// yes-vote can never interleave with the refusal that forbids it.
 func (s *Site) handlePrepare(obj histories.ObjectID, txn *cc.TxnInfo, expect int) error {
 	o, err := s.object(obj)
 	if err != nil {
@@ -378,29 +680,45 @@ func (s *Site) handlePrepare(obj histories.ObjectID, txn *cc.TxnInfo, expect int
 	if err := o.Prepare(txn); err != nil {
 		return err
 	}
-	if err := s.disk.Append(recovery.Record{
-		Kind:   recovery.RecordIntentions,
-		Txn:    txn.ID,
-		Object: obj,
-		Calls:  calls,
-	}); err != nil {
+	s.voteMu.Lock()
+	s.mu.Lock()
+	_, alreadyResolved := s.decided[txn.ID]
+	s.mu.Unlock()
+	if alreadyResolved {
+		s.voteMu.Unlock()
+		o.Abort(txn)
+		return fmt.Errorf("%w: %s at %s", ErrRefused, txn.ID, s.id)
+	}
+	err = s.disk.Append(recovery.Record{
+		Kind:         recovery.RecordIntentions,
+		Txn:          txn.ID,
+		Object:       obj,
+		Calls:        calls,
+		Participants: txn.Participants,
+	})
+	s.voteMu.Unlock()
+	if err != nil {
 		return fmt.Errorf("dist: prepare %s at %s: %w", txn.ID, s.id, err)
 	}
 	if s.inj.Fires(fault.SiteCrashPrepare) {
 		// Crash window: the yes-vote is durable but never reaches the
 		// coordinator. The transaction is now in doubt here; recovery
-		// resolves it against the coordinator's decision log.
+		// resolves it through the cooperative termination protocol.
 		s.Crash()
 		return fmt.Errorf("%w: %s (crashed after logging prepare)", ErrSiteDown, s.id)
 	}
 	s.mu.Lock()
 	if s.prepared != nil {
-		m := s.prepared[txn.ID]
-		if m == nil {
-			m = make(map[histories.ObjectID]bool)
-			s.prepared[txn.ID] = m
+		p := s.prepared[txn.ID]
+		if p == nil {
+			p = &preparedTxn{
+				objects:      make(map[histories.ObjectID]bool),
+				participants: append([]string(nil), txn.Participants...),
+				preparedAt:   time.Now(),
+			}
+			s.prepared[txn.ID] = p
 		}
-		m[obj] = true
+		p.objects[obj] = true
 	}
 	s.mu.Unlock()
 	return nil
@@ -412,11 +730,11 @@ func (s *Site) handlePrepare(obj histories.ObjectID, txn *cc.TxnInfo, expect int
 // comes from the write-ahead log, not the in-memory object.
 //
 // A failed local commit-record append is tolerated: the coordinator's
-// decision log is the transaction's durable outcome, so the next recovery
-// resolves the (locally still in-doubt) transaction to committed and
-// redoes it from the logged intentions. Two crash windows are injectable:
-// before the local commit record (recovery resolves against the decision
-// log) and after it (recovery redoes the installation).
+// write-ahead log is the transaction's durable outcome, so the next
+// recovery resolves the (locally still in-doubt) transaction through the
+// termination protocol and redoes it from the logged intentions. Two crash
+// windows are injectable: before the local commit record (recovery
+// resolves cooperatively) and after it (recovery redoes the installation).
 func (s *Site) handleCommit(obj histories.ObjectID, txn *cc.TxnInfo) error {
 	o, err := s.object(obj)
 	if err != nil {
@@ -436,7 +754,7 @@ func (s *Site) handleCommit(obj histories.ObjectID, txn *cc.TxnInfo) error {
 		return fmt.Errorf("%w: %s (crashed after logging commit)", ErrSiteDown, s.id)
 	}
 	o.Commit(txn, histories.TSNone)
-	s.forget(txn)
+	s.outcomeApplied(txn.ID, obj, true)
 	return nil
 }
 
@@ -448,20 +766,121 @@ func (s *Site) handleAbort(obj histories.ObjectID, txn *cc.TxnInfo) error {
 	// A failed abort-record append is ignored: recovery presumes abort.
 	_ = s.disk.Append(recovery.Record{Kind: recovery.RecordAbort, Txn: txn.ID})
 	o.Abort(txn)
-	s.forget(txn)
+	s.outcomeApplied(txn.ID, obj, false)
 	return nil
 }
 
-func (s *Site) forget(txn *cc.TxnInfo) {
+// outcomeApplied records that txn's outcome reached obj: the object is
+// struck from the in-doubt entry, and once the last one is struck (or the
+// transaction never prepared here) the outcome is cached, decided replies
+// become evictable, and the deadlock detector forgets the transaction.
+func (s *Site) outcomeApplied(txn histories.ActivityID, obj histories.ObjectID, commit bool) {
 	s.mu.Lock()
-	if s.prepared != nil {
-		delete(s.prepared, txn.ID)
+	if s.decided == nil { // crashed concurrently
+		s.mu.Unlock()
+		return
 	}
+	if p := s.prepared[txn]; p != nil {
+		delete(p.objects, obj)
+		if len(p.objects) > 0 {
+			s.mu.Unlock()
+			return
+		}
+		delete(s.prepared, txn)
+	}
+	delete(s.active, txn)
+	s.decided[txn] = commit
+	s.evictRepliesLocked()
 	det := s.detector
 	s.mu.Unlock()
 	if det != nil {
-		det.Forget(txn.ID)
+		det.Forget(txn)
 	}
+}
+
+// AbortAbandoned unilaterally aborts transactions that have invoked
+// operations here but have been idle longer than idle without preparing,
+// returning how many it aborted. Before its yes-vote a participant may
+// always abort a transaction on its own authority, and must: a client
+// whose abort broadcast never arrived (crashed, partitioned away, or its
+// retransmissions exhausted) otherwise leaves its locks granted forever —
+// no prepare record means the in-doubt resolver will never visit them.
+//
+// The abort is taken under voteMu with a durable refusal record, exactly
+// like a termination-protocol refusal: a racing prepare either loses
+// (refused via the decided cache) or has already logged intentions, in
+// which case the transaction is in doubt and is left to the resolver.
+func (s *Site) AbortAbandoned(idle time.Duration) int {
+	if !s.Up() {
+		return 0
+	}
+	now := time.Now()
+	var stale []histories.ActivityID
+	s.mu.Lock()
+	for txn, a := range s.active {
+		if s.prepared[txn] == nil && now.Sub(a.lastSeen) >= idle {
+			stale = append(stale, txn)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+	swept := 0
+	for _, txn := range stale {
+		s.voteMu.Lock()
+		out := s.outcomeOf(txn)
+		switch out {
+		case OutcomeUnknown:
+			if err := s.disk.Append(recovery.Record{Kind: recovery.RecordAbort, Txn: txn}); err != nil {
+				s.voteMu.Unlock()
+				continue // an unlogged refusal must not be acted on
+			}
+		case OutcomeInDoubt:
+			// Intentions are logged: a prepare won the race. The in-doubt
+			// machinery owns this transaction now.
+			s.voteMu.Unlock()
+			continue
+		}
+		s.mu.Lock()
+		if s.active == nil { // crashed concurrently
+			s.mu.Unlock()
+			s.voteMu.Unlock()
+			return swept
+		}
+		a := s.active[txn]
+		delete(s.active, txn)
+		if out == OutcomeUnknown || out == OutcomeAborted {
+			s.decided[txn] = false
+			s.evictRepliesLocked()
+		}
+		var objects []*locking.Object
+		if a != nil && out != OutcomeCommitted {
+			ids := make([]histories.ObjectID, 0, len(a.objects))
+			for id := range a.objects {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, id := range ids {
+				if o := s.objects[id]; o != nil {
+					objects = append(objects, o)
+				}
+			}
+		}
+		det := s.detector
+		s.mu.Unlock()
+		s.voteMu.Unlock()
+		info := &cc.TxnInfo{ID: txn}
+		for _, o := range objects {
+			o.Abort(info)
+		}
+		if det != nil {
+			det.Forget(txn)
+		}
+		if out == OutcomeUnknown || out == OutcomeAborted {
+			swept++
+			obsAbandonedSwept.Inc()
+		}
+	}
+	return swept
 }
 
 // CommittedStateKey returns the committed state key of a hosted object

@@ -1,0 +1,316 @@
+package dist
+
+import (
+	"sort"
+	"time"
+
+	"weihl83/internal/cc"
+	"weihl83/internal/histories"
+	"weihl83/internal/locking"
+	"weihl83/internal/obs"
+	"weihl83/internal/recovery"
+)
+
+// Observability for the cooperative termination protocol: how in-doubt
+// transactions were resolved, and how often resolution had to block.
+var (
+	obsResolvedCoord   = obs.Default.Counter("dist.indoubt.resolved.coordinator")
+	obsResolvedPeer    = obs.Default.Counter("dist.indoubt.resolved.peer")
+	obsResolvedPresume = obs.Default.Counter("dist.indoubt.resolved.presumed-abort")
+	obsInDoubtBlocked  = obs.Default.Counter("dist.indoubt.blocked")
+)
+
+// Outcome is a transaction's fate as known to one node, the unit of
+// information exchanged by the cooperative termination protocol.
+type Outcome int
+
+// Outcome values. Unknown means "no trace of the transaction" — from the
+// coordinator that is a sound presumed-abort answer (the continuity rule
+// forbids it from later committing a transaction it forgot); from a peer
+// it additionally carries a durable promise never to vote yes, so a
+// unanimous Unknown from every peer also resolves to presumed abort.
+// InDoubt means the node has a prepare record (or a live decision window)
+// but no outcome; the asker must keep waiting.
+const (
+	OutcomeUnknown Outcome = iota
+	OutcomeCommitted
+	OutcomeAborted
+	OutcomeInDoubt
+)
+
+// String renders an outcome for diagnostics.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCommitted:
+		return "committed"
+	case OutcomeAborted:
+		return "aborted"
+	case OutcomeInDoubt:
+		return "in-doubt"
+	default:
+		return "unknown"
+	}
+}
+
+// outcomeNode is a network-addressable answerer of outcome queries: sites
+// and the coordinator.
+type outcomeNode interface {
+	Up() bool
+	queryOutcome(txn histories.ActivityID) Outcome
+}
+
+// queryOutcome answers a peer's outcome query about txn. If this site has
+// no trace of the transaction it durably refuses it — an abort record is
+// forced under voteMu so no later prepare can vote yes — making the
+// Unknown answer a binding promise the asker may count toward unanimous
+// presumed abort. A refusal whose log write fails degrades to InDoubt: an
+// unlogged promise must not be given.
+func (s *Site) queryOutcome(txn histories.ActivityID) Outcome {
+	s.voteMu.Lock()
+	defer s.voteMu.Unlock()
+	out := s.outcomeOf(txn)
+	if out != OutcomeUnknown {
+		return out
+	}
+	if err := s.disk.Append(recovery.Record{Kind: recovery.RecordAbort, Txn: txn}); err != nil {
+		return OutcomeInDoubt
+	}
+	s.mu.Lock()
+	if s.decided != nil {
+		s.decided[txn] = false
+	}
+	s.mu.Unlock()
+	return OutcomeUnknown
+}
+
+// outcomeOf scans this site's volatile caches and write-ahead log for
+// txn's fate: a durable commit or abort record (or a checkpoint that
+// absorbed a commit) decides it; logged intentions without an outcome are
+// in-doubt; otherwise the site never heard of it.
+func (s *Site) outcomeOf(txn histories.ActivityID) Outcome {
+	s.mu.Lock()
+	if s.decided != nil {
+		if commit, ok := s.decided[txn]; ok {
+			s.mu.Unlock()
+			if commit {
+				return OutcomeCommitted
+			}
+			return OutcomeAborted
+		}
+	}
+	_, pending := s.prepared[txn]
+	s.mu.Unlock()
+	out := OutcomeUnknown
+	if pending {
+		out = OutcomeInDoubt
+	}
+	for _, r := range s.disk.Records() {
+		if r.Torn {
+			continue
+		}
+		switch r.Kind {
+		case recovery.RecordIntentions:
+			if r.Txn == txn && out == OutcomeUnknown {
+				out = OutcomeInDoubt
+			}
+		case recovery.RecordCommit:
+			if r.Txn == txn {
+				out = OutcomeCommitted
+			}
+		case recovery.RecordAbort:
+			if r.Txn == txn {
+				out = OutcomeAborted
+			}
+		case recovery.RecordCheckpoint:
+			if r.Decided[txn] {
+				out = OutcomeCommitted
+			}
+		}
+	}
+	return out
+}
+
+// resolveOutcome runs one round of the cooperative termination protocol
+// for an in-doubt transaction: query the coordinator first; if it is
+// unreachable (down or partitioned away), poll the peer participants. Any
+// node that durably knows the outcome answers it. The coordinator
+// answering Unknown is presumed abort (continuity rule); every peer
+// unanimously answering Unknown is presumed abort too (each answer is a
+// durable refusal ever to vote yes, so the commit decision has become
+// impossible). Anything else — coordinator in-doubt window, a peer also
+// in doubt, an unreachable peer — leaves the transaction blocked: ok is
+// false and the caller retries later.
+func (s *Site) resolveOutcome(txn histories.ActivityID, participants []string) (commit bool, path string, ok bool) {
+	out, err := s.net.QueryOutcome(s.id, s.coordID, txn)
+	if err == nil {
+		switch out {
+		case OutcomeCommitted:
+			return true, "coordinator", true
+		case OutcomeAborted:
+			return false, "coordinator", true
+		case OutcomeUnknown:
+			return false, "presumed-abort", true
+		default: // OutcomeInDoubt: live decision window
+			return false, "", false
+		}
+	}
+	var peers []string
+	for _, p := range participants {
+		if SiteID(p) == s.id {
+			continue
+		}
+		dup := false
+		for _, q := range peers {
+			if q == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			peers = append(peers, p)
+		}
+	}
+	polled, unknowns := 0, 0
+	for _, p := range peers {
+		out, err := s.net.QueryOutcome(s.id, SiteID(p), txn)
+		if err != nil {
+			continue // unreachable peer: no information
+		}
+		polled++
+		switch out {
+		case OutcomeCommitted:
+			return true, "peer", true
+		case OutcomeAborted:
+			return false, "peer", true
+		case OutcomeUnknown:
+			unknowns++
+		}
+	}
+	if len(peers) > 0 && polled == len(peers) && unknowns == polled {
+		return false, "presumed-abort", true
+	}
+	return false, "", false
+}
+
+// ResolveInDoubt runs the termination protocol for every transaction that
+// has been in doubt at this (running) site for at least grace and is past
+// its per-transaction backoff gate, applying any outcome it learns. It
+// returns the number resolved. Blocked transactions get their next attempt
+// pushed out under capped exponential backoff; they resolve on a later
+// call, once the partition heals or the coordinator recovers.
+//
+// The grace period keeps the resolver off transactions whose decision is
+// simply still in flight; even without it, resolution is safe — the
+// coordinator answers InDoubt throughout a live client's decision window.
+func (s *Site) ResolveInDoubt(grace time.Duration) int {
+	if !s.Up() {
+		return 0
+	}
+	now := time.Now()
+	type candidate struct {
+		txn          histories.ActivityID
+		participants []string
+	}
+	var cands []candidate
+	s.mu.Lock()
+	for txn, p := range s.prepared {
+		if now.Sub(p.preparedAt) < grace || now.Before(p.nextTry) {
+			continue
+		}
+		cands = append(cands, candidate{txn: txn, participants: append([]string(nil), p.participants...)})
+	}
+	s.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool { return cands[i].txn < cands[j].txn })
+	resolved := 0
+	for _, c := range cands {
+		commit, path, ok := s.resolveOutcome(c.txn, c.participants)
+		if !ok {
+			obsInDoubtBlocked.Inc()
+			s.mu.Lock()
+			if p := s.prepared[c.txn]; p != nil {
+				p.attempts++
+				backoff := 200 * time.Microsecond << uint(p.attempts)
+				if backoff > 5*time.Millisecond || backoff <= 0 {
+					backoff = 5 * time.Millisecond
+				}
+				p.nextTry = time.Now().Add(backoff)
+			}
+			s.mu.Unlock()
+			continue
+		}
+		if s.applyOutcome(c.txn, commit, path) {
+			resolved++
+		}
+	}
+	return resolved
+}
+
+// applyOutcome installs a termination-protocol verdict at a running site:
+// the outcome record is forced first (write-ahead discipline — a crash
+// right after still redoes it), then the decision is applied to every
+// object the transaction prepared here. Racing the normal commit/abort
+// handlers is benign: protocol objects treat outcomes for unknown
+// transactions as no-ops and replay tolerates duplicate outcome records.
+func (s *Site) applyOutcome(txn histories.ActivityID, commit bool, path string) bool {
+	s.mu.Lock()
+	if !s.up || s.prepared == nil {
+		s.mu.Unlock()
+		return false
+	}
+	p := s.prepared[txn]
+	if p == nil { // a handler won the race
+		s.mu.Unlock()
+		return false
+	}
+	ids := make([]histories.ObjectID, 0, len(p.objects))
+	for id := range p.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	delete(s.prepared, txn)
+	delete(s.active, txn)
+	s.decided[txn] = commit
+	s.evictRepliesLocked()
+	objects := make([]*locking.Object, 0, len(ids))
+	for _, id := range ids {
+		if o := s.objects[id]; o != nil {
+			objects = append(objects, o)
+		}
+	}
+	det := s.detector
+	s.mu.Unlock()
+	kind := recovery.RecordAbort
+	if commit {
+		kind = recovery.RecordCommit
+	}
+	_ = s.disk.Append(recovery.Record{Kind: kind, Txn: txn})
+	info := &cc.TxnInfo{ID: txn}
+	for _, o := range objects {
+		if commit {
+			o.Commit(info, histories.TSNone)
+		} else {
+			o.Abort(info)
+		}
+	}
+	if det != nil {
+		det.Forget(txn)
+	}
+	switch path {
+	case "coordinator":
+		obsResolvedCoord.Inc()
+	case "peer":
+		obsResolvedPeer.Inc()
+	case "presumed-abort":
+		obsResolvedPresume.Inc()
+	}
+	return true
+}
+
+// PendingInDoubt returns how many transactions are prepared at this site
+// without a known outcome (zero when the site is down — its in-doubt set
+// lives in the log until recovery).
+func (s *Site) PendingInDoubt() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.prepared)
+}

@@ -28,6 +28,9 @@ func faultyConfig(prop tx.Property, seed int64) chaos.Config {
 		cfg.ReplyDropProb = 0.05
 		cfg.CrashPrepareProb = 0.03
 		cfg.CrashCommitProb = 0.03
+		cfg.CoordCrashProb = 0.03
+		cfg.PartitionProb = 0.5
+		cfg.CheckpointEvery = 2 * time.Millisecond
 	}
 	return cfg
 }

@@ -76,7 +76,51 @@ const (
 	// state — restart redoes the installation from the log. Hit by
 	// dist.Site in the commit handler.
 	SiteCrashCommitAfterLog Point = "site.crash.commit.after-log"
+	// CoordCrashBeforeLog: the coordinator crashes after every participant
+	// voted yes but before forcing the decision to its own log — no
+	// decision exists anywhere, so participants left in doubt resolve to
+	// presumed abort once the coordinator recovers (or unanimously via
+	// peers). Hit by dist.Coordinator in Decide.
+	CoordCrashBeforeLog Point = "coord.crash.before-log"
+	// CoordCrashAfterLog: the coordinator crashes after forcing the
+	// decision to its log but before broadcasting it — participants stay
+	// in doubt until the cooperative termination protocol reaches the
+	// recovered coordinator's durable log or a peer that heard the
+	// decision. Hit by dist.Coordinator in Decide.
+	CoordCrashAfterLog Point = "coord.crash.after-log"
+	// NetPartition: the network splits into groups that cannot exchange
+	// messages for a deterministic window, then heals. Consulted by the
+	// chaos harness's partition driver to open windows; dist.Network
+	// refuses cross-group delivery while one is open.
+	NetPartition Point = "net.partition"
+	// DiskCheckpointTorn: a checkpoint record tears while being written —
+	// the snapshot fails its checksum, compaction is abandoned, and
+	// restart falls back to replaying the full log. Hit by
+	// recovery.Disk.Checkpoint.
+	DiskCheckpointTorn Point = "disk.checkpoint.torn"
 )
+
+// AllPoints returns every named fault point wired through the system, in
+// declaration order. The fault-point registry test cross-checks this list
+// against the declared constants and against the test suite, so a point
+// cannot be added and silently never exercised.
+func AllPoints() []Point {
+	return []Point{
+		DiskAppendFail,
+		DiskAppendTorn,
+		NetRequestDrop,
+		NetRequestDup,
+		NetReplyDrop,
+		NetDelay,
+		SiteCrashPrepare,
+		SiteCrashCommitBeforeLog,
+		SiteCrashCommitAfterLog,
+		CoordCrashBeforeLog,
+		CoordCrashAfterLog,
+		NetPartition,
+		DiskCheckpointTorn,
+	}
+}
 
 // Rule configures when an enabled fault point fires.
 type Rule struct {

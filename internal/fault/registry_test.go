@@ -1,0 +1,114 @@
+package fault
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// pointConsts parses fault.go and returns the declared Point constants as
+// identifier -> value, in declaration order.
+func pointConsts(t *testing.T) (names []string, values map[string]string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fault.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values = make(map[string]string)
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, s := range gd.Specs {
+			vs, ok := s.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			ident, ok := vs.Type.(*ast.Ident)
+			if !ok || ident.Name != "Point" {
+				continue
+			}
+			for i, name := range vs.Names {
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					t.Fatalf("Point const %s is not a string literal", name.Name)
+				}
+				names = append(names, name.Name)
+				values[name.Name] = strings.Trim(lit.Value, `"`)
+			}
+		}
+	}
+	return names, values
+}
+
+// TestAllPointsMatchesDeclaredConstants: AllPoints() is exactly the set of
+// Point constants declared in fault.go, in declaration order — adding a
+// fault point without registering it (or vice versa) fails here.
+func TestAllPointsMatchesDeclaredConstants(t *testing.T) {
+	names, values := pointConsts(t)
+	if len(names) == 0 {
+		t.Fatal("no Point constants found in fault.go")
+	}
+	all := AllPoints()
+	if len(all) != len(names) {
+		t.Fatalf("AllPoints() has %d points, fault.go declares %d", len(all), len(names))
+	}
+	for i, name := range names {
+		if string(all[i]) != values[name] {
+			t.Errorf("AllPoints()[%d] = %q, want %s = %q (declaration order)", i, all[i], name, values[name])
+		}
+	}
+}
+
+// TestEveryPointExercisedBySomeTest: every named fault point is referenced
+// by at least one test file somewhere in the repository (this file
+// excepted), so no injectable hazard exists that the suite never arms.
+func TestEveryPointExercisedBySomeTest(t *testing.T) {
+	names, _ := pointConsts(t)
+	root := filepath.Join("..", "..")
+	referenced := make(map[string]bool)
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			if name := info.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") || filepath.Base(path) == "registry_test.go" {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			if referenced[name] {
+				continue
+			}
+			// Identifier use: either qualified (fault.X, weihl83.X) or bare
+			// inside this package's own tests.
+			if bytes.Contains(src, []byte(name)) {
+				referenced[name] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if !referenced[name] {
+			t.Errorf("fault point %s is exercised by no test file", name)
+		}
+	}
+}

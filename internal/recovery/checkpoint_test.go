@@ -1,0 +1,207 @@
+package recovery
+
+import (
+	"errors"
+	"testing"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/fault"
+	"weihl83/internal/histories"
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+func checkpointSpecs() map[histories.ObjectID]spec.SerialSpec {
+	return map[histories.ObjectID]spec.SerialSpec{
+		"a": adts.AccountSpec{},
+		"b": adts.AccountSpec{},
+	}
+}
+
+// commitDeposit logs one committed deposit of amt into obj.
+func commitDeposit(t *testing.T, d *Disk, txn histories.ActivityID, obj histories.ObjectID, amt int64) {
+	t.Helper()
+	if err := d.Append(Record{
+		Kind:   RecordIntentions,
+		Txn:    txn,
+		Object: obj,
+		Calls:  []spec.Call{call(adts.OpDeposit, value.Int(amt), value.Unit())},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(Record{Kind: RecordCommit, Txn: txn}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointCompactsAndRestartsIdentically: a checkpoint compacts many
+// committed transactions into one snapshot record, reclaims space, and
+// Restart rebuilds the exact same states from the compacted log.
+func TestCheckpointCompactsAndRestartsIdentically(t *testing.T) {
+	d := &Disk{}
+	specs := checkpointSpecs()
+	for i := 0; i < 10; i++ {
+		commitDeposit(t, d, histories.ActivityID(rune('a'+i)), "a", 5)
+		commitDeposit(t, d, histories.ActivityID(rune('A'+i)), "b", 3)
+	}
+	before, err := Restart(d, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.Len()
+	reclaimed, err := d.Checkpoint(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reclaimed <= 0 {
+		t.Errorf("reclaimed = %d, want > 0", reclaimed)
+	}
+	if d.Len() != 1 {
+		t.Errorf("log length after checkpoint = %d (was %d), want 1", d.Len(), n)
+	}
+	after, err := Restart(d, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, st := range before {
+		if after[id] == nil || after[id].Key() != st.Key() {
+			t.Errorf("object %s: full-log restart %q, compacted restart %q", id, st.Key(), after[id].Key())
+		}
+	}
+	if after["a"].(adts.AccountState).Balance() != 50 || after["b"].(adts.AccountState).Balance() != 30 {
+		t.Errorf("balances %v/%v, want 50/30", after["a"], after["b"])
+	}
+}
+
+// TestCheckpointKeepsUndecidedIntentions: intentions of a transaction with
+// no outcome survive compaction (a later commit record must still find
+// them), while committed and aborted transactions' records are dropped.
+func TestCheckpointKeepsUndecidedIntentions(t *testing.T) {
+	d := &Disk{}
+	specs := checkpointSpecs()
+	commitDeposit(t, d, "done", "a", 7)
+	// An aborted transaction: record dropped entirely (presumed abort).
+	if err := d.Append(Record{
+		Kind:   RecordIntentions,
+		Txn:    "gone",
+		Object: "a",
+		Calls:  []spec.Call{call(adts.OpDeposit, value.Int(100), value.Unit())},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(Record{Kind: RecordAbort, Txn: "gone"}); err != nil {
+		t.Fatal(err)
+	}
+	// An in-doubt transaction: intentions must survive.
+	if err := d.Append(Record{
+		Kind:         RecordIntentions,
+		Txn:          "doubt",
+		Object:       "b",
+		Calls:        []spec.Call{call(adts.OpDeposit, value.Int(9), value.Unit())},
+		Participants: []string{"A", "B"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Checkpoint(specs); err != nil {
+		t.Fatal(err)
+	}
+	recs := d.Records()
+	if len(recs) != 2 {
+		t.Fatalf("compacted log has %d records, want checkpoint + in-doubt intentions", len(recs))
+	}
+	cp, doubt := recs[0], recs[1]
+	if cp.Kind != RecordCheckpoint || !cp.Decided["done"] || cp.Decided["gone"] {
+		t.Errorf("checkpoint record %+v: want Decided={done}", cp)
+	}
+	if doubt.Kind != RecordIntentions || doubt.Txn != "doubt" || len(doubt.Participants) != 2 {
+		t.Errorf("surviving record %+v, want doubt's intentions with participants", doubt)
+	}
+	// The decision arrives after compaction; restart installs it.
+	if err := d.Append(Record{Kind: RecordCommit, Txn: "doubt"}); err != nil {
+		t.Fatal(err)
+	}
+	states, err := Restart(d, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states["b"].(adts.AccountState).Balance() != 9 {
+		t.Errorf("b = %v, want 9 (post-checkpoint commit of surviving intentions)", states["b"])
+	}
+	if states["a"].(adts.AccountState).Balance() != 7 {
+		t.Errorf("a = %v, want 7 (aborted deposit must not survive)", states["a"])
+	}
+}
+
+// TestCheckpointDecidedAccumulates: a second checkpoint absorbs the first
+// one's Decided set, so peer-outcome queries keep finding old commits
+// however often the log compacts.
+func TestCheckpointDecidedAccumulates(t *testing.T) {
+	d := &Disk{}
+	specs := checkpointSpecs()
+	commitDeposit(t, d, "t1", "a", 1)
+	if _, err := d.Checkpoint(specs); err != nil {
+		t.Fatal(err)
+	}
+	commitDeposit(t, d, "t2", "a", 2)
+	if _, err := d.Checkpoint(specs); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("log length %d, want 1", d.Len())
+	}
+	cp := d.Records()[0]
+	if !cp.Decided["t1"] || !cp.Decided["t2"] {
+		t.Errorf("Decided = %v, want t1 and t2", cp.Decided)
+	}
+	states, err := Restart(d, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states["a"].(adts.AccountState).Balance() != 3 {
+		t.Errorf("a = %v, want 3", states["a"])
+	}
+}
+
+// TestCheckpointTornFallsBackToFullLog: a torn checkpoint write leaves the
+// log uncompacted, surfaces the retryable write failure, and Restart
+// ignores the torn record — the full log stays the source of truth, and a
+// retried checkpoint succeeds.
+func TestCheckpointTornFallsBackToFullLog(t *testing.T) {
+	d := &Disk{}
+	specs := checkpointSpecs()
+	inj := fault.New(3)
+	inj.Enable(fault.DiskCheckpointTorn, fault.Rule{Prob: 1, Limit: 1})
+	d.SetInjector(inj)
+	for i := 0; i < 4; i++ {
+		commitDeposit(t, d, histories.ActivityID(rune('a'+i)), "a", 5)
+	}
+	n := d.Len()
+	_, err := d.Checkpoint(specs)
+	if !errors.Is(err, ErrWriteFailed) {
+		t.Fatalf("torn checkpoint = %v, want ErrWriteFailed", err)
+	}
+	if d.Len() != n+1 {
+		t.Errorf("log length %d, want %d (uncompacted + torn marker)", d.Len(), n+1)
+	}
+	states, err := Restart(d, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states["a"].(adts.AccountState).Balance() != 20 {
+		t.Errorf("a = %v, want 20 (full-log replay past the torn checkpoint)", states["a"])
+	}
+	// The torn rule is exhausted: a retry compacts.
+	if _, err := d.Checkpoint(specs); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Errorf("log length after retried checkpoint = %d, want 1", d.Len())
+	}
+	states, err = Restart(d, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states["a"].(adts.AccountState).Balance() != 20 {
+		t.Errorf("a = %v, want 20 after compaction", states["a"])
+	}
+}

@@ -15,16 +15,19 @@ import (
 // serialized record size (the model keeps records in memory), good enough
 // to compare logging volume across runs.
 var (
-	obsWALAppends = obs.Default.Counter("wal.appends")
-	obsWALBytes   = obs.Default.Counter("wal.append.bytes")
-	obsWALFailed  = obs.Default.Counter("wal.append.failed")
-	obsWALTorn    = obs.Default.Counter("wal.append.torn")
+	obsWALAppends        = obs.Default.Counter("wal.appends")
+	obsWALBytes          = obs.Default.Counter("wal.append.bytes")
+	obsWALFailed         = obs.Default.Counter("wal.append.failed")
+	obsWALTorn           = obs.Default.Counter("wal.append.torn")
+	obsCheckpoints       = obs.Default.Counter("wal.checkpoints")
+	obsCheckpointTorn    = obs.Default.Counter("wal.checkpoint.torn")
+	obsCheckpointReclaim = obs.Default.Counter("wal.checkpoint.reclaimed_bytes")
 )
 
-// recordBytes estimates a record's serialized size: a fixed header plus a
-// per-call overhead.
+// recordBytes estimates a record's serialized size: a fixed header plus
+// per-call, per-state and per-decision overheads.
 func recordBytes(r Record) int64 {
-	return 64 + 48*int64(len(r.Calls))
+	return 64 + 48*int64(len(r.Calls)) + 96*int64(len(r.States)) + 24*int64(len(r.Decided))
 }
 
 // RecordKind discriminates write-ahead-log records.
@@ -33,11 +36,14 @@ type RecordKind int
 // Log record kinds. A transaction's intentions are forced to the log at
 // prepare; the commit record is the atomic commit point; installation of
 // the intentions into the object states is redone idempotently at restart.
+// A checkpoint record snapshots the committed states (and the committed
+// transaction ids) so the log prefix it summarises can be compacted away.
 const (
 	RecordIntentions RecordKind = iota + 1
 	RecordCommit
 	RecordAbort
 	RecordInstalled
+	RecordCheckpoint
 )
 
 // Record is one entry in the write-ahead log.
@@ -51,6 +57,41 @@ type Record struct {
 	// its calls reached stable storage. Restart discards torn records,
 	// modelling checksum-validated log entries.
 	Torn bool
+	// Participants names the transaction's participant sites
+	// (RecordIntentions, distributed mode): the peers an in-doubt
+	// recovery polls during cooperative termination.
+	Participants []string
+	// States is a checkpoint's committed-state snapshot, one immutable
+	// spec.State per object (RecordCheckpoint).
+	States map[histories.ObjectID]spec.State
+	// Decided is a checkpoint's set of transactions with a durable commit
+	// outcome (RecordCheckpoint). Compaction drops their commit records,
+	// so peer-outcome queries answer from here instead. Aborted
+	// transactions are deliberately absent: presumed abort makes their
+	// records forgettable.
+	Decided map[histories.ActivityID]bool
+}
+
+// clone deep-copies a record so callers can never alias the live log.
+func (r Record) clone() Record {
+	cp := r
+	cp.Calls = append([]spec.Call(nil), r.Calls...)
+	if r.Participants != nil {
+		cp.Participants = append([]string(nil), r.Participants...)
+	}
+	if r.States != nil {
+		cp.States = make(map[histories.ObjectID]spec.State, len(r.States))
+		for id, st := range r.States {
+			cp.States[id] = st // spec.State is immutable
+		}
+	}
+	if r.Decided != nil {
+		cp.Decided = make(map[histories.ActivityID]bool, len(r.Decided))
+		for txn, v := range r.Decided {
+			cp.Decided[txn] = v
+		}
+	}
+	return cp
 }
 
 // ErrWriteFailed reports a failed stable-storage append. It wraps
@@ -81,8 +122,7 @@ func (d *Disk) SetInjector(in *fault.Injector) {
 func (d *Disk) Append(r Record) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	cp := r
-	cp.Calls = append([]spec.Call(nil), r.Calls...)
+	cp := r.clone()
 	if len(cp.Calls) > 0 && d.inj.Fires(fault.DiskAppendTorn) {
 		torn := cp
 		torn.Calls = cp.Calls[:len(cp.Calls)/2]
@@ -107,9 +147,8 @@ func (d *Disk) Records() []Record {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	out := make([]Record, len(d.records))
-	copy(out, d.records)
-	for i := range out {
-		out[i].Calls = append([]spec.Call(nil), out[i].Calls...)
+	for i := range d.records {
+		out[i] = d.records[i].clone()
 	}
 	return out
 }
@@ -122,53 +161,169 @@ func (d *Disk) Len() int {
 }
 
 // Restart rebuilds the committed state of every object from the log alone,
-// replaying the intentions of committed transactions in commit order — the
-// redo pass of intentions-list recovery. Transactions with no commit record
-// (active or aborted at the crash) contribute nothing, which is exactly the
-// recoverability half of atomicity: they appear never to have run. Torn
-// records fail their checksum and are discarded.
+// replaying the intentions of committed transactions in intentions order —
+// the redo pass of intentions-list recovery. Transactions with no commit
+// record (active or aborted at the crash) contribute nothing, which is
+// exactly the recoverability half of atomicity: they appear never to have
+// run. Torn records fail their checksum and are discarded. A non-torn
+// checkpoint record resets the replay to its snapshot, so a compacted log
+// replays as checkpoint + suffix; a torn checkpoint is skipped and the
+// replay falls back to the records themselves.
+//
+// Intentions order — not commit-record order — is the order that matches
+// the recorded results. A commit record can land in the log long after the
+// decision it witnesses: a site tolerates a failed commit-record append
+// (the coordinator's log holds the outcome) and the record is re-created
+// later by the cooperative termination protocol, after transactions that
+// live ran after this one. Intentions positions are immune to that drift,
+// and they respect every result dependency: under the locking protocols a
+// transaction only observes another's effects once it has committed, so a
+// dependent transaction's intentions are always logged after the
+// transaction it depends on; concurrently-prepared transactions hold
+// non-conflicting locks, whose recorded results replay validly in either
+// order.
 func Restart(d *Disk, specs map[histories.ObjectID]spec.SerialSpec) (map[histories.ObjectID]spec.State, error) {
+	return replay(d.Records(), specs)
+}
+
+// replay is Restart's core over an explicit record sequence.
+func replay(recs []Record, specs map[histories.ObjectID]spec.SerialSpec) (map[histories.ObjectID]spec.State, error) {
 	states := make(map[histories.ObjectID]spec.State, len(specs))
 	for id, s := range specs {
 		states[id] = s.Init()
 	}
-	recs := d.Records()
-	intentions := make(map[histories.ActivityID]map[histories.ObjectID]*IntentionsList)
+	// Pass 1: every transaction's durable fate. A commit record or a
+	// checkpoint Decided entry wins over an abort record: a durable commit
+	// is irrevocable, and duplicate outcome records (handler racing the
+	// in-doubt resolver) are benign.
+	committed := make(map[histories.ActivityID]bool)
+	for _, r := range recs {
+		if r.Torn {
+			continue
+		}
+		switch r.Kind {
+		case RecordCommit:
+			committed[r.Txn] = true
+		case RecordCheckpoint:
+			for txn := range r.Decided {
+				committed[txn] = true
+			}
+		}
+	}
+	// Pass 2: redo committed intentions at their own log positions.
+	applied := make(map[histories.ActivityID]map[histories.ObjectID]bool)
 	for _, r := range recs {
 		if r.Torn {
 			continue
 		}
 		switch r.Kind {
 		case RecordIntentions:
-			m := intentions[r.Txn]
-			if m == nil {
-				m = make(map[histories.ObjectID]*IntentionsList)
-				intentions[r.Txn] = m
+			if !committed[r.Txn] || applied[r.Txn][r.Object] {
+				continue
+			}
+			base, ok := states[r.Object]
+			if !ok {
+				return nil, fmt.Errorf("recovery: log references unknown object %s", r.Object)
 			}
 			l := &IntentionsList{}
 			for _, c := range r.Calls {
 				l.Add(c)
 			}
-			m[r.Object] = l
-		case RecordCommit:
-			for obj, l := range intentions[r.Txn] {
-				base, ok := states[obj]
-				if !ok {
-					return nil, fmt.Errorf("recovery: log references unknown object %s", obj)
-				}
-				next, err := l.Apply(base)
-				if err != nil {
-					return nil, fmt.Errorf("recovery: redo of %s at %s: %w", r.Txn, obj, err)
-				}
-				states[obj] = next
+			next, err := l.Apply(base)
+			if err != nil {
+				return nil, fmt.Errorf("recovery: redo of %s at %s: %w", r.Txn, r.Object, err)
 			}
-			delete(intentions, r.Txn)
-		case RecordAbort:
-			delete(intentions, r.Txn)
+			states[r.Object] = next
+			if applied[r.Txn] == nil {
+				applied[r.Txn] = make(map[histories.ObjectID]bool)
+			}
+			applied[r.Txn][r.Object] = true
 		case RecordInstalled:
 			// Informational; redo is idempotent because we replay from
 			// initial states in log order.
+		case RecordCheckpoint:
+			// The snapshot summarises everything before it: adopt its
+			// states (objects created after the checkpoint keep their
+			// initial state). Any transaction undecided at checkpoint time
+			// had its intentions re-appended after the checkpoint record by
+			// compaction, so they still replay onto the snapshot.
+			for id, st := range r.States {
+				if _, known := states[id]; known {
+					states[id] = st
+				}
+			}
 		}
 	}
 	return states, nil
+}
+
+// Checkpoint writes a checkpoint record — the committed-state snapshot
+// obtained by replaying the current log plus the set of durably committed
+// transactions — and compacts the log down to checkpoint + the intentions
+// of still-undecided transactions. It returns the estimated bytes
+// reclaimed. Under fault.DiskCheckpointTorn the checkpoint record tears:
+// it is appended torn (so restart ignores it), nothing is compacted, and
+// the full log remains the source of truth.
+func (d *Disk) Checkpoint(specs map[histories.ObjectID]spec.SerialSpec) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Snapshot by replaying the log under the disk mutex: the states are
+	// exactly what Restart would rebuild at this instant, so the snapshot
+	// can never tear across a multi-object installation.
+	states, err := replay(d.records, specs)
+	if err != nil {
+		return 0, fmt.Errorf("recovery: checkpoint replay: %w", err)
+	}
+	cp := Record{Kind: RecordCheckpoint, States: states, Decided: make(map[histories.ActivityID]bool)}
+	undecided := make(map[histories.ActivityID]bool)
+	for _, r := range d.records {
+		if r.Torn {
+			continue
+		}
+		switch r.Kind {
+		case RecordIntentions:
+			undecided[r.Txn] = true
+		case RecordCommit:
+			delete(undecided, r.Txn)
+			cp.Decided[r.Txn] = true
+		case RecordAbort:
+			delete(undecided, r.Txn)
+		case RecordCheckpoint:
+			for txn := range r.Decided {
+				cp.Decided[txn] = true
+			}
+		}
+	}
+	if d.inj.Fires(fault.DiskCheckpointTorn) {
+		torn := cp.clone()
+		torn.States = nil // the snapshot never made it to stable storage
+		torn.Decided = nil
+		torn.Torn = true
+		d.records = append(d.records, torn)
+		obsCheckpointTorn.Inc()
+		return 0, fmt.Errorf("%w: torn checkpoint", ErrWriteFailed)
+	}
+	var before, after int64
+	for _, r := range d.records {
+		before += recordBytes(r)
+	}
+	compacted := []Record{cp}
+	for _, r := range d.records {
+		if !r.Torn && r.Kind == RecordIntentions && undecided[r.Txn] {
+			compacted = append(compacted, r)
+		}
+	}
+	d.records = compacted
+	for _, r := range d.records {
+		after += recordBytes(r)
+	}
+	reclaimed := before - after
+	if reclaimed < 0 {
+		reclaimed = 0
+	}
+	obsCheckpoints.Inc()
+	obsCheckpointReclaim.Add(reclaimed)
+	obsWALAppends.Inc()
+	obsWALBytes.Add(recordBytes(cp))
+	return reclaimed, nil
 }

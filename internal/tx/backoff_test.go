@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"weihl83/internal/cc"
+	"weihl83/internal/histories"
+	"weihl83/internal/spec"
 	"weihl83/internal/tx"
 	"weihl83/internal/value"
 )
@@ -114,6 +116,84 @@ func TestBackoffSeedReproducible(t *testing.T) {
 	}
 	if same {
 		t.Error("different seeds produced identical delay sequences")
+	}
+}
+
+// flakyResource raises a retryable outage for its first fails invocations
+// and succeeds afterwards — a site that comes back after a few retries.
+type flakyResource struct {
+	fails int
+	calls int
+}
+
+func (f *flakyResource) ObjectID() histories.ObjectID { return "x" }
+func (f *flakyResource) Invoke(*cc.TxnInfo, spec.Invocation) (value.Value, error) {
+	f.calls++
+	if f.calls <= f.fails {
+		return value.Nil(), cc.ErrUnavailable
+	}
+	return value.Nil(), nil
+}
+func (f *flakyResource) Prepare(*cc.TxnInfo) error               { return nil }
+func (f *flakyResource) Commit(*cc.TxnInfo, histories.Timestamp) {}
+func (f *flakyResource) Abort(*cc.TxnInfo)                       {}
+
+// TestBackoffTraceDeterministicThroughRecovery: with an injectable sleeper
+// and a fixed seed, a resource that fails N times and then recovers yields
+// the exact same retry/backoff trace — attempt count, success, and every
+// chosen delay — on every run; a different seed changes the delays but not
+// the attempt structure.
+func TestBackoffTraceDeterministicThroughRecovery(t *testing.T) {
+	const fails = 4
+	trace := func(seed int64) (attempts int, delays []time.Duration) {
+		rec := &recordingSleeper{}
+		m, err := tx.NewManager(tx.Config{
+			Property:   tx.Dynamic,
+			MaxRetries: 10,
+			Backoff:    tx.Backoff{Seed: seed, Sleep: rec.sleep},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Register(&flakyResource{fails: fails}); err != nil {
+			t.Fatal(err)
+		}
+		runs := 0
+		if err := m.Run(func(txn *tx.Txn) error {
+			runs++
+			_, err := txn.Invoke("x", "op", value.Nil())
+			return err
+		}); err != nil {
+			t.Fatalf("Run through recovery = %v, want success", err)
+		}
+		return runs, rec.delays
+	}
+	a1, d1 := trace(9)
+	a2, d2 := trace(9)
+	if a1 != fails+1 || len(d1) != fails {
+		t.Fatalf("attempts=%d delays=%d, want %d attempts with %d backoff sleeps", a1, len(d1), fails+1, fails)
+	}
+	if a2 != a1 || len(d2) != len(d1) {
+		t.Fatalf("same seed changed the trace shape: %d/%d vs %d/%d", a1, len(d1), a2, len(d2))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("same seed diverged at delay %d: %v vs %v", i, d1[i], d2[i])
+		}
+	}
+	a3, d3 := trace(10)
+	if a3 != a1 {
+		t.Fatalf("seed must not change the attempt structure: %d vs %d", a3, a1)
+	}
+	same := true
+	for i := range d1 {
+		if d1[i] != d3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical backoff delays")
 	}
 }
 

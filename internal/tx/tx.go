@@ -34,6 +34,7 @@ var (
 	obsRetries   = obs.Default.Counter("tx.retry")
 	obsExhausted = obs.Default.Counter("tx.retries.exhausted")
 	obsBackoffs  = obs.Default.Counter("tx.backoff.sleeps")
+	obsOrphans   = obs.Default.Counter("tx.orphans")
 
 	obsCommitLat  = obs.Default.Histogram("tx.commit.latency_ns")
 	obsAbortLat   = obs.Default.Histogram("tx.abort.latency_ns")
@@ -104,6 +105,28 @@ type callsReporter interface {
 	PendingCalls(txn *cc.TxnInfo) []spec.Call
 }
 
+// siteReporter is implemented by resources that live at a named site
+// (dist.RemoteResource). The runtime gathers the sites of a transaction's
+// joined resources into TxnInfo.Participants before prepare, so each
+// participant's logged yes-vote names the peers that cooperative
+// termination may poll.
+type siteReporter interface {
+	ParticipantSite() string
+}
+
+// Coordinator is the distributed commit coordinator the runtime reports
+// decisions to. Begin is called when two-phase commit starts (before any
+// prepare); Decide is called with the outcome — after every prepare
+// succeeded and before any resource installs (commit), or when the
+// transaction aborts. Decide makes the outcome durable before returning;
+// an error wrapping cc.ErrCoordinatorDown means the client cannot know
+// whether the decision was logged, and the transaction becomes an orphan
+// (see Txn.Commit).
+type Coordinator interface {
+	Begin(txn histories.ActivityID)
+	Decide(txn histories.ActivityID, commit bool) error
+}
+
 // Backoff configures retry pacing in Run: capped exponential backoff with
 // equal jitter. The zero value selects the defaults.
 type Backoff struct {
@@ -147,12 +170,12 @@ type Config struct {
 	// WAL, when set, receives intentions and commit records during
 	// two-phase commit, enabling crash-restart via recovery.Restart.
 	WAL *recovery.Disk
-	// Decision, when set, is called with the transaction id after every
-	// prepare has succeeded and before any resource commits — the
-	// coordinator's durable commit point in distributed two-phase commit
-	// (participants that crash afterwards resolve in-doubt transactions
-	// against it).
-	Decision func(txn histories.ActivityID)
+	// Coordinator, when set, is told when two-phase commit starts and is
+	// asked to make each outcome durable — the coordinator's commit point
+	// in distributed two-phase commit. Participants that crash afterwards
+	// resolve in-doubt transactions through the cooperative termination
+	// protocol, ultimately against the coordinator's durable log.
+	Coordinator Coordinator
 	// MaxRetries bounds automatic retries in Run (default 100).
 	MaxRetries int
 	// Backoff paces the retries in Run. The zero value selects capped
@@ -255,6 +278,11 @@ type Txn struct {
 	joined  []cc.Resource
 	status  Status
 	started time.Time
+	// began2pc records that the coordinator was told about this
+	// transaction, so an abort is reported back to it (explicit abort
+	// decisions let termination queries distinguish "decided abort" from
+	// "never heard of it").
+	began2pc bool
 }
 
 // Begin starts an update transaction.
@@ -349,9 +377,27 @@ func (t *Txn) join(r cc.Resource) {
 
 // Commit drives two-phase commit over the joined resources. On a prepare
 // failure the transaction is aborted and the error returned.
+//
+// With a Coordinator configured, the decision is made durable at the
+// coordinator between the prepares and the installs. If the coordinator
+// crashes during Decide, the client cannot know whether the decision was
+// logged: the transaction is an orphan (§6). It finishes locally as
+// aborted — retryably — but broadcasts nothing: sending aborts could
+// contradict a commit decision that did reach the coordinator's log, so
+// prepared participants are left in doubt for the cooperative termination
+// protocol to resolve against durable state.
 func (t *Txn) Commit() error {
 	if t.status != StatusActive {
 		return ErrTxnDone
+	}
+	if t.m.cfg.Coordinator != nil && len(t.joined) > 0 {
+		for _, r := range t.joined {
+			if sr, ok := r.(siteReporter); ok {
+				t.info.Participants = append(t.info.Participants, sr.ParticipantSite())
+			}
+		}
+		t.m.cfg.Coordinator.Begin(t.info.ID)
+		t.began2pc = true
 	}
 	prepStart := time.Now()
 	for _, r := range t.joined {
@@ -412,8 +458,24 @@ func (t *Txn) Commit() error {
 	if obsTrace.Enabled() {
 		obsTrace.Record(obs.TraceEvent{Kind: obs.KindDecide, Txn: string(t.info.ID)})
 	}
-	if t.m.cfg.Decision != nil {
-		t.m.cfg.Decision(t.info.ID)
+	if t.began2pc {
+		if err := t.m.cfg.Coordinator.Decide(t.info.ID, true); err != nil {
+			if errors.Is(err, cc.ErrCoordinatorDown) {
+				// Orphaned: the decision may or may not be durable at the
+				// coordinator. Finish without broadcasting — participants
+				// resolve through termination, and a commit that did land
+				// will be installed there, not here.
+				obsOrphans.Inc()
+				t.finish(StatusAborted)
+				t.m.aborts.Add(1)
+				obsAborts.Inc()
+				return fmt.Errorf("tx: commit orphaned: %w", err)
+			}
+			// The decision could not be made durable and the coordinator
+			// knows it (it records an abort instead): abort normally.
+			t.Abort()
+			return fmt.Errorf("tx: logging decision: %w", err)
+		}
 	}
 	installStart := time.Now()
 	for _, r := range t.joined {
@@ -433,10 +495,16 @@ func (t *Txn) Commit() error {
 	return nil
 }
 
-// Abort aborts the transaction at every joined resource.
+// Abort aborts the transaction at every joined resource, reporting the
+// explicit abort decision to the coordinator when two-phase commit had
+// begun (a coordinator outage here is ignored: presumed abort covers
+// undecided transactions).
 func (t *Txn) Abort() {
 	if t.status != StatusActive {
 		return
+	}
+	if t.began2pc {
+		_ = t.m.cfg.Coordinator.Decide(t.info.ID, false)
 	}
 	if disk := t.m.cfg.WAL; disk != nil {
 		// A failed abort-record append is ignored: restart presumes abort
