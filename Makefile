@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-smoke check bench-smoke clean
+.PHONY: all build vet test race chaos chaos-smoke check bench-smoke bench-hotpath clean
 
 all: check
 
@@ -45,6 +45,16 @@ chaos-smoke:
 bench-smoke:
 	$(GO) run ./cmd/bankbench -json -exp e5 -workers 2 -transfers 10 -audits 4 -accounts 4 > BENCH_smoke.json
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# bench-hotpath measures commit throughput on the hot-path sweep
+# (commut / commut+wal / hybrid at 1/4/16 workers, recording enabled,
+# best-of-3) and gates on >20% normalised regression against the committed
+# BENCH_hotpath.json "after" rows. benchguard normalises by the median
+# fresh/reference ratio, so a uniformly slower CI machine passes while a
+# configuration that collapsed relative to the others fails.
+bench-hotpath:
+	$(GO) run ./cmd/bankbench -json -exp hotpath -transfers 2000 -accounts 16 -repeat 3 \
+		| $(GO) run ./cmd/benchguard -ref BENCH_hotpath.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,138 @@
+// Command benchguard gates CI on hot-path benchmark regressions.
+//
+// It compares a fresh `bankbench -json -exp hotpath` run against the
+// "after" rows of the committed reference (BENCH_hotpath.json) and fails
+// when any configuration regressed by more than the threshold.
+//
+// CI machines differ in absolute speed, so raw throughput comparisons
+// would gate on the runner, not the code. benchguard instead computes the
+// fresh/reference throughput ratio for every row and normalises each by
+// the median ratio across rows: a uniformly slower machine scales every
+// row equally and passes, while a change that collapses one configuration
+// relative to the others (a broken group-commit path, a re-serialised
+// recorder) drags that row far below the median and fails.
+//
+//	benchguard -ref BENCH_hotpath.json -in fresh.json [-threshold 0.20]
+//
+// -in defaults to stdin so the fresh run can be piped in.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+type row struct {
+	Exp           string           `json:"exp"`
+	Kind          string           `json:"kind"`
+	Labels        map[string]int64 `json:"labels"`
+	CommitsPerSec float64          `json:"commits_per_sec"`
+}
+
+type doc struct {
+	Rows []row `json:"rows"`
+}
+
+// reference is the committed BENCH_hotpath.json: the pre-refactor baseline
+// run and the post-refactor "after" run the guard compares against.
+type reference struct {
+	Baseline doc `json:"baseline"`
+	After    doc `json:"after"`
+}
+
+func key(r row) string {
+	return fmt.Sprintf("%s/workers=%d", r.Kind, r.Labels["workers"])
+}
+
+func main() {
+	refPath := flag.String("ref", "BENCH_hotpath.json", "committed reference file")
+	inPath := flag.String("in", "-", "fresh bankbench -json output (- for stdin)")
+	threshold := flag.Float64("threshold", 0.20, "maximum tolerated normalised regression")
+	flag.Parse()
+
+	refBytes, err := os.ReadFile(*refPath)
+	if err != nil {
+		fatal(err)
+	}
+	var ref reference
+	if err := json.Unmarshal(refBytes, &ref); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *refPath, err))
+	}
+	if len(ref.After.Rows) == 0 {
+		fatal(fmt.Errorf("%s has no after rows", *refPath))
+	}
+
+	var in io.Reader = os.Stdin
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	var fresh doc
+	if err := json.NewDecoder(in).Decode(&fresh); err != nil {
+		fatal(fmt.Errorf("parsing fresh run: %w", err))
+	}
+
+	refRows := make(map[string]float64, len(ref.After.Rows))
+	for _, r := range ref.After.Rows {
+		refRows[key(r)] = r.CommitsPerSec
+	}
+
+	type comparison struct {
+		key   string
+		ratio float64
+	}
+	var comps []comparison
+	for _, r := range fresh.Rows {
+		want, ok := refRows[key(r)]
+		if !ok || want <= 0 {
+			continue
+		}
+		comps = append(comps, comparison{key(r), r.CommitsPerSec / want})
+	}
+	if len(comps) == 0 {
+		fatal(fmt.Errorf("no comparable rows between fresh run and %s", *refPath))
+	}
+	ratios := make([]float64, len(comps))
+	for i, c := range comps {
+		ratios[i] = c.ratio
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		median = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+	if median <= 0 {
+		fatal(fmt.Errorf("median throughput ratio %.3f is not positive", median))
+	}
+
+	failed := false
+	fmt.Printf("benchguard: %d rows, machine-speed median ratio %.3f, threshold %.0f%%\n",
+		len(comps), median, *threshold*100)
+	for _, c := range comps {
+		norm := c.ratio / median
+		status := "ok"
+		if norm < 1.0-*threshold {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("  %-24s ratio %.3f  normalised %.3f  %s\n", c.key, c.ratio, norm, status)
+	}
+	if failed {
+		fmt.Println("benchguard: FAIL — at least one configuration regressed beyond the threshold")
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: PASS")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(2)
+}

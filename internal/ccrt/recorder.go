@@ -1,0 +1,115 @@
+package ccrt
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"weihl83/internal/histories"
+	"weihl83/internal/obs"
+)
+
+// Recorder shard observability: contended emits took the slow path into a
+// busy shard; History merges tell how often readers pay the merge cost.
+var (
+	obsEmits     = obs.Default.Counter("ccrt.recorder.emits")
+	obsContended = obs.Default.Counter("ccrt.recorder.shard_contention")
+	obsMerges    = obs.Default.Counter("ccrt.recorder.merges")
+)
+
+// recorderShards is the number of independent event buffers. Power of two;
+// sized like obs counter shards: enough to spread this repo's worker counts
+// without bloating the merge.
+const recorderShards = 8
+
+// stamped is one recorded event plus its global sequence stamp.
+type stamped struct {
+	seq int64
+	e   histories.Event
+}
+
+// recShard is one event buffer. The padding rounds the shard up to two
+// cache lines so neighbouring shard mutexes never false-share.
+type recShard struct {
+	mu     sync.Mutex
+	events []stamped
+	_      [96]byte
+}
+
+// Recorder is the sharded history recorder behind Manager.Sink: emitters
+// append to one of recorderShards independent buffers, stamping each event
+// from one global atomic sequence; History merges the buffers by stamp.
+//
+// Why the merged order is a valid observation of the computation: protocol
+// objects emit events inside their own critical sections, so if event E1's
+// Emit returns before event E2's Emit begins — true for any two events
+// ordered by the same object's mutex, and for successive events of one
+// sequential activity — then E1 drew its stamp before E2 drew its, and the
+// merge places E1 first. Events with no such ordering are concurrent, and
+// either placement is a legal observation. A History taken concurrently
+// with emitters is causally closed for the same reason: an event missing
+// from the snapshot has an unfinished Emit, so nothing that
+// happened-after it can be in the snapshot either.
+type Recorder struct {
+	seq    atomic.Int64
+	shards [recorderShards]recShard
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// shardIndex picks a shard from the address of a stack variable: goroutine
+// stacks live in distinct allocations, so concurrent goroutines spread
+// across shards without goroutine-id machinery (same idiom as obs.Counter).
+func shardIndex() int {
+	var probe byte
+	p := uintptr(unsafe.Pointer(&probe))
+	p ^= p >> 9
+	return int(p>>4) & (recorderShards - 1)
+}
+
+// Emit records one event. Safe for concurrent use; contention is limited to
+// emitters that hash to the same shard.
+func (r *Recorder) Emit(e histories.Event) {
+	s := &r.shards[shardIndex()]
+	if !s.mu.TryLock() {
+		obsContended.Inc()
+		s.mu.Lock()
+	}
+	n := r.seq.Add(1)
+	s.events = append(s.events, stamped{seq: n, e: e})
+	s.mu.Unlock()
+	obsEmits.Inc()
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	total := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		total += len(s.events)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// History returns the recorded events merged into one history by sequence
+// stamp. The result is a fresh copy, never aliased by later emits.
+func (r *Recorder) History() histories.History {
+	obsMerges.Inc()
+	var all []stamped
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		all = append(all, s.events...)
+		s.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	h := make(histories.History, len(all))
+	for i, st := range all {
+		h[i] = st.e
+	}
+	return h
+}

@@ -1,0 +1,42 @@
+package ccrt
+
+import (
+	"fmt"
+
+	"weihl83/internal/spec"
+)
+
+// StepMatching applies one recorded call to st, selecting an outcome whose
+// result equals the recorded one. Nondeterministic operations are replayed
+// with the resolution the object actually chose; when several outcomes
+// share the result the first is taken (for the library's types the result
+// determines the successor state). An error means the recorded result is
+// not achievable — the concurrency-control layer granted an operation whose
+// outcome depended on serialization order, which callers surface as a
+// protocol-invariant violation rather than silently installing a divergent
+// state.
+func StepMatching(st spec.State, c spec.Call) (spec.State, error) {
+	outs := st.Step(c.Inv)
+	for _, out := range outs {
+		if out.Result == c.Result {
+			return out.Next, nil
+		}
+	}
+	if len(outs) == 0 {
+		return nil, fmt.Errorf("replay: %s not applicable in state %s", c.Inv, st.Key())
+	}
+	return nil, fmt.Errorf("replay: %s cannot return recorded %s in state %s", c.Inv, c.Result, st.Key())
+}
+
+// Replay applies calls in order via StepMatching, requiring every recorded
+// result to be achievable.
+func Replay(st spec.State, calls []spec.Call) (spec.State, error) {
+	for i, c := range calls {
+		next, err := StepMatching(st, c)
+		if err != nil {
+			return nil, fmt.Errorf("call %d: %w", i, err)
+		}
+		st = next
+	}
+	return st, nil
+}

@@ -1,0 +1,57 @@
+package ccrt
+
+import (
+	"sort"
+
+	"weihl83/internal/histories"
+)
+
+// Table is the per-transaction entry table a protocol object keeps: one
+// entry of protocol-specific state E per active transaction. It is
+// externally locked — every method must be called with the owning object's
+// mutex held — which is what lets one implementation serve protocols with
+// very different entry types without its own synchronization cost.
+type Table[E any] struct {
+	m map[histories.ActivityID]*E
+}
+
+// Get returns the transaction's entry, creating a zero one if absent.
+func (t *Table[E]) Get(txn histories.ActivityID) *E {
+	if t.m == nil {
+		t.m = make(map[histories.ActivityID]*E)
+	}
+	e := t.m[txn]
+	if e == nil {
+		e = new(E)
+		t.m[txn] = e
+	}
+	return e
+}
+
+// Lookup returns the transaction's entry, or nil if it has none.
+func (t *Table[E]) Lookup(txn histories.ActivityID) *E {
+	return t.m[txn]
+}
+
+// Delete removes the transaction's entry.
+func (t *Table[E]) Delete(txn histories.ActivityID) {
+	delete(t.m, txn)
+}
+
+// Len returns the number of active entries.
+func (t *Table[E]) Len() int { return len(t.m) }
+
+// SortedIDs returns the active transaction ids in lexical order, optionally
+// filtered — deterministic iteration for reproducible protocol decisions
+// (guards inspect "the other transactions' pending calls" in a fixed
+// order).
+func (t *Table[E]) SortedIDs(keep func(histories.ActivityID, *E) bool) []histories.ActivityID {
+	ids := make([]histories.ActivityID, 0, len(t.m))
+	for id, e := range t.m {
+		if keep == nil || keep(id, e) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -25,6 +25,7 @@ import (
 
 	"weihl83/internal/adts"
 	"weihl83/internal/cc"
+	"weihl83/internal/ccrt"
 	"weihl83/internal/core"
 	"weihl83/internal/dist"
 	"weihl83/internal/fault"
@@ -203,24 +204,19 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	return rep, err
 }
 
-// recorder collects the global event history from site sinks.
+// recorder collects the global event history from site sinks, sharded via
+// the runtime kernel's recorder so chaos workers don't serialize on one
+// history mutex.
 type recorder struct {
-	mu sync.Mutex
-	h  histories.History
+	rec ccrt.Recorder
 }
 
 func (r *recorder) sink() cc.EventSink {
-	return func(e histories.Event) {
-		r.mu.Lock()
-		r.h = append(r.h, e)
-		r.mu.Unlock()
-	}
+	return r.rec.Emit
 }
 
 func (r *recorder) history() histories.History {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.h.Clone()
+	return r.rec.History()
 }
 
 // transfer moves perTransfer from acct0 to acct1 (skipping the deposit when

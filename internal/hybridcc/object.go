@@ -11,12 +11,12 @@ package hybridcc
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
 	"weihl83/internal/adts"
 	"weihl83/internal/cc"
+	"weihl83/internal/ccrt"
 	"weihl83/internal/histories"
 	"weihl83/internal/locking"
 	"weihl83/internal/obs"
@@ -49,12 +49,6 @@ type Config struct {
 	Sink cc.EventSink
 }
 
-// version is one committed update's section of the log.
-type version struct {
-	ts    histories.Timestamp
-	state spec.State // state after applying this and all earlier versions
-}
-
 // Object is a hybrid-atomicity object. It implements cc.Resource: updates
 // are delegated to an inner locking object; read-only transactions are
 // served from the version log.
@@ -65,8 +59,8 @@ type Object struct {
 	inner *locking.Object
 
 	mu       sync.Mutex
-	gen      chan struct{}
-	versions []version // ascending ts; state snapshots after each commit
+	waiters  ccrt.WaitSet // read-only queries blocked behind prepared updates
+	versions ccrt.VersionLog
 	prepared map[histories.ActivityID]bool
 	seenRO   map[histories.ActivityID]bool
 	broken   error
@@ -97,7 +91,6 @@ func New(cfg Config) (*Object, error) {
 		ty:       cfg.Type,
 		sink:     cfg.Sink,
 		inner:    inner,
-		gen:      make(chan struct{}),
 		prepared: make(map[histories.ActivityID]bool),
 		seenRO:   make(map[histories.ActivityID]bool),
 	}, nil
@@ -135,9 +128,10 @@ func (o *Object) Stats() (queries, roWaits int64) {
 	return o.queries, o.roWaits
 }
 
+// changed wakes every blocked read-only query: the prepared set shrank, so
+// any of them may now proceed. Callers must hold o.mu.
 func (o *Object) changed() {
-	close(o.gen)
-	o.gen = make(chan struct{})
+	o.waiters.WakeAll()
 }
 
 // Invoke implements cc.Resource.
@@ -167,19 +161,31 @@ func (o *Object) query(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, error
 		o.sink.Emit(histories.Initiate(o.id, txn.ID, txn.TS))
 	}
 	o.sink.Emit(histories.Invoke(o.id, txn.ID, inv.Op, inv.Arg))
+	var waitCh chan struct{}
 	for len(o.prepared) > 0 {
 		o.roWaits++
 		obsROWaits.Inc()
 		waitStart := time.Now()
-		ch := o.gen
+		if waitCh == nil {
+			waitCh = make(chan struct{}, 1)
+		} else {
+			select {
+			case <-waitCh:
+			default:
+			}
+		}
+		o.waiters.Register(txn.ID, waitCh)
 		o.mu.Unlock()
-		<-ch
+		<-waitCh
 		blocked := time.Since(waitStart)
 		obsWaitLat.Observe(int64(blocked))
 		if obsTrace.Enabled() {
 			obsTrace.Record(obs.TraceEvent{Kind: obs.KindWait, Txn: string(txn.ID), Obj: string(o.id), Dur: blocked})
 		}
 		o.mu.Lock()
+	}
+	if waitCh != nil {
+		o.waiters.Unregister(txn.ID)
 	}
 	st := o.stateBelow(txn.TS)
 	out, err := spec.Apply(st, inv)
@@ -195,11 +201,7 @@ func (o *Object) query(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, error
 // stateBelow returns the state containing exactly the committed updates
 // with timestamps below ts. Callers must hold o.mu.
 func (o *Object) stateBelow(ts histories.Timestamp) spec.State {
-	i := sort.Search(len(o.versions), func(i int) bool { return o.versions[i].ts >= ts })
-	if i == 0 {
-		return o.ty.Spec.Init()
-	}
-	return o.versions[i-1].state
+	return o.versions.StateBelow(ts, o.ty.Spec.Init())
 }
 
 // Prepare implements cc.Resource.
@@ -236,23 +238,14 @@ func (o *Object) Commit(txn *cc.TxnInfo, ts histories.Timestamp) {
 	calls := o.inner.PendingCalls(txn)
 	o.inner.Commit(txn, ts)
 	if len(calls) > 0 {
-		prev := o.ty.Spec.Init()
-		if n := len(o.versions); n > 0 {
-			last := o.versions[n-1]
-			if ts <= last.ts {
-				o.corrupt(fmt.Errorf("hybridcc: commit timestamp %d at %s not above log head %d", ts, o.id, last.ts))
-				delete(o.prepared, txn.ID)
-				o.changed()
-				return
-			}
-			prev = last.state
-		}
-		st, err := applyCalls(prev, calls)
+		prev := o.versions.Head(o.ty.Spec.Init())
+		st, err := ccrt.Replay(prev, calls)
 		if err != nil {
 			o.corrupt(fmt.Errorf("hybridcc: version replay at %s: %w", o.id, err))
+		} else if err := o.versions.Append(ts, st); err != nil {
+			o.corrupt(fmt.Errorf("hybridcc: at %s: %w", o.id, err))
 		} else {
-			o.versions = append(o.versions, version{ts: ts, state: st})
-			obsVersions.Observe(int64(len(o.versions)))
+			obsVersions.Observe(int64(o.versions.Len()))
 		}
 	}
 	delete(o.prepared, txn.ID)
@@ -282,25 +275,4 @@ func (o *Object) corrupt(err error) {
 	if o.broken == nil {
 		o.broken = err
 	}
-}
-
-// applyCalls replays calls requiring each recorded result to be
-// achievable, selecting the matching resolution of nondeterministic
-// operations.
-func applyCalls(st spec.State, calls []spec.Call) (spec.State, error) {
-	for _, c := range calls {
-		outs := st.Step(c.Inv)
-		var next spec.State
-		for _, out := range outs {
-			if out.Result == c.Result {
-				next = out.Next
-				break
-			}
-		}
-		if next == nil {
-			return nil, fmt.Errorf("replaying %s: recorded result %s not achievable in state %s", c.Inv, c.Result, st.Key())
-		}
-		st = next
-	}
-	return st, nil
 }

@@ -19,6 +19,7 @@ type Detector struct {
 	seq        map[histories.ActivityID]int64
 	doomed     map[histories.ActivityID]error
 	broadcasts []func()
+	wakes      []func(histories.ActivityID)
 }
 
 // NewDetector returns an empty detector.
@@ -32,11 +33,24 @@ func NewDetector() *Detector {
 
 // RegisterBroadcast adds a hook the detector calls (outside its lock)
 // whenever it dooms a transaction, so blocked waiters re-examine their
-// state. Objects register a hook that wakes their waiters.
+// state. Broadcast hooks wake every waiter at the registering object;
+// prefer RegisterWake, which lets the object wake only the victim.
 func (d *Detector) RegisterBroadcast(f func()) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.broadcasts = append(d.broadcasts, f)
+}
+
+// RegisterWake adds a targeted hook the detector calls (outside its lock)
+// with each doomed transaction's id. The object hosting that transaction's
+// blocked wait wakes exactly that waiter; every other object's hook is a
+// cheap map miss. This replaces the old doom-time broadcast, under which a
+// single deadlock victim woke every blocked transaction in the system (a
+// thundering herd re-running every guard to no effect).
+func (d *Detector) RegisterWake(f func(histories.ActivityID)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.wakes = append(d.wakes, f)
 }
 
 // Register announces a transaction and its birth sequence number.
@@ -63,15 +77,27 @@ func (d *Detector) Doomed(txn histories.ActivityID) error {
 }
 
 // Doom marks txn for abort with the given reason (e.g. a user-initiated
-// abort of a blocked transaction) and wakes all waiters.
+// abort of a blocked transaction) and wakes its waiter.
 func (d *Detector) Doom(txn histories.ActivityID, reason error) {
 	d.mu.Lock()
 	if d.doomed[txn] == nil {
 		d.doomed[txn] = reason
 	}
-	hooks := append([]func(){}, d.broadcasts...)
+	broadcasts := append([]func(){}, d.broadcasts...)
+	wakes := append([]func(histories.ActivityID){}, d.wakes...)
 	d.mu.Unlock()
-	for _, f := range hooks {
+	d.fire(broadcasts, wakes, []histories.ActivityID{txn})
+}
+
+// fire runs the wake hooks for each doomed transaction and any legacy
+// broadcast hooks, outside d.mu (hooks re-acquire object locks).
+func (d *Detector) fire(broadcasts []func(), wakes []func(histories.ActivityID), doomed []histories.ActivityID) {
+	for _, txn := range doomed {
+		for _, f := range wakes {
+			f(txn)
+		}
+	}
+	for _, f := range broadcasts {
 		f()
 	}
 }
@@ -110,13 +136,12 @@ func (d *Detector) SetWaiting(waiter histories.ActivityID, holders []histories.A
 		doomedNow = append(doomedNow, victim)
 	}
 	err := d.doomed[waiter]
-	hooks := append([]func(){}, d.broadcasts...)
+	broadcasts := append([]func(){}, d.broadcasts...)
+	wakes := append([]func(histories.ActivityID){}, d.wakes...)
 	d.mu.Unlock()
 
 	if len(doomedNow) > 0 {
-		for _, f := range hooks {
-			f()
-		}
+		d.fire(broadcasts, wakes, doomedNow)
 	}
 	return err
 }

@@ -3,13 +3,13 @@ package locking
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"sync"
 
 	"weihl83/internal/adts"
 	"weihl83/internal/cc"
+	"weihl83/internal/ccrt"
 	"weihl83/internal/histories"
 	"weihl83/internal/obs"
 	"weihl83/internal/recovery"
@@ -74,11 +74,11 @@ type Object struct {
 	sink        cc.EventSink
 	inPlace     bool
 
-	mu     sync.Mutex
-	gen    chan struct{} // closed and replaced whenever blocked waiters should recheck
-	base   spec.State
-	active map[histories.ActivityID]*txnEntry
-	broken error // set if commit-time replay diverges (protocol bug guardrail)
+	mu      sync.Mutex
+	waiters ccrt.WaitSet // blocked invokers, one wakeup channel each
+	base    spec.State
+	active  ccrt.Table[txnEntry]
+	broken  error // set if commit-time replay diverges (protocol bug guardrail)
 
 	// stats, maintained under mu.
 	grants int64
@@ -122,12 +122,10 @@ func New(cfg Config) (*Object, error) {
 		waitTimeout: cfg.WaitTimeout,
 		sink:        cfg.Sink,
 		inPlace:     cfg.UpdateInPlace,
-		gen:         make(chan struct{}),
 		base:        base,
-		active:      make(map[histories.ActivityID]*txnEntry),
 	}
 	if o.detector != nil {
-		o.detector.RegisterBroadcast(o.wakeAll)
+		o.detector.RegisterWake(o.wakeTxn)
 	}
 	return o, nil
 }
@@ -157,28 +155,19 @@ func (o *Object) Stats() (grants, waits int64) {
 	return o.grants, o.waits
 }
 
-// changed wakes all blocked waiters. Callers must hold o.mu.
+// changed wakes all blocked waiters: claims were released (commit or
+// abort) or the base state moved, so any of them may now be grantable.
+// Callers must hold o.mu.
 func (o *Object) changed() {
-	close(o.gen)
-	o.gen = make(chan struct{})
+	o.waiters.WakeAll()
 }
 
-// wakeAll is the detector broadcast hook.
-func (o *Object) wakeAll() {
+// wakeTxn is the detector’s targeted doom hook: wake exactly the doomed
+// transaction if it is blocked here, leave every other waiter asleep.
+func (o *Object) wakeTxn(txn histories.ActivityID) {
 	o.mu.Lock()
-	o.changed()
+	o.waiters.Wake(txn)
 	o.mu.Unlock()
-}
-
-// entry returns (creating if needed) the transaction's entry. Callers must
-// hold o.mu.
-func (o *Object) entry(txn histories.ActivityID) *txnEntry {
-	e := o.active[txn]
-	if e == nil {
-		e = &txnEntry{}
-		o.active[txn] = e
-	}
-	return e
 }
 
 // PendingCalls returns a copy of txn's intentions at this object (used by
@@ -186,7 +175,7 @@ func (o *Object) entry(txn histories.ActivityID) *txnEntry {
 func (o *Object) PendingCalls(txn *cc.TxnInfo) []spec.Call {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	e := o.active[txn.ID]
+	e := o.active.Lookup(txn.ID)
 	if e == nil {
 		return nil
 	}
@@ -199,7 +188,7 @@ func (o *Object) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, erro
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.sink.Emit(histories.Invoke(o.id, txn.ID, inv.Op, inv.Arg))
-	e := o.entry(txn.ID)
+	e := o.active.Get(txn.ID)
 
 	var deadline <-chan time.Time
 	if o.waitTimeout > 0 {
@@ -207,6 +196,15 @@ func (o *Object) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, erro
 		defer timer.Stop()
 		deadline = timer.C
 	}
+	// The wait channel is allocated on first block and re-registered on every
+	// pass through the loop; this deferred cleanup (running before the
+	// deferred unlock, so still under o.mu) covers every return path.
+	var waitCh chan struct{}
+	defer func() {
+		if waitCh != nil {
+			o.waiters.Unregister(txn.ID)
+		}
+	}()
 	for {
 		if o.detector != nil {
 			if reason := o.detector.Doomed(txn.ID); reason != nil {
@@ -239,13 +237,21 @@ func (o *Object) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, erro
 		}
 		// Blocked: register the wait and sleep until something changes. The
 		// object lock is released before calling the detector because
-		// SetWaiting may fire broadcast hooks that re-acquire it; the
-		// generation channel captured under the lock prevents lost
-		// wake-ups.
+		// SetWaiting may fire wake hooks that re-acquire it; registering
+		// under the lock (and draining the latched channel there, where no
+		// signaller can race) prevents lost wake-ups.
 		o.waits++
 		obsWaits.Inc()
 		waitStart := time.Now()
-		ch := o.gen
+		if waitCh == nil {
+			waitCh = make(chan struct{}, 1)
+		} else {
+			select {
+			case <-waitCh:
+			default:
+			}
+		}
+		o.waiters.Register(txn.ID, waitCh)
 		o.mu.Unlock()
 		if o.detector != nil {
 			if reason := o.detector.SetWaiting(txn.ID, holders); reason != nil {
@@ -256,7 +262,7 @@ func (o *Object) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, erro
 		}
 		var timedOut bool
 		select {
-		case <-ch:
+		case <-waitCh:
 		case <-deadline:
 			timedOut = true
 		}
@@ -307,16 +313,12 @@ func (o *Object) grant(txn *cc.TxnInfo, e *txnEntry, cand spec.Call, next spec.S
 // transactions and their ids. Callers must hold o.mu. Iteration order is
 // made deterministic for reproducible guard decisions.
 func (o *Object) othersOf(me histories.ActivityID) ([][]spec.Call, []histories.ActivityID) {
-	ids := make([]histories.ActivityID, 0, len(o.active))
-	for id, e := range o.active {
-		if id != me && e.intentions.Len() > 0 {
-			ids = append(ids, id)
-		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := o.active.SortedIDs(func(id histories.ActivityID, e *txnEntry) bool {
+		return id != me && e.intentions.Len() > 0
+	})
 	blocks := make([][]spec.Call, len(ids))
 	for i, id := range ids {
-		blocks[i] = o.active[id].intentions.Calls()
+		blocks[i] = o.active.Lookup(id).intentions.Calls()
 	}
 	return blocks, ids
 }
@@ -330,7 +332,7 @@ func (o *Object) Prepare(txn *cc.TxnInfo) error {
 			return fmt.Errorf("locking: prepare %s at %s: %w", txn.ID, o.id, reason)
 		}
 	}
-	e := o.active[txn.ID]
+	e := o.active.Lookup(txn.ID)
 	if e == nil {
 		return fmt.Errorf("locking: prepare %s at %s: %w", txn.ID, o.id, cc.ErrUnknownTxn)
 	}
@@ -344,7 +346,7 @@ func (o *Object) Prepare(txn *cc.TxnInfo) error {
 func (o *Object) Commit(txn *cc.TxnInfo, ts histories.Timestamp) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	e := o.active[txn.ID]
+	e := o.active.Lookup(txn.ID)
 	if e == nil {
 		// Committing a transaction that never invoked here is a no-op.
 		return
@@ -353,13 +355,13 @@ func (o *Object) Commit(txn *cc.TxnInfo, ts histories.Timestamp) {
 		next, err := e.intentions.Apply(o.base)
 		if err != nil {
 			o.corrupt(fmt.Errorf("locking: commit %s at %s: %w", txn.ID, o.id, err))
-			delete(o.active, txn.ID)
+			o.active.Delete(txn.ID)
 			o.changed()
 			return
 		}
 		o.base = next
 	}
-	delete(o.active, txn.ID)
+	o.active.Delete(txn.ID)
 	if ts != histories.TSNone {
 		o.sink.Emit(histories.CommitTS(o.id, txn.ID, ts))
 	} else {
@@ -373,7 +375,7 @@ func (o *Object) Commit(txn *cc.TxnInfo, ts histories.Timestamp) {
 func (o *Object) Abort(txn *cc.TxnInfo) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	e := o.active[txn.ID]
+	e := o.active.Lookup(txn.ID)
 	if e == nil {
 		return
 	}
@@ -385,7 +387,7 @@ func (o *Object) Abort(txn *cc.TxnInfo) {
 			o.base = restored
 		}
 	}
-	delete(o.active, txn.ID)
+	o.active.Delete(txn.ID)
 	o.sink.Emit(histories.Abort(o.id, txn.ID))
 	o.changed()
 }

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"weihl83/internal/cc"
+	"weihl83/internal/ccrt"
 	"weihl83/internal/histories"
 	"weihl83/internal/obs"
 	"weihl83/internal/spec"
@@ -98,7 +99,7 @@ type Object struct {
 	sink  cc.EventSink
 
 	mu           sync.Mutex
-	gen          chan struct{}
+	waiters      ccrt.WaitSet
 	entries      []*entry // sorted by ts, all above baseTS
 	base         spec.State
 	baseTS       histories.Timestamp
@@ -133,7 +134,6 @@ func New(cfg Config) (*Object, error) {
 		id:           cfg.ID,
 		specc:        cfg.Spec,
 		sink:         cfg.Sink,
-		gen:          make(chan struct{}),
 		base:         cfg.Spec.Init(),
 		compactAfter: compact,
 		classical:    cfg.Classical,
@@ -201,9 +201,10 @@ func (o *Object) compact() {
 	o.entries = append([]*entry(nil), o.entries[n:]...)
 }
 
+// changed wakes every blocked waiter: a commit, abort, or
+// newly-mutating entry may unblock any rule-1 wait. Callers must hold o.mu.
 func (o *Object) changed() {
-	close(o.gen)
-	o.gen = make(chan struct{})
+	o.waiters.WakeAll()
 }
 
 // findEntry returns the transaction's entry, or nil.
@@ -225,31 +226,10 @@ func (o *Object) insertEntry(e *entry) {
 }
 
 // replay applies calls requiring each recorded result to be achievable,
-// selecting the matching resolution of nondeterministic operations.
+// selecting the matching resolution of nondeterministic operations
+// (delegated to the shared runtime kernel).
 func replay(st spec.State, calls []spec.Call) (spec.State, error) {
-	for _, c := range calls {
-		next, err := stepMatching(st, c)
-		if err != nil {
-			return nil, err
-		}
-		st = next
-	}
-	return st, nil
-}
-
-// stepMatching applies one call, selecting an outcome with the recorded
-// result.
-func stepMatching(st spec.State, c spec.Call) (spec.State, error) {
-	outs := st.Step(c.Inv)
-	for _, out := range outs {
-		if out.Result == c.Result {
-			return out.Next, nil
-		}
-	}
-	if len(outs) == 0 {
-		return nil, fmt.Errorf("mvcc: %s not applicable in state %s", c.Inv, st.Key())
-	}
-	return nil, fmt.Errorf("mvcc: %s cannot return recorded %s in state %s", c.Inv, c.Result, st.Key())
+	return ccrt.Replay(st, calls)
 }
 
 // Invoke implements cc.Resource. txn.TS must be set (the initiation
@@ -278,6 +258,7 @@ func (o *Object) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, erro
 	// transaction is committed. Pure observations below our timestamp are
 	// invisible to the prefix state, so they impose no wait — this is what
 	// makes read-only activities "rarely delay" others (§4.2.3).
+	var waitCh chan struct{}
 	for {
 		blocked := false
 		for _, e := range o.entries {
@@ -292,15 +273,26 @@ func (o *Object) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, erro
 		o.waits++
 		obsWaits.Inc()
 		waitStart := time.Now()
-		ch := o.gen
+		if waitCh == nil {
+			waitCh = make(chan struct{}, 1)
+		} else {
+			select {
+			case <-waitCh:
+			default:
+			}
+		}
+		o.waiters.Register(txn.ID, waitCh)
 		o.mu.Unlock()
-		<-ch
+		<-waitCh
 		waited := time.Since(waitStart)
 		obsWaitLat.Observe(int64(waited))
 		if obsTrace.Enabled() {
 			obsTrace.Record(obs.TraceEvent{Kind: obs.KindWait, Txn: string(txn.ID), Obj: string(o.id), Dur: waited})
 		}
 		o.mu.Lock()
+	}
+	if waitCh != nil {
+		o.waiters.Unregister(txn.ID)
 	}
 
 	// Rule 2: compute the result from the prefix below our timestamp plus

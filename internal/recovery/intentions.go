@@ -8,6 +8,7 @@ package recovery
 import (
 	"fmt"
 
+	"weihl83/internal/ccrt"
 	"weihl83/internal/spec"
 )
 
@@ -35,33 +36,17 @@ func (l *IntentionsList) Clone() *IntentionsList {
 	return out
 }
 
-// stepMatching applies inv in st selecting an outcome whose result equals
-// the recorded one. Nondeterministic operations are replayed with the
-// resolution the object actually chose; when several outcomes share the
-// result the first is taken (for the library's types the result determines
-// the successor state).
-func stepMatching(st spec.State, c spec.Call) (spec.State, error) {
-	outs := st.Step(c.Inv)
-	for _, out := range outs {
-		if out.Result == c.Result {
-			return out.Next, nil
-		}
-	}
-	if len(outs) == 0 {
-		return nil, fmt.Errorf("recovery: %s not applicable in state %s", c.Inv, st.Key())
-	}
-	return nil, fmt.Errorf("recovery: %s cannot return recorded %s in state %s", c.Inv, c.Result, st.Key())
-}
-
-// Apply replays the intentions onto base and returns the resulting state.
-// It verifies that each call's recorded result is achievable — a failure
-// means the concurrency-control layer granted an operation whose outcome
-// depended on the serialization order, and is reported as an error rather
-// than silently installing a divergent state.
+// Apply replays the intentions onto base and returns the resulting state,
+// selecting the resolution of nondeterministic operations the object
+// actually chose (ccrt.StepMatching). It verifies that each call's recorded
+// result is achievable — a failure means the concurrency-control layer
+// granted an operation whose outcome depended on the serialization order,
+// and is reported as an error rather than silently installing a divergent
+// state.
 func (l *IntentionsList) Apply(base spec.State) (spec.State, error) {
 	st := base
 	for i, c := range l.calls {
-		next, err := stepMatching(st, c)
+		next, err := ccrt.StepMatching(st, c)
 		if err != nil {
 			return nil, fmt.Errorf("recovery: intention %d: %w", i, err)
 		}

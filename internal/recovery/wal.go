@@ -18,6 +18,7 @@ var (
 	obsWALAppends        = obs.Default.Counter("wal.appends")
 	obsWALBytes          = obs.Default.Counter("wal.append.bytes")
 	obsWALFailed         = obs.Default.Counter("wal.append.failed")
+	obsWALBatchSize      = obs.Default.Histogram("wal.append.batch_size")
 	obsWALTorn           = obs.Default.Counter("wal.append.torn")
 	obsCheckpoints       = obs.Default.Counter("wal.checkpoints")
 	obsCheckpointTorn    = obs.Default.Counter("wal.checkpoint.torn")
@@ -122,6 +123,12 @@ func (d *Disk) SetInjector(in *fault.Injector) {
 func (d *Disk) Append(r Record) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.appendLocked(r)
+}
+
+// appendLocked is Append under d.mu: one record, with the torn/failed
+// fault points applied.
+func (d *Disk) appendLocked(r Record) error {
 	cp := r.clone()
 	if len(cp.Calls) > 0 && d.inj.Fires(fault.DiskAppendTorn) {
 		torn := cp
@@ -139,6 +146,34 @@ func (d *Disk) Append(r Record) error {
 	obsWALAppends.Inc()
 	obsWALBytes.Add(recordBytes(cp))
 	return nil
+}
+
+// AppendBatch appends several transactions' record groups under one
+// stable-storage acquisition — the group-commit entry point: a commit
+// leader hands in one group per follower (that transaction's intentions
+// records followed by its commit record) and the whole batch goes to disk
+// as one forced write.
+//
+// Fault semantics are exactly those of per-group sequences of Append: the
+// torn/failed fault points are applied to every record individually, and a
+// fault inside group i fails group i alone — its earlier records stay in
+// the log without a commit record, precisely the state a solo committer
+// would leave, so Restart ignores them — while later groups still append.
+// errs[i] is nil iff group i's records are all durably logged.
+func (d *Disk) AppendBatch(groups [][]Record) (errs []error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	errs = make([]error, len(groups))
+	obsWALBatchSize.Observe(int64(len(groups)))
+	for i, group := range groups {
+		for _, r := range group {
+			if err := d.appendLocked(r); err != nil {
+				errs[i] = err
+				break
+			}
+		}
+	}
+	return errs
 }
 
 // Records returns a deep-copied snapshot of the log: mutating a returned

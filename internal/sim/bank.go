@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -93,9 +94,21 @@ var ErrRetriesExhausted = errors.New("sim: retry budget exhausted")
 
 // runWithRetry runs fn in fresh transactions until commit, a non-retryable
 // error, or the retry budget is exhausted. It returns the retry count.
+// Retries are paced by the manager's capped exponential backoff (the same
+// policy tx.Run applies): retrying a lost conflict immediately just
+// re-collides with the surviving transactions, and at high worker counts
+// that feedback loop — each abort spawning a retry that causes more
+// aborts — collapses throughput.
 func runWithRetry(m *tx.Manager, readOnly bool, maxRetries int, fn func(*tx.Txn) error) (int64, error) {
 	var retries int64
+	var pacer *tx.Pacer
 	for attempt := 0; attempt <= maxRetries; attempt++ {
+		if attempt > 0 {
+			if pacer == nil {
+				pacer = m.NewPacer()
+			}
+			_ = pacer.Pause(context.Background(), attempt-1)
+		}
 		var t *tx.Txn
 		if readOnly {
 			t = m.BeginReadOnly()

@@ -11,11 +11,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"weihl83/internal/cc"
+	"weihl83/internal/ccrt"
 	"weihl83/internal/histories"
 	"weihl83/internal/obs"
 	"weihl83/internal/recovery"
@@ -184,19 +186,43 @@ type Config struct {
 }
 
 // Manager coordinates transactions over a set of registered resources.
+//
+// Hot-path design: the resource registry is copy-on-write (Invoke is a
+// lock-free pointer load), the history recorder is sharded
+// (ccrt.Recorder), hybrid commit installation is ordered by a ticket
+// sequencer instead of one mutex held across the whole install, and
+// write-ahead logging goes through a group-commit leader that batches
+// concurrent transactions' records into one stable-storage write.
 type Manager struct {
-	cfg       Config
-	seq       atomic.Int64
-	mu        sync.Mutex
-	resources map[histories.ObjectID]cc.Resource
-	history   histories.History
-	commitMu  sync.Mutex // serialises hybrid commit-timestamp assignment + installation
+	cfg Config
+	seq atomic.Int64
+
+	// resources is the copy-on-write registry: readers (Invoke) load the
+	// current map without locking; Register copies under regMu and swaps.
+	resources atomic.Pointer[map[histories.ObjectID]cc.Resource]
+	regMu     sync.Mutex
+
+	// recorder holds the sharded event history when recording is enabled;
+	// sink is the one stable cc.EventSink handed to every resource.
+	recorder *ccrt.Recorder
+	sink     cc.EventSink
+
+	// installSeq orders hybrid commit installations: tickets are drawn
+	// atomically with commit timestamps, so ticket order == timestamp order
+	// == version-log install order (§4.3.3) with no lock held across the
+	// write-ahead logging or coordinator decision in between.
+	installSeq ccrt.Sequencer
+
+	// wal batches concurrent commit-record groups into single
+	// stable-storage appends (group commit); nil without a WAL.
+	wal *walGroup
 
 	commits atomic.Int64
 	aborts  atomic.Int64
 
-	jitterMu sync.Mutex
-	jitter   *rand.Rand
+	// chainSeq numbers retry chains; each chain derives its own jitter
+	// generator so concurrent retriers never serialize on one shared RNG.
+	chainSeq atomic.Int64
 }
 
 // ErrManagerConfig reports an invalid configuration.
@@ -216,43 +242,55 @@ func NewManager(cfg Config) (*Manager, error) {
 		cfg.MaxRetries = 100
 	}
 	(&cfg.Backoff).fill()
-	return &Manager{
-		cfg:       cfg,
-		resources: make(map[histories.ObjectID]cc.Resource),
-		jitter:    rand.New(rand.NewSource(cfg.Backoff.Seed)),
-	}, nil
+	m := &Manager{cfg: cfg}
+	empty := make(map[histories.ObjectID]cc.Resource)
+	m.resources.Store(&empty)
+	if cfg.Record {
+		m.recorder = ccrt.NewRecorder()
+		m.sink = m.recorder.Emit
+	}
+	if cfg.WAL != nil {
+		m.wal = &walGroup{disk: cfg.WAL}
+	}
+	return m, nil
 }
 
 // Sink returns the event sink resources should be constructed with (nil
-// when recording is disabled).
+// when recording is disabled). The sink is one stable value for the
+// manager's lifetime: resources constructed at different times — including
+// ones Registered after workers have started — share identical recording
+// behaviour, all feeding the same sharded recorder.
 func (m *Manager) Sink() cc.EventSink {
-	if !m.cfg.Record {
-		return nil
-	}
-	return func(e histories.Event) {
-		m.mu.Lock()
-		m.history = append(m.history, e)
-		m.mu.Unlock()
-	}
+	return m.sink
 }
 
 // Register adds a resource. Registering two resources with one object id is
-// a configuration error.
+// a configuration error. The registry is copy-on-write, so Register is safe
+// while transactions are running — in-flight Invokes keep reading the old
+// map, and the next lookup sees the new resource.
 func (m *Manager) Register(r cc.Resource) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, dup := m.resources[r.ObjectID()]; dup {
+	m.regMu.Lock()
+	defer m.regMu.Unlock()
+	old := *m.resources.Load()
+	if _, dup := old[r.ObjectID()]; dup {
 		return fmt.Errorf("%w: duplicate resource %s", ErrManagerConfig, r.ObjectID())
 	}
-	m.resources[r.ObjectID()] = r
+	next := make(map[histories.ObjectID]cc.Resource, len(old)+1)
+	for id, res := range old {
+		next[id] = res
+	}
+	next[r.ObjectID()] = r
+	m.resources.Store(&next)
 	return nil
 }
 
-// History returns a copy of the recorded history.
+// History returns a copy of the recorded history, merged from the
+// recorder's shards in event-sequence order.
 func (m *Manager) History() histories.History {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.history.Clone()
+	if m.recorder == nil {
+		return nil
+	}
+	return m.recorder.History()
 }
 
 // Stats returns (committed, aborted) transaction counts.
@@ -298,7 +336,7 @@ func (m *Manager) begin(readOnly bool) *Txn {
 	t := &Txn{
 		m: m,
 		info: cc.TxnInfo{
-			ID:  histories.ActivityID(fmt.Sprintf("t%d", seq)),
+			ID:  histories.ActivityID("t" + strconv.FormatInt(seq, 10)),
 			Seq: seq,
 		},
 		status:  StatusActive,
@@ -349,9 +387,7 @@ func (t *Txn) Invoke(obj histories.ObjectID, op string, arg value.Value) (value.
 	if t.status != StatusActive {
 		return value.Nil(), ErrTxnDone
 	}
-	t.m.mu.Lock()
-	r, ok := t.m.resources[obj]
-	t.m.mu.Unlock()
+	r, ok := (*t.m.resources.Load())[obj]
 	if !ok {
 		return value.Nil(), fmt.Errorf("%w: %s", ErrNoResource, obj)
 	}
@@ -413,44 +449,50 @@ func (t *Txn) Commit() error {
 	if len(t.joined) > 0 {
 		obsPrepareLat.Observe(int64(time.Since(prepStart)))
 	}
+	// Hybrid update commits draw a ticket atomically with the commit
+	// timestamp: ticket order == timestamp order, and installation happens
+	// between Wait and Done, so version logs grow in timestamp order and
+	// the timestamp order stays consistent with precedes (§4.3.3) — the
+	// invariant the old global commit mutex provided by serializing the
+	// whole section. Logging and the coordinator decision run OUTSIDE the
+	// ordered region; any exit before installation must Abandon the ticket.
 	var cts histories.Timestamp
-	switch {
-	case t.m.cfg.Property == Hybrid && !t.info.ReadOnly:
-		// Serialise timestamp assignment and installation so version logs
-		// grow in timestamp order and the timestamp order stays consistent
-		// with precedes (§4.3.3).
-		t.m.commitMu.Lock()
-		defer t.m.commitMu.Unlock()
-		cts = t.m.cfg.Clock.Next()
-	case t.m.cfg.WAL != nil:
-		// Serialise the whole commit section so the write-ahead log's
-		// commit order matches the order effects are installed at the
-		// objects; otherwise a crash-restart replay (which follows log
-		// order) could reconstruct a different — though individually
-		// valid — serialization than the one pre-crash transactions
-		// observed.
-		t.m.commitMu.Lock()
-		defer t.m.commitMu.Unlock()
+	var ticket ccrt.Ticket
+	hasTicket := false
+	if t.m.cfg.Property == Hybrid && !t.info.ReadOnly {
+		ticket = t.m.installSeq.ReserveWith(func() { cts = t.m.cfg.Clock.Next() })
+		hasTicket = true
 	}
-	if disk := t.m.cfg.WAL; disk != nil {
+	abandon := func() {
+		if hasTicket {
+			t.m.installSeq.Abandon(ticket)
+			hasTicket = false
+		}
+	}
+	if t.m.wal != nil {
 		// A failed (or torn) log write before the commit record aborts the
 		// transaction: the commit record is the atomic commit point, and
 		// nothing before it may be considered durable. Already-appended
-		// intentions without a commit record are ignored by Restart.
+		// intentions without a commit record are ignored by Restart, which
+		// replays committed transactions in intentions order — an order
+		// independent of how concurrent commit groups interleave in the
+		// log, because a dependent transaction's intentions are always
+		// logged after the transaction it observed installed, and
+		// concurrently-prepared transactions hold non-conflicting claims.
+		recs := make([]recovery.Record, 0, len(t.joined)+1)
 		for _, r := range t.joined {
 			if cr, ok := r.(callsReporter); ok {
-				if err := disk.Append(recovery.Record{
+				recs = append(recs, recovery.Record{
 					Kind:   recovery.RecordIntentions,
 					Txn:    t.info.ID,
 					Object: r.ObjectID(),
 					Calls:  cr.PendingCalls(&t.info),
-				}); err != nil {
-					t.Abort()
-					return fmt.Errorf("tx: logging intentions: %w", err)
-				}
+				})
 			}
 		}
-		if err := disk.Append(recovery.Record{Kind: recovery.RecordCommit, Txn: t.info.ID, TS: cts}); err != nil {
+		recs = append(recs, recovery.Record{Kind: recovery.RecordCommit, Txn: t.info.ID, TS: cts})
+		if err := t.m.wal.submit(recs); err != nil {
+			abandon()
 			t.Abort()
 			return fmt.Errorf("tx: logging commit: %w", err)
 		}
@@ -465,6 +507,7 @@ func (t *Txn) Commit() error {
 				// coordinator. Finish without broadcasting — participants
 				// resolve through termination, and a commit that did land
 				// will be installed there, not here.
+				abandon()
 				obsOrphans.Inc()
 				t.finish(StatusAborted)
 				t.m.aborts.Add(1)
@@ -473,13 +516,20 @@ func (t *Txn) Commit() error {
 			}
 			// The decision could not be made durable and the coordinator
 			// knows it (it records an abort instead): abort normally.
+			abandon()
 			t.Abort()
 			return fmt.Errorf("tx: logging decision: %w", err)
 		}
 	}
+	if hasTicket {
+		t.m.installSeq.Wait(ticket)
+	}
 	installStart := time.Now()
 	for _, r := range t.joined {
 		r.Commit(&t.info, cts)
+	}
+	if hasTicket {
+		t.m.installSeq.Done(ticket)
 	}
 	if len(t.joined) > 0 {
 		obsInstallLat.Observe(int64(time.Since(installStart)))
@@ -559,10 +609,48 @@ func (m *Manager) RunReadOnlyCtx(ctx context.Context, fn func(t *Txn) error) err
 	return m.run(ctx, fn, true)
 }
 
+// Pacer paces one externally-driven retry chain with the manager's backoff
+// policy, for callers that run their own retry loop (instrumented harnesses
+// that count attempts) instead of Run. Each Pacer owns a per-chain jitter
+// generator, exactly like a Run retry chain; it is not safe for concurrent
+// use.
+type Pacer struct {
+	m      *Manager
+	jitter *rand.Rand
+}
+
+// NewPacer returns a pacer for one retry chain.
+func (m *Manager) NewPacer() *Pacer { return &Pacer{m: m} }
+
+// Pause waits the backoff delay before retry number retry (0-based),
+// honouring ctx. Without pacing, concurrent retriers that lost a conflict
+// re-collide immediately; under contention that feedback loop dominates
+// throughput long before the protocol does.
+func (p *Pacer) Pause(ctx context.Context, retry int) error {
+	if p.jitter == nil {
+		p.jitter = p.m.newChainJitter()
+	}
+	return p.m.pause(ctx, p.jitter, retry)
+}
+
+// newChainJitter returns the jitter generator for one retry chain, seeded
+// deterministically from the configured Backoff.Seed and the chain's
+// sequence number. Each chain owning its generator removes the old shared
+// jitterMu+rand.Rand, which serialized every concurrently-retrying worker
+// on one mutex exactly when the system was most contended. The first chain
+// uses Backoff.Seed itself, so single-chain delay sequences are unchanged;
+// later chains mix in the chain number (golden-ratio increment, the
+// splitmix64 constant) so they spread instead of marching in lockstep.
+func (m *Manager) newChainJitter() *rand.Rand {
+	chain := m.chainSeq.Add(1)
+	seed := m.cfg.Backoff.Seed + (chain-1)*-0x61c8864680b583eb
+	return rand.New(rand.NewSource(seed))
+}
+
 // retryDelay picks the delay before retry number retry (0-based): equal
 // jitter on a capped exponential ceiling — half the ceiling guaranteed,
 // half jittered, so delays grow but concurrent retriers still spread out.
-func (m *Manager) retryDelay(retry int) time.Duration {
+func (m *Manager) retryDelay(jitter *rand.Rand, retry int) time.Duration {
 	b := m.cfg.Backoff
 	ceil := b.Base
 	for i := 0; i < retry && ceil < b.Max; i++ {
@@ -572,15 +660,12 @@ func (m *Manager) retryDelay(retry int) time.Duration {
 		ceil = b.Max
 	}
 	half := ceil / 2
-	m.jitterMu.Lock()
-	j := time.Duration(m.jitter.Int63n(int64(half) + 1))
-	m.jitterMu.Unlock()
-	return half + j
+	return half + time.Duration(jitter.Int63n(int64(half)+1))
 }
 
 // pause waits the retry delay, honouring ctx.
-func (m *Manager) pause(ctx context.Context, retry int) error {
-	d := m.retryDelay(retry)
+func (m *Manager) pause(ctx context.Context, jitter *rand.Rand, retry int) error {
+	d := m.retryDelay(jitter, retry)
 	obsBackoffs.Inc()
 	obsBackoffLat.Observe(int64(d))
 	if obsTrace.Enabled() {
@@ -601,9 +686,13 @@ func (m *Manager) pause(ctx context.Context, retry int) error {
 
 func (m *Manager) run(ctx context.Context, fn func(t *Txn) error, readOnly bool) error {
 	var lastErr error
+	var jitter *rand.Rand // per-chain, created on first retry
 	for attempt := 0; attempt < m.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
-			if err := m.pause(ctx, attempt-1); err != nil {
+			if jitter == nil {
+				jitter = m.newChainJitter()
+			}
+			if err := m.pause(ctx, jitter, attempt-1); err != nil {
 				return fmt.Errorf("tx: %w (after %d attempts, last: %v)", err, attempt, lastErr)
 			}
 		}
