@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-smoke check bench-smoke bench-hotpath clean
+.PHONY: all build vet test race chaos chaos-smoke check bench-smoke bench-hotpath bench-guardcascade fuzz-smoke clean
 
 all: check
 
@@ -55,6 +55,19 @@ bench-smoke:
 bench-hotpath:
 	$(GO) run ./cmd/bankbench -json -exp hotpath -transfers 2000 -accounts 16 -repeat 3 \
 		| $(GO) run ./cmd/benchguard -ref BENCH_hotpath.json
+
+# bench-guardcascade regenerates the committed conflict-engine comparison:
+# rw/table/exact/cascade end to end at 1/4/16 workers, plus raw grant-check
+# throughput of the memoised cascade vs the unmemoised exact search.
+bench-guardcascade:
+	$(GO) run ./cmd/bankbench -json -exp guardcascade -repeat 3 > BENCH_guardcascade.json
+
+# fuzz-smoke runs the conflict engine's memoisation fuzzer for a bounded
+# time: the memoised exact tier must be indistinguishable from the
+# unmemoised search on arbitrary scenarios, across repeats and cache
+# invalidations.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzExactMemo -fuzztime=30s ./internal/conflict
 
 clean:
 	$(GO) clean ./...

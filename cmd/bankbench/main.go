@@ -6,7 +6,9 @@
 //	bankbench -exp e7        single-account contention: rw vs commut vs escrow
 //	bankbench -exp e9        Lamport audit mix: locking vs hybrid
 //	bankbench -exp hotpath   runtime hot path: commit throughput vs workers
-//	bankbench -exp all       everything (hotpath excluded; run it explicitly)
+//	bankbench -exp guardcascade  conflict-engine cascade vs raw guards
+//	bankbench -exp all       everything (hotpath and guardcascade excluded;
+//	                         run them explicitly)
 //
 // Flags scale the workload (-transfers, -audits, -workers, -accounts).
 // With -json, the human-readable tables go to stderr and stdout carries one
@@ -106,7 +108,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: e5|e6|e7|e9|hotpath|all")
+	exp := flag.String("exp", "all", "experiment: e5|e6|e7|e9|hotpath|guardcascade|all")
 	workers := flag.Int("workers", 4, "transfer workers")
 	transfers := flag.Int("transfers", 200, "transfers per worker")
 	audits := flag.Int("audits", 50, "audits per audit worker")
@@ -152,6 +154,8 @@ func run() int {
 		ok = e9(sc)
 	case "hotpath":
 		ok = hotpath(sc)
+	case "guardcascade":
+		ok = guardcascade(sc)
 	case "all":
 		ok = e5(sc) && e6(sc) && e7(sc) && e9(sc)
 	default:

@@ -11,7 +11,7 @@ import (
 // TestFacadeGuardSpectrum exercises every guard through the facade on the
 // §5.1 workload shape.
 func TestFacadeGuardSpectrum(t *testing.T) {
-	for _, g := range []weihl83.Guard{weihl83.GuardRW, weihl83.GuardNameOnly, weihl83.GuardCommut, weihl83.GuardEscrow, weihl83.GuardExact} {
+	for _, g := range []weihl83.Guard{weihl83.GuardRW, weihl83.GuardNameOnly, weihl83.GuardCommut, weihl83.GuardEscrow, weihl83.GuardExact, weihl83.GuardCascade} {
 		g := g
 		t.Run(guardName(g), func(t *testing.T) {
 			t.Parallel()
@@ -72,6 +72,8 @@ func guardName(g weihl83.Guard) string {
 		return "escrow"
 	case weihl83.GuardExact:
 		return "exact"
+	case weihl83.GuardCascade:
+		return "cascade"
 	default:
 		return "unknown"
 	}

@@ -48,6 +48,14 @@ func (s intSetState) Key() string {
 	return "{" + strings.Join(parts, ",") + "}"
 }
 
+// Has reports whether n is in the set. It is exported on the state so the
+// conflict engine's per-block summary tier can read membership without
+// depending on the concrete representation.
+func (s intSetState) Has(n int64) bool {
+	_, present := s.index(n)
+	return present
+}
+
 func (s intSetState) index(n int64) (int, bool) {
 	i := sort.Search(len(s), func(i int) bool { return s[i] >= n })
 	return i, i < len(s) && s[i] == n

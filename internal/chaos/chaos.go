@@ -25,6 +25,7 @@ import (
 
 	"weihl83/internal/adts"
 	"weihl83/internal/cc"
+	"weihl83/internal/conflict"
 	"weihl83/internal/ccrt"
 	"weihl83/internal/core"
 	"weihl83/internal/dist"
@@ -342,9 +343,12 @@ func runDist(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// acct0 exercises the full tiered cascade under faults; acct1 keeps the
+	// standalone escrow guard covered, and the queue the plain table guard.
+	cascade := func(t adts.Type) locking.Guard { return conflict.ForType(t) }
 	escrow := func(adts.Type) locking.Guard { return locking.EscrowGuard{} }
 	table := func(t adts.Type) locking.Guard { return locking.TableGuard{Conflicts: t.Conflicts} }
-	if err := siteA.AddObject("acct0", adts.Account(), escrow); err != nil {
+	if err := siteA.AddObject("acct0", adts.Account(), cascade); err != nil {
 		return nil, err
 	}
 	if err := siteB.AddObject("acct1", adts.Account(), escrow); err != nil {

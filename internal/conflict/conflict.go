@@ -1,0 +1,194 @@
+// Package conflict is the single pluggable conflict engine every protocol
+// layer consumes: locking guards, the scheduler model, the hybrid and
+// multi-version protocols and the distributed sites all answer the same
+// question — may this call run concurrently with that pending work? — and
+// this package answers it once, from the type's serial specification and
+// the object's current state, instead of each layer re-deriving its own
+// commute check.
+//
+// The engine is a tiered cascade, cheapest test first:
+//
+//  1. name-only conflict table — operation names alone;
+//  2. argument-aware conflict predicate — names plus arguments;
+//  3. spec-derived per-block summaries — constant-time state-based tests
+//     over a summary of each transaction's pending block (the
+//     generalisation of the escrow guard's blockFacts beyond accounts);
+//  4. memoised exact state-based search — every order of every subset of
+//     the pending blocks is replayed from the committed base (the
+//     ExactGuard search), behind a per-object decision cache.
+//
+// Each tier answers Commutes, Conflicts or Unknown; Unknown escalates to
+// the next tier. Soundness is preserved tier by tier: a tier may answer
+// Commutes only when it has *proved* every arrangement replays the
+// recorded results, so the cheap tiers only ever grant or escalate, and a
+// denial (waiting) is always safe. The final tier is exact, so the cascade
+// as a whole grants exactly what the exhaustive search grants — it is just
+// cheap when the static structure already decides, and O(1) when the
+// memoisation cache hits.
+//
+// Tier 4's cache is keyed on the full decision input — base-state key,
+// the requester's block, the candidate call, and a fingerprint of the
+// other transactions' pending blocks — so a hit can never be unsound, and
+// it is invalidated on commit/abort (when the committed base moves or
+// pending work drains) to stay small.
+package conflict
+
+import (
+	"weihl83/internal/adts"
+	"weihl83/internal/obs"
+	"weihl83/internal/spec"
+)
+
+// Verdict is a tier's three-valued answer.
+type Verdict int
+
+// Verdicts. Unknown is deliberately the zero value: a tier that has
+// nothing to say escalates.
+const (
+	// Unknown: the tier cannot decide; the question escalates to the next
+	// (finer, more expensive) tier.
+	Unknown Verdict = iota
+	// Commutes: the tier proved every arrangement of the pending blocks
+	// with the candidate appended replays the recorded results; granting
+	// is sound.
+	Commutes
+	// Conflicts: the tier decided the call must not be granted now (the
+	// requester waits). Denial is always sound; only authoritative tiers
+	// (the exact search, or a summary used standalone) answer it.
+	Conflicts
+)
+
+// String returns the verdict's name.
+func (v Verdict) String() string {
+	switch v {
+	case Commutes:
+		return "commutes"
+	case Conflicts:
+		return "conflicts"
+	default:
+		return "unknown"
+	}
+}
+
+// Tier is one level of the cascade. Decide answers from the committed base
+// state, the requester's pending calls (mine), the candidate call, and the
+// other active transactions' pending blocks.
+//
+// Soundness contract (same as the locking guard's): a tier may return
+// Commutes only if for every subset of the other transactions and every
+// serialization order of that subset together with the requester (its
+// block extended by cand), replaying from base reproduces every recorded
+// result. Conflicts and Unknown are always sound.
+type Tier interface {
+	// Name labels the tier in metrics ("name", "args", "summary", "exact").
+	Name() string
+	Decide(base spec.State, mine []spec.Call, cand spec.Call, others [][]spec.Call) (Verdict, error)
+}
+
+// tierSlot pairs a tier with its decision counters.
+type tierSlot struct {
+	tier                             Tier
+	commutes, conflicts, escalations *obs.Counter
+}
+
+// Engine is a cascade of tiers. It satisfies the locking package's Guard
+// interface (structurally), exposes cache invalidation for the object's
+// commit/abort hooks, and reports itself state-based so update-in-place
+// recovery rejects it.
+type Engine struct {
+	slots      []tierSlot
+	cache      *decisionCache // the exact tier's memo cache; nil without one
+	stateBased bool
+}
+
+// NewEngine builds an engine from tiers, finest last. The last tier should
+// be authoritative (answer Commutes or Conflicts, not Unknown); if every
+// tier escalates the engine denies, which is sound but wasteful.
+func NewEngine(tiers ...Tier) *Engine {
+	e := &Engine{}
+	for _, t := range tiers {
+		prefix := "cc.conflict.tier." + t.Name() + "."
+		e.slots = append(e.slots, tierSlot{
+			tier:        t,
+			commutes:    obs.Default.Counter(prefix + "commutes"),
+			conflicts:   obs.Default.Counter(prefix + "conflicts"),
+			escalations: obs.Default.Counter(prefix + "escalations"),
+		})
+		switch tt := t.(type) {
+		case *ExactTier:
+			e.cache = tt.cache
+			e.stateBased = true
+		case SummaryTier:
+			e.stateBased = true
+		case *SummaryTier:
+			e.stateBased = true
+		}
+	}
+	return e
+}
+
+// ForType builds the full cascade for a type: its name-only table, its
+// argument-aware predicate, a registered per-block summarizer for the
+// type's spec (if any), and the memoised exact search. Missing pieces are
+// skipped; the exact tier is always present, so the cascade decides every
+// input.
+func ForType(t adts.Type) *Engine {
+	var tiers []Tier
+	if t.ConflictsNameOnly != nil {
+		tiers = append(tiers, TableTier{TierName: "name", Conflicts: t.ConflictsNameOnly})
+	}
+	if t.Conflicts != nil {
+		tiers = append(tiers, TableTier{TierName: "args", Conflicts: t.Conflicts})
+	}
+	if t.Spec != nil {
+		if s := SummarizerFor(t.Spec.Name()); s != nil {
+			// In the cascade the summary must escalate its denials: its
+			// Conflicts answers are conservative (sound to wait on, but not
+			// exact), and the tier below is both exact and memoised.
+			tiers = append(tiers, SummaryTier{Summarizer: s, Escalate: true})
+		}
+	}
+	tiers = append(tiers, NewExactTier(0, 0))
+	return NewEngine(tiers...)
+}
+
+// Allowed runs the cascade. It has the locking Guard signature: true means
+// granting cand is sound, false means the requester must wait. An error
+// reports a misconfiguration (e.g. a summary tier asked about a state of
+// the wrong type standalone) — the call must not silently wait on it.
+func (e *Engine) Allowed(base spec.State, mine []spec.Call, cand spec.Call, others [][]spec.Call) (bool, error) {
+	for i := range e.slots {
+		s := &e.slots[i]
+		v, err := s.tier.Decide(base, mine, cand, others)
+		if err != nil {
+			return false, err
+		}
+		switch v {
+		case Commutes:
+			s.commutes.Inc()
+			return true, nil
+		case Conflicts:
+			s.conflicts.Inc()
+			return false, nil
+		}
+		s.escalations.Inc()
+	}
+	// Every tier escalated: deny. Waiting is the only sound default.
+	return false, nil
+}
+
+// InvalidateConflictCache drops the exact tier's memoised decisions. The
+// locking object calls it on every commit and abort: the committed base
+// may have moved and pending blocks drained, so the cached keys are dead
+// weight (they can never be *wrong* — the key covers the full decision
+// input — but they would accumulate without bound).
+func (e *Engine) InvalidateConflictCache() {
+	if e.cache != nil {
+		e.cache.clear()
+	}
+}
+
+// StateBased reports whether any tier consults the base state. State-based
+// engines are incompatible with update-in-place recovery, whose base
+// includes uncommitted effects.
+func (e *Engine) StateBased() bool { return e.stateBased }

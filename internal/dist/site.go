@@ -11,6 +11,7 @@ import (
 	"weihl83/internal/cc"
 	"weihl83/internal/fault"
 	"weihl83/internal/histories"
+	"weihl83/internal/conflict"
 	"weihl83/internal/locking"
 	"weihl83/internal/obs"
 	"weihl83/internal/recovery"
@@ -268,8 +269,10 @@ func (s *Site) Epoch() uint64 {
 func (s *Site) Disk() *recovery.Disk { return s.disk }
 
 // AddObject hosts a new object at the site. guard builds the conflict rule
-// from the type (so recovery can rebuild it); nil selects the
-// argument-aware commutativity table.
+// from the type (so recovery can rebuild it — crucially, a recovering site
+// re-invokes the factory, so a cascade engine's decision cache is rebuilt
+// fresh rather than resurrected across the crash); nil selects the full
+// tiered conflict cascade for the type.
 func (s *Site) AddObject(id histories.ObjectID, t adts.Type, guard func(adts.Type) locking.Guard) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -281,7 +284,7 @@ func (s *Site) AddObject(id histories.ObjectID, t adts.Type, guard func(adts.Typ
 	}
 	if guard == nil {
 		guard = func(t adts.Type) locking.Guard {
-			return locking.TableGuard{Conflicts: t.Conflicts}
+			return conflict.ForType(t)
 		}
 	}
 	o, err := s.buildObject(id, t, guard, nil)

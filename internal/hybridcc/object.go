@@ -25,10 +25,14 @@ import (
 )
 
 // Observability for the read-only side; the update side is instrumented by
-// the inner locking object.
+// the inner locking object (whose conflicts land under
+// cc.locking.conflicts). A read-only wait is the hybrid protocol's own
+// conflict event — a query stalled behind a prepared update — so it is
+// counted under the uniform cc.<protocol>.conflicts scheme, with the
+// historical hybrid.rowaits name kept as an alias for one release.
 var (
 	obsQueries  = obs.Default.Counter("hybrid.queries")
-	obsROWaits  = obs.Default.Counter("hybrid.rowaits")
+	obsROWaits  = obs.Default.AliasCounter("hybrid.rowaits", "cc.hybrid.conflicts")
 	obsWaitLat  = obs.Default.Histogram("hybrid.wait_ns")
 	obsVersions = obs.Default.Histogram("hybrid.versions")
 	obsTrace    = obs.Default.Tracer()

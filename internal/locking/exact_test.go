@@ -99,7 +99,7 @@ func TestExactGuardMatchesBruteForce(t *testing.T) {
 			others[i] = block
 		}
 
-		got := g.Allowed(base, mine, cand, others)
+		got := allow(t, g, base, mine, cand, others)
 		want := bruteForceAllowed(s, base, mine, cand, others)
 		if got != want {
 			t.Fatalf("trial %d: guard=%t brute=%t\nbal=%d mine=%v cand=%v others=%v",
@@ -160,7 +160,7 @@ func TestExactGuardMatchesBruteForceOnSets(t *testing.T) {
 			}
 			others[i] = block
 		}
-		got := g.Allowed(base, mine, cand, others)
+		got := allow(t, g, base, mine, cand, others)
 		want := bruteForceAllowed(s, base, mine, cand, others)
 		if got != want {
 			t.Fatalf("trial %d: guard=%t brute=%t\nbase=%s mine=%v cand=%v others=%v",

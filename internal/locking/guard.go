@@ -2,7 +2,9 @@
 // deferred-update (intentions-list) locking object with pluggable conflict
 // guards, and a waits-for-graph deadlock detector.
 //
-// Three guard granularities reproduce the spectrum the paper discusses:
+// Conflict decisions are delegated to the tiered engine in
+// internal/conflict; the guards here are thin adapters that pin one
+// granularity of the spectrum the paper discusses:
 //
 //   - RWGuard — classical read/write two-phase locking, the coarsest
 //     baseline.
@@ -16,12 +18,16 @@
 //     withdrawals run concurrently when the balance covers both (§5.1).
 //   - EscrowGuard — a constant-time specialisation of the same idea for
 //     the bank-account type.
+//
+// The engine itself (conflict.ForType) also satisfies Guard: it cascades
+// name table → argument predicate → per-block summary → memoised exact
+// search, granting exactly what ExactGuard grants at a fraction of the
+// cost.
 package locking
 
 import (
-	"weihl83/internal/adts"
+	"weihl83/internal/conflict"
 	"weihl83/internal/spec"
-	"weihl83/internal/value"
 )
 
 // Guard decides whether a new call may be granted. base is the committed
@@ -35,8 +41,14 @@ import (
 // with the requester (its intentions extended by cand), replaying from base
 // must reproduce every recorded result. The object preserves this as an
 // invariant, which makes every recorded history dynamic atomic.
+//
+// A false result with a nil error means the requester must wait (the
+// normal conflict outcome). A non-nil error reports that the guard cannot
+// decide at all — a misconfiguration such as a state-based guard over the
+// wrong state type (conflict.ErrTypeMismatch) — and the invocation fails
+// instead of waiting forever.
 type Guard interface {
-	Allowed(base spec.State, mine []spec.Call, cand spec.Call, others [][]spec.Call) bool
+	Allowed(base spec.State, mine []spec.Call, cand spec.Call, others [][]spec.Call) (bool, error)
 }
 
 // RWGuard is classical two-phase locking: every operation is classified as
@@ -50,16 +62,8 @@ type RWGuard struct {
 var _ Guard = RWGuard{}
 
 // Allowed implements Guard.
-func (g RWGuard) Allowed(_ spec.State, _ []spec.Call, cand spec.Call, others [][]spec.Call) bool {
-	candWrite := g.IsWrite(cand.Inv.Op)
-	for _, block := range others {
-		for _, q := range block {
-			if candWrite || g.IsWrite(q.Inv.Op) {
-				return false
-			}
-		}
-	}
-	return true
+func (g RWGuard) Allowed(_ spec.State, _ []spec.Call, cand spec.Call, others [][]spec.Call) (bool, error) {
+	return conflict.RWAllowed(g.IsWrite, cand, others), nil
 }
 
 // TableGuard grants a call when it commutes with every pending call of
@@ -72,197 +76,57 @@ type TableGuard struct {
 var _ Guard = TableGuard{}
 
 // Allowed implements Guard.
-func (g TableGuard) Allowed(_ spec.State, _ []spec.Call, cand spec.Call, others [][]spec.Call) bool {
-	for _, block := range others {
-		for _, q := range block {
-			if g.Conflicts(cand.Inv, q.Inv) {
-				return false
-			}
-		}
-	}
-	return true
+func (g TableGuard) Allowed(_ spec.State, _ []spec.Call, cand spec.Call, others [][]spec.Call) (bool, error) {
+	return conflict.TableAllowed(g.Conflicts, cand, others), nil
 }
 
 // ExactGuard implements state-based dynamic atomicity by exhaustive
-// arrangement checking with memoisation on (subset, state): starting from
-// the committed base, every order of every subset of the active blocks
-// (the requester's block has cand appended) must replay the recorded
-// results. The search touches each (subset, reachable state, next block)
-// triple once; MaxBlocks and MaxStates bound the work, and exceeding a
-// bound conservatively denies the call (the requester waits, which is
-// always safe).
+// arrangement checking (conflict.ExactSearch): starting from the committed
+// base, every order of every subset of the active blocks (the requester's
+// block has cand appended) must replay the recorded results. MaxBlocks and
+// MaxStates bound the work, and exceeding a bound conservatively denies
+// the call (the requester waits, which is always safe).
+//
+// ExactGuard runs the search on every query. The cascade engine
+// (conflict.ForType) reaches the same decisions through its memoised exact
+// tier; prefer it on contended objects.
 type ExactGuard struct {
-	// Spec evaluates replays. Required.
+	// Spec is retained for construction-site symmetry with the other
+	// guards; the search itself replays through the base state.
 	Spec spec.SerialSpec
 	// MaxBlocks caps the number of concurrent blocks considered exactly
-	// (default 12).
+	// (default conflict.DefaultMaxBlocks).
 	MaxBlocks int
 	// MaxStates caps the total number of explored (subset, state) pairs
-	// (default 1 << 14).
+	// (default conflict.DefaultMaxStates).
 	MaxStates int
 }
 
 var _ Guard = ExactGuard{}
 
 // Allowed implements Guard.
-func (g ExactGuard) Allowed(base spec.State, mine []spec.Call, cand spec.Call, others [][]spec.Call) bool {
-	maxBlocks := g.MaxBlocks
-	if maxBlocks <= 0 {
-		maxBlocks = 12
-	}
-	maxStates := g.MaxStates
-	if maxStates <= 0 {
-		maxStates = 1 << 14
-	}
-	myBlock := make([]spec.Call, 0, len(mine)+1)
-	myBlock = append(myBlock, mine...)
-	myBlock = append(myBlock, cand)
-	blocks := make([][]spec.Call, 0, len(others)+1)
-	blocks = append(blocks, myBlock)
-	blocks = append(blocks, others...)
-	if len(blocks) > maxBlocks {
-		return false
-	}
-
-	// reach[mask] is the set of states reachable by applying the blocks of
-	// mask in some order with some resolution of nondeterminism. The
-	// requirement is that from every reachable state every absent block
-	// replays feasibly; any failure refutes some arrangement.
-	type layerState = map[string]spec.State
-	reach := make(map[uint]layerState, 1<<len(blocks))
-	reach[0] = layerState{base.Key(): base}
-	visited := 0
-
-	// Process masks in increasing popcount order so predecessors are
-	// complete; a simple queue over masks works because adding block i to
-	// mask always increases popcount.
-	queue := []uint{0}
-	seenMask := map[uint]bool{0: true}
-	for len(queue) > 0 {
-		mask := queue[0]
-		queue = queue[1:]
-		for i := 0; i < len(blocks); i++ {
-			bit := uint(1) << i
-			if mask&bit != 0 {
-				continue
-			}
-			nextMask := mask | bit
-			for _, st := range reach[mask] {
-				visited++
-				if visited > maxStates {
-					return false
-				}
-				sts := spec.FeasibleFrom([]spec.State{st}, blocks[i])
-				if sts == nil {
-					// The arrangement reaching st followed by block i fails.
-					return false
-				}
-				ls := reach[nextMask]
-				if ls == nil {
-					ls = make(layerState)
-					reach[nextMask] = ls
-				}
-				for _, s := range sts {
-					ls[s.Key()] = s
-				}
-			}
-			if !seenMask[nextMask] {
-				seenMask[nextMask] = true
-				queue = append(queue, nextMask)
-			}
-		}
-	}
-	return true
+func (g ExactGuard) Allowed(base spec.State, mine []spec.Call, cand spec.Call, others [][]spec.Call) (bool, error) {
+	return conflict.ExactSearch(base, mine, cand, others, g.MaxBlocks, g.MaxStates), nil
 }
 
 // EscrowGuard is the constant-time state-based guard for the bank-account
-// type (§5.1): withdrawals are granted when the committed balance covers
-// the worst case over all orders and subsets of the other transactions'
-// pending work, deposits are always safe against other mutators, and the
-// balance observer requires the others' pending work to be invisible.
+// type (§5.1), a thin adapter over conflict.AccountSummary used
+// authoritatively (denials are final, not escalated).
 //
-// The per-block reasoning: in any arrangement, another transaction's block
-// lands entirely before or after the requester, and any subset of the
-// others may commit. The worst case for a successful withdrawal therefore
-// adds min(0, net_j) for every other block j; the worst case for an
-// insufficient_funds outcome adds max(0, net_j). Observers (balance calls)
-// and failed withdrawals recorded by others constrain mutators exactly as
-// derived in DESIGN.md.
+// Applied to an object whose state is not an account, Allowed returns
+// conflict.ErrTypeMismatch (and bumps the cc.conflict.type_mismatch
+// counter) instead of silently denying forever — the historical behaviour
+// masqueraded as a permanent conflict and livelocked the requester in a
+// lock wait.
 type EscrowGuard struct{}
 
 var _ Guard = EscrowGuard{}
 
-// blockFacts summarises one transaction's pending calls at an account.
-type blockFacts struct {
-	net               int64
-	hasBalance        bool
-	hasFailedWithdraw bool
-}
-
-func factsOf(calls []spec.Call) blockFacts {
-	var f blockFacts
-	for _, c := range calls {
-		switch c.Inv.Op {
-		case adts.OpDeposit:
-			f.net += c.Inv.Arg.MustInt()
-		case adts.OpWithdraw:
-			if c.Result == value.Unit() {
-				f.net -= c.Inv.Arg.MustInt()
-			} else {
-				f.hasFailedWithdraw = true
-			}
-		case adts.OpBalance:
-			f.hasBalance = true
-		}
-	}
-	return f
-}
-
 // Allowed implements Guard.
-func (g EscrowGuard) Allowed(base spec.State, mine []spec.Call, cand spec.Call, others [][]spec.Call) bool {
-	acct, ok := base.(adts.AccountState)
-	if !ok {
-		return false // EscrowGuard only understands accounts
+func (g EscrowGuard) Allowed(base spec.State, mine []spec.Call, cand spec.Call, others [][]spec.Call) (bool, error) {
+	v, err := conflict.AccountSummary{}.Decide(base, mine, cand, others)
+	if err != nil {
+		return false, err
 	}
-	bal := acct.Balance()
-	my := factsOf(mine)
-	var worst, best int64 // Σ min(0,net_j) and Σ max(0,net_j)
-	othersHaveBalance := false
-	othersHaveFailedWithdraw := false
-	othersHaveMutation := false
-	for _, block := range others {
-		f := factsOf(block)
-		if f.net < 0 {
-			worst += f.net
-		} else {
-			best += f.net
-		}
-		if f.net != 0 {
-			othersHaveMutation = true
-		}
-		othersHaveBalance = othersHaveBalance || f.hasBalance
-		othersHaveFailedWithdraw = othersHaveFailedWithdraw || f.hasFailedWithdraw
-	}
-
-	switch cand.Inv.Op {
-	case adts.OpBalance:
-		// The observed value must be the same whether each other block
-		// lands before or after the requester: every other net must be 0.
-		return !othersHaveMutation
-	case adts.OpDeposit:
-		// Raising the funds can flip another's recorded insufficient_funds
-		// and changes another's recorded balance.
-		return !othersHaveBalance && !othersHaveFailedWithdraw
-	case adts.OpWithdraw:
-		n := cand.Inv.Arg.MustInt()
-		if cand.Result == value.Unit() {
-			// Lowering the funds changes recorded balances; it cannot flip
-			// a recorded failure. Covered in the worst case?
-			return !othersHaveBalance && bal+my.net+worst >= n
-		}
-		// insufficient_funds must hold even in the best case.
-		return bal+my.net+best < n
-	default:
-		return false
-	}
+	return v == conflict.Commutes, nil
 }

@@ -1,9 +1,12 @@
 package locking
 
 import (
+	"errors"
+
 	"testing"
 
 	"weihl83/internal/adts"
+	"weihl83/internal/conflict"
 	"weihl83/internal/spec"
 	"weihl83/internal/value"
 )
@@ -12,22 +15,33 @@ func call(op string, arg, res value.Value) spec.Call {
 	return spec.Call{Inv: spec.Invocation{Op: op, Arg: arg}, Result: res}
 }
 
+// allow invokes a guard and fails the test on a guard error (the tests
+// below exercise decision logic; the error path has its own test).
+func allow(t *testing.T, g Guard, base spec.State, mine []spec.Call, cand spec.Call, others [][]spec.Call) bool {
+	t.Helper()
+	ok, err := g.Allowed(base, mine, cand, others)
+	if err != nil {
+		t.Fatalf("guard error: %v", err)
+	}
+	return ok
+}
+
 func TestRWGuard(t *testing.T) {
 	g := RWGuard{IsWrite: adts.AccountIsWrite}
 	base := adts.AccountSpec{}.Init()
 	dep := call(adts.OpDeposit, value.Int(5), value.Unit())
 	bal := call(adts.OpBalance, value.Nil(), value.Int(0))
 
-	if !g.Allowed(base, nil, dep, nil) {
+	if !allow(t, g, base, nil, dep, nil) {
 		t.Error("write with no others denied")
 	}
-	if g.Allowed(base, nil, dep, [][]spec.Call{{bal}}) {
+	if allow(t, g, base, nil, dep, [][]spec.Call{{bal}}) {
 		t.Error("write allowed against reader")
 	}
-	if g.Allowed(base, nil, bal, [][]spec.Call{{dep}}) {
+	if allow(t, g, base, nil, bal, [][]spec.Call{{dep}}) {
 		t.Error("read allowed against writer")
 	}
-	if !g.Allowed(base, nil, bal, [][]spec.Call{{bal}}) {
+	if !allow(t, g, base, nil, bal, [][]spec.Call{{bal}}) {
 		t.Error("read denied against reader")
 	}
 }
@@ -39,10 +53,10 @@ func TestTableGuard(t *testing.T) {
 	m3 := call(adts.OpMember, value.Int(3), value.Bool(true))
 	m4 := call(adts.OpMember, value.Int(4), value.Bool(false))
 
-	if !g.Allowed(base, nil, i3, [][]spec.Call{{m4}}) {
+	if !allow(t, g, base, nil, i3, [][]spec.Call{{m4}}) {
 		t.Error("insert(3) denied against member(4)")
 	}
-	if g.Allowed(base, nil, i3, [][]spec.Call{{m4, m3}}) {
+	if allow(t, g, base, nil, i3, [][]spec.Call{{m4, m3}}) {
 		t.Error("insert(3) allowed against member(3)")
 	}
 }
@@ -59,13 +73,13 @@ func TestExactGuardConcurrentWithdrawals(t *testing.T) {
 	w3 := call(adts.OpWithdraw, value.Int(3), value.Unit())
 	w5 := call(adts.OpWithdraw, value.Int(5), value.Unit())
 
-	if !g.Allowed(base, nil, w4, nil) {
+	if !allow(t, g, base, nil, w4, nil) {
 		t.Error("first withdrawal denied")
 	}
-	if !g.Allowed(base, nil, w3, [][]spec.Call{{w4}}) {
+	if !allow(t, g, base, nil, w3, [][]spec.Call{{w4}}) {
 		t.Error("second withdrawal denied with 10 >= 4+3")
 	}
-	if g.Allowed(base, nil, w5, [][]spec.Call{{w4}, {w3}}) {
+	if allow(t, g, base, nil, w5, [][]spec.Call{{w4}, {w3}}) {
 		t.Error("third withdrawal allowed although 4+3+5 > 10")
 	}
 }
@@ -94,8 +108,8 @@ func TestEscrowGuardAgreesWithExactOnWithdrawals(t *testing.T) {
 	}
 	for i, c := range cases {
 		base := spec.State(adts.AccountState(c.bal))
-		got := escrow.Allowed(base, c.mine, c.cand, c.others)
-		want := exact.Allowed(base, c.mine, c.cand, c.others)
+		got := allow(t, escrow, base, c.mine, c.cand, c.others)
+		want := allow(t, exact, base, c.mine, c.cand, c.others)
 		if got != want {
 			t.Errorf("case %d: escrow=%t exact=%t (bal=%d cand=%v others=%v)", i, got, want, c.bal, c.cand, c.others)
 		}
@@ -111,49 +125,53 @@ func TestEscrowGuardObserverRules(t *testing.T) {
 	wFail := call(adts.OpWithdraw, value.Int(100), adts.InsufficientFunds)
 
 	// Balance is granted only when the others' pending work nets to zero.
-	if !g.Allowed(base, nil, bal, nil) {
+	if !allow(t, g, base, nil, bal, nil) {
 		t.Error("balance denied with no others")
 	}
-	if !g.Allowed(base, nil, bal, [][]spec.Call{{bal}}) {
+	if !allow(t, g, base, nil, bal, [][]spec.Call{{bal}}) {
 		t.Error("balance denied against balance")
 	}
-	if g.Allowed(base, nil, bal, [][]spec.Call{{dep}}) {
+	if allow(t, g, base, nil, bal, [][]spec.Call{{dep}}) {
 		t.Error("balance allowed against pending deposit")
 	}
-	if !g.Allowed(base, nil, bal, [][]spec.Call{{wFail}}) {
+	if !allow(t, g, base, nil, bal, [][]spec.Call{{wFail}}) {
 		t.Error("balance denied against a no-effect failed withdrawal")
 	}
 	// A deposit can flip another's recorded failure or balance: denied.
-	if g.Allowed(base, nil, dep, [][]spec.Call{{wFail}}) {
+	if allow(t, g, base, nil, dep, [][]spec.Call{{wFail}}) {
 		t.Error("deposit allowed against recorded insufficient_funds")
 	}
-	if g.Allowed(base, nil, dep, [][]spec.Call{{bal}}) {
+	if allow(t, g, base, nil, dep, [][]spec.Call{{bal}}) {
 		t.Error("deposit allowed against recorded balance")
 	}
-	if !g.Allowed(base, nil, dep, [][]spec.Call{{wOK}}) {
+	if !allow(t, g, base, nil, dep, [][]spec.Call{{wOK}}) {
 		t.Error("deposit denied against plain withdrawal")
 	}
 	// A successful withdrawal changes recorded balances: denied.
-	if g.Allowed(base, nil, wOK, [][]spec.Call{{bal}}) {
+	if allow(t, g, base, nil, wOK, [][]spec.Call{{bal}}) {
 		t.Error("withdrawal allowed against recorded balance")
 	}
 	// But it cannot flip a recorded failure: allowed.
-	if !g.Allowed(base, nil, wOK, [][]spec.Call{{wFail}}) {
+	if !allow(t, g, base, nil, wOK, [][]spec.Call{{wFail}}) {
 		t.Error("withdrawal denied against recorded insufficient_funds")
 	}
 	// A failure is granted only if even the best case cannot cover it.
-	if !g.Allowed(base, nil, wFail, [][]spec.Call{{dep}}) {
+	if !allow(t, g, base, nil, wFail, [][]spec.Call{{dep}}) {
 		t.Error("clear failure denied")
 	}
 	nearMiss := call(adts.OpWithdraw, value.Int(12), adts.InsufficientFunds)
-	if g.Allowed(base, nil, nearMiss, [][]spec.Call{{dep}}) {
+	if allow(t, g, base, nil, nearMiss, [][]spec.Call{{dep}}) {
 		t.Error("failure allowed although the pending deposit could cover it")
 	}
-	// Non-account state or unknown op: denied.
-	if g.Allowed(adts.IntSetSpec{}.Init(), nil, bal, nil) {
-		t.Error("escrow accepted a non-account state")
+	// Non-account state: a configuration error, reported as such rather
+	// than silently denied (a silent deny would park the requester in the
+	// wait set forever — nothing about the state can change to admit it).
+	if ok, err := g.Allowed(adts.IntSetSpec{}.Init(), nil, bal, nil); ok || !errors.Is(err, conflict.ErrTypeMismatch) {
+		t.Errorf("escrow on non-account state: ok=%t err=%v, want ErrTypeMismatch", ok, err)
 	}
-	if g.Allowed(base, nil, call("bogus", value.Nil(), value.Nil()), nil) {
+	// Unknown op: conservatively denied (no error; the op may be valid for
+	// a future summariser, and denial is always sound).
+	if allow(t, g, base, nil, call("bogus", value.Nil(), value.Nil()), nil) {
 		t.Error("escrow accepted an unknown op")
 	}
 }
@@ -167,20 +185,20 @@ func TestExactGuardQueueScenario(t *testing.T) {
 	enq := func(n int64) spec.Call { return call(adts.OpEnqueue, value.Int(n), value.Unit()) }
 
 	// a has enqueued 1; b requests enqueue(1): fine.
-	if !g.Allowed(base, nil, enq(1), [][]spec.Call{{enq(1)}}) {
+	if !allow(t, g, base, nil, enq(1), [][]spec.Call{{enq(1)}}) {
 		t.Error("b's enqueue(1) denied")
 	}
 	// a has [1]; a requests enqueue(2) while b holds [1]: fine.
-	if !g.Allowed(base, []spec.Call{enq(1)}, enq(2), [][]spec.Call{{enq(1)}}) {
+	if !allow(t, g, base, []spec.Call{enq(1)}, enq(2), [][]spec.Call{{enq(1)}}) {
 		t.Error("a's enqueue(2) denied")
 	}
 	// Full paper interleaving: a=[1,2], b=[1], b requests enqueue(2).
-	if !g.Allowed(base, []spec.Call{enq(1), enq(2)}, enq(2), [][]spec.Call{{enq(1), enq(2)}}) {
+	if !allow(t, g, base, []spec.Call{enq(1), enq(2)}, enq(2), [][]spec.Call{{enq(1), enq(2)}}) {
 		t.Error("final enqueue denied; the paper's queue history must be admissible")
 	}
 	// A dequeue while both are active: the result depends on the order.
 	dq := call(adts.OpDequeue, value.Nil(), value.Int(1))
-	if g.Allowed(base, nil, dq, [][]spec.Call{{enq(1), enq(2)}, {enq(1), enq(2)}}) {
+	if allow(t, g, base, nil, dq, [][]spec.Call{{enq(1), enq(2)}, {enq(1), enq(2)}}) {
 		t.Error("dequeue allowed while enqueuers are uncommitted")
 	}
 }
@@ -194,7 +212,7 @@ func TestExactGuardSubsetSensitivity(t *testing.T) {
 	memTrue := call(adts.OpMember, value.Int(3), value.Bool(true))
 	// member(3)=true is infeasible if the inserting transaction aborts, and
 	// infeasible in the order me-first; it must be denied.
-	if g.Allowed(base, nil, memTrue, [][]spec.Call{{ins}}) {
+	if allow(t, g, base, nil, memTrue, [][]spec.Call{{ins}}) {
 		t.Error("member(3)=true granted against an uncommitted insert")
 	}
 }
@@ -204,10 +222,10 @@ func TestExactGuardBlockCap(t *testing.T) {
 	base := spec.State(adts.AccountState(100))
 	w := call(adts.OpWithdraw, value.Int(1), value.Unit())
 	others := [][]spec.Call{{w}, {w}} // 3 blocks total > cap
-	if g.Allowed(base, nil, w, others) {
+	if allow(t, g, base, nil, w, others) {
 		t.Error("guard over block cap must conservatively deny")
 	}
-	if !g.Allowed(base, nil, w, others[:1]) {
+	if !allow(t, g, base, nil, w, others[:1]) {
 		t.Error("guard within cap must grant")
 	}
 }
@@ -219,7 +237,7 @@ func TestExactGuardNondeterministicSpecIsConservative(t *testing.T) {
 	base := adts.IntSetSpec{}.Init()
 	ins1 := call(adts.OpInsert, value.Int(1), value.Unit())
 	pick1 := call(adts.OpPick, value.Nil(), value.Int(1))
-	if g.Allowed(base, []spec.Call{pick1}, pick1, [][]spec.Call{{ins1}}) {
+	if allow(t, g, base, []spec.Call{pick1}, pick1, [][]spec.Call{{ins1}}) {
 		t.Error("pick=1 cannot be granted when the only inserter may abort")
 	}
 }

@@ -19,10 +19,13 @@ import (
 
 // Observability: conflict-wait metrics for the locking protocols. Waits
 // are the slow path, so the extra clock reads cost nothing on granted
-// invocations.
+// invocations. A wait is entered exactly when the guard denies every
+// candidate outcome — a conflict — so the canonical counter lives under
+// the uniform cc.<protocol>.conflicts scheme, with the historical
+// locking.waits name kept as an alias for one release.
 var (
 	obsGrants  = obs.Default.Counter("locking.grants")
-	obsWaits   = obs.Default.Counter("locking.waits")
+	obsWaits   = obs.Default.AliasCounter("locking.waits", "cc.locking.conflicts")
 	obsWaitLat = obs.Default.Histogram("locking.wait_ns")
 	obsTrace   = obs.Default.Tracer()
 )
@@ -109,6 +112,10 @@ func New(cfg Config) (*Object, error) {
 		case ExactGuard, *ExactGuard, EscrowGuard, *EscrowGuard:
 			return nil, errors.New("locking: update-in-place recovery is incompatible with state-based guards")
 		}
+		// Engines (and any future guard) self-report state-basedness.
+		if sb, ok := cfg.Guard.(interface{ StateBased() bool }); ok && sb.StateBased() {
+			return nil, errors.New("locking: update-in-place recovery is incompatible with state-based guards")
+		}
 	}
 	base := cfg.Initial
 	if base == nil {
@@ -160,6 +167,17 @@ func (o *Object) Stats() (grants, waits int64) {
 // Callers must hold o.mu.
 func (o *Object) changed() {
 	o.waiters.WakeAll()
+}
+
+// invalidateGuard drops a cascading guard's memoised decisions after a
+// commit or abort moved the committed base or drained pending blocks. The
+// cache keys cover the full decision input, so stale entries could never
+// be wrong — invalidating keeps the cache from accumulating dead keys.
+// Callers must hold o.mu.
+func (o *Object) invalidateGuard() {
+	if inv, ok := o.guard.(interface{ InvalidateConflictCache() }); ok {
+		inv.InvalidateConflictCache()
+	}
 }
 
 // wakeTxn is the detector’s targeted doom hook: wake exactly the doomed
@@ -230,7 +248,14 @@ func (o *Object) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, erro
 		others, holders := o.othersOf(txn.ID)
 		for _, out := range outs {
 			cand := spec.Call{Inv: inv, Result: out.Result}
-			if o.guard.Allowed(o.guardBase(), e.intentions.Calls(), cand, others) {
+			allowed, gerr := o.guard.Allowed(o.guardBase(), e.intentions.Calls(), cand, others)
+			if gerr != nil {
+				// The guard cannot decide (misconfiguration, e.g. a
+				// state-based guard over the wrong state type). Fail the
+				// invocation rather than wait on a conflict that is not one.
+				return value.Nil(), fmt.Errorf("locking: %s at %s: guard: %w", txn.ID, o.id, gerr)
+			}
+			if allowed {
 				o.grant(txn, e, cand, out.Next)
 				return out.Result, nil
 			}
@@ -362,6 +387,7 @@ func (o *Object) Commit(txn *cc.TxnInfo, ts histories.Timestamp) {
 		o.base = next
 	}
 	o.active.Delete(txn.ID)
+	o.invalidateGuard()
 	if ts != histories.TSNone {
 		o.sink.Emit(histories.CommitTS(o.id, txn.ID, ts))
 	} else {
@@ -388,6 +414,7 @@ func (o *Object) Abort(txn *cc.TxnInfo) {
 		}
 	}
 	o.active.Delete(txn.ID)
+	o.invalidateGuard()
 	o.sink.Emit(histories.Abort(o.id, txn.ID))
 	o.changed()
 }

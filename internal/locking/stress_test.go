@@ -10,6 +10,7 @@ import (
 
 	"weihl83/internal/adts"
 	"weihl83/internal/cc"
+	"weihl83/internal/conflict"
 	"weihl83/internal/core"
 	"weihl83/internal/histories"
 	"weihl83/internal/spec"
@@ -143,4 +144,9 @@ func TestStressDynamicAtomicity(t *testing.T) {
 	stressGuardCase(t, "intset/exact", adts.IntSet(), func() Guard { return ExactGuard{Spec: adts.IntSetSpec{}} }, setOps, 4, 4)
 	stressGuardCase(t, "queue/exact", adts.Queue(), func() Guard { return ExactGuard{Spec: adts.QueueSpec{}} }, queueOps, 3, 4)
 	stressGuardCase(t, "queue/table", adts.Queue(), func() Guard { return TableGuard{Conflicts: adts.QueueConflicts} }, queueOps, 3, 4)
+	// The tiered cascade must produce dynamic-atomic histories on every
+	// type, exactly like the raw exact guard it subsumes.
+	stressGuardCase(t, "account/cascade", adts.Account(), func() Guard { return conflict.ForType(adts.Account()) }, accountOps, 4, 4)
+	stressGuardCase(t, "intset/cascade", adts.IntSet(), func() Guard { return conflict.ForType(adts.IntSet()) }, setOps, 4, 4)
+	stressGuardCase(t, "queue/cascade", adts.Queue(), func() Guard { return conflict.ForType(adts.Queue()) }, queueOps, 3, 4)
 }

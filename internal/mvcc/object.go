@@ -33,6 +33,7 @@ import (
 
 	"weihl83/internal/cc"
 	"weihl83/internal/ccrt"
+	"weihl83/internal/conflict"
 	"weihl83/internal/histories"
 	"weihl83/internal/obs"
 	"weihl83/internal/spec"
@@ -41,11 +42,14 @@ import (
 
 // Observability. Chain length is observed at each grant so the histogram
 // tracks how long the version log actually gets under load, not just its
-// final size.
+// final size. Conflicts are counted under the uniform
+// cc.<protocol>.conflicts scheme; the historical mvcc.conflicts name stays
+// as an alias for one release.
 var (
 	obsGrants    = obs.Default.Counter("mvcc.grants")
 	obsWaits     = obs.Default.Counter("mvcc.waits")
-	obsConflicts = obs.Default.Counter("mvcc.conflicts")
+	obsConflicts = obs.Default.AliasCounter("mvcc.conflicts", "cc.mvcc.conflicts")
+	obsFastpath  = obs.Default.Counter("cc.mvcc.commute_fastpath")
 	obsWaitLat   = obs.Default.Histogram("mvcc.wait_ns")
 	obsChainLen  = obs.Default.Histogram("mvcc.chain.len")
 	obsTrace     = obs.Default.Tracer()
@@ -66,6 +70,13 @@ type Config struct {
 	// (64); negative disables compaction (histories recorded for offline
 	// checking keep every version).
 	CompactAfter int
+	// Commutes, when non-nil, short-circuits rule-3 validation through the
+	// shared static conflict cascade: a deterministic invocation that
+	// statically commutes with every call of every later-timestamped entry
+	// cannot change any recorded later result, so the per-entry replay is
+	// skipped. Purely an optimisation — the replay validation remains the
+	// authority whenever the cascade cannot decide.
+	Commutes *conflict.Static
 	// Classical selects read/write validation instead of the
 	// data-dependent rule: a state-changing invocation aborts whenever ANY
 	// later-timestamped entry exists, whether or not its recorded results
@@ -104,6 +115,7 @@ type Object struct {
 	base         spec.State
 	baseTS       histories.Timestamp
 	compactAfter int
+	commutes     *conflict.Static
 	classical    bool
 	isWrite      func(op string) bool
 	seen         map[histories.ActivityID]bool
@@ -136,6 +148,7 @@ func New(cfg Config) (*Object, error) {
 		sink:         cfg.Sink,
 		base:         cfg.Spec.Init(),
 		compactAfter: compact,
+		commutes:     cfg.Commutes,
 		classical:    cfg.Classical,
 		isWrite:      cfg.IsWrite,
 		seen:         make(map[histories.ActivityID]bool),
@@ -338,6 +351,27 @@ func (o *Object) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, erro
 		obsConflicts.Inc()
 		return value.Nil(), fmt.Errorf("mvcc: %s(ts %d) at %s writes below %s(ts %d) (classical rule): %w",
 			txn.ID, txn.TS, o.id, later[0].txn, later[0].ts, cc.ErrConflict)
+	}
+
+	// Rule-3 fast path: an invocation with a single permissible outcome
+	// that statically commutes (shared cascade) with every call of every
+	// later-timestamped entry cannot change any recorded later result, so
+	// the per-entry replay validation is skipped. Restricted to
+	// deterministic outcomes: commutativity of the invocation pair is what
+	// the tables certify, and with one outcome there is no resolution
+	// choice left that could disagree with a later entry.
+	if o.commutes != nil && !o.classical && len(outs) == 1 && len(later) > 0 {
+		all := true
+		for _, e := range later {
+			if !o.commutes.CommutesWithAll(inv, e.calls) {
+				all = false
+				break
+			}
+		}
+		if all {
+			obsFastpath.Inc()
+			later = nil // validated by commutativity; skip the replays
+		}
 	}
 
 	// Rule 3: validate all later entries against the extended prefix. A

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"weihl83/internal/cc"
+	"weihl83/internal/conflict"
 	"weihl83/internal/histories"
 	"weihl83/internal/spec"
 	"weihl83/internal/value"
@@ -61,22 +62,24 @@ func (s *Storage) State() spec.State {
 }
 
 // Scheduler is a conflict-based scheduler in front of one storage module.
-// A nil Conflicts predicate makes it a pass-through (first-come
+// A nil conflict cascade makes it a pass-through (first-come
 // first-served) scheduler; otherwise an invocation is delayed while it
 // conflicts with any operation already executed by an uncommitted
 // transaction — the locking discipline of [Bernstein 81]/[Korth 81]/
-// [Schwarz & Spector 82] as seen from the scheduler model.
+// [Schwarz & Spector 82] as seen from the scheduler model. Conflict
+// decisions come from the shared static cascade (internal/conflict), the
+// same tiering every other protocol layer consumes.
 type Scheduler struct {
 	storage   *Storage
-	conflicts func(p, q spec.Invocation) bool
+	conflicts *conflict.Static
 
 	mu     sync.Mutex
 	gen    chan struct{}
 	active map[histories.ActivityID][]spec.Invocation
 }
 
-// New returns a scheduler over storage. conflicts may be nil.
-func New(storage *Storage, conflicts func(p, q spec.Invocation) bool) (*Scheduler, error) {
+// New returns a scheduler over storage. conflicts may be nil (pass-through).
+func New(storage *Storage, conflicts *conflict.Static) (*Scheduler, error) {
 	if storage == nil {
 		return nil, errors.New("sched: storage is required")
 	}
@@ -116,7 +119,7 @@ func (s *Scheduler) blocked(txn histories.ActivityID, inv spec.Invocation) bool 
 			continue
 		}
 		for _, q := range ops {
-			if s.conflicts(inv, q) {
+			if s.conflicts.Conflicts(inv, q) {
 				return true
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"weihl83/internal/adts"
+	"weihl83/internal/conflict"
 	"weihl83/internal/histories"
 	"weihl83/internal/spec"
 	"weihl83/internal/value"
@@ -63,7 +64,7 @@ func TestSchedulerModelCannotProduceThePaperQueueHistory(t *testing.T) {
 // a serial execution — the concurrency dynamic atomicity would not lose.
 func TestConflictSchedulerSerialises(t *testing.T) {
 	storage := NewStorage(adts.QueueSpec{})
-	s, err := New(storage, adts.QueueConflicts)
+	s, err := New(storage, conflict.NewStatic(adts.QueueConflictsNameOnly, adts.QueueConflicts))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestConflictSchedulerSerialises(t *testing.T) {
 
 func TestSchedulerAllowsCommutingOps(t *testing.T) {
 	storage := NewStorage(adts.IntSetSpec{})
-	s, err := New(storage, adts.IntSetConflicts)
+	s, err := New(storage, conflict.NewStatic(adts.IntSetConflictsNameOnly, adts.IntSetConflicts))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"weihl83/internal/adts"
 	"weihl83/internal/cc"
 	"weihl83/internal/clock"
+	"weihl83/internal/conflict"
 	"weihl83/internal/histories"
 	"weihl83/internal/hybridcc"
 	"weihl83/internal/locking"
@@ -54,6 +55,11 @@ const (
 	KindMVCCClassical
 	// KindHybrid: hybrid atomicity (locking updates, snapshot audits).
 	KindHybrid
+	// KindCascade: dynamic atomicity via the tiered conflict engine
+	// (internal/conflict): name table → argument predicate → per-block
+	// summary → memoised exact search. Grants exactly what KindExact
+	// grants.
+	KindCascade
 )
 
 // String returns the kind's short name used in experiment tables.
@@ -77,6 +83,8 @@ func (k Kind) String() string {
 		return "mvcc-classical"
 	case KindHybrid:
 		return "hybrid"
+	case KindCascade:
+		return "cascade"
 	default:
 		return "invalid"
 	}
@@ -220,11 +228,14 @@ func NewSystem(cfg Config, wantAccounts int, wantQueue bool) (*System, error) {
 			return addLocking(id, ty, locking.ExactGuard{Spec: ty.Spec}, false)
 		case KindExact:
 			return addLocking(id, ty, locking.ExactGuard{Spec: ty.Spec}, false)
+		case KindCascade:
+			return addLocking(id, ty, conflict.ForType(ty), false)
 		case KindMVCC, KindMVCCClassical:
 			o, err := mvcc.New(mvcc.Config{
 				ID:        id,
 				Spec:      ty.Spec,
 				Sink:      m.Sink(),
+				Commutes:  conflict.StaticForType(ty),
 				Classical: cfg.Kind == KindMVCCClassical,
 				IsWrite:   ty.IsWrite,
 			})

@@ -36,6 +36,7 @@ import (
 	"weihl83/internal/adts"
 	"weihl83/internal/cc"
 	"weihl83/internal/clock"
+	"weihl83/internal/conflict"
 	"weihl83/internal/core"
 	"weihl83/internal/fault"
 	"weihl83/internal/histories"
@@ -141,6 +142,11 @@ const (
 	GuardEscrow
 	// GuardExact: exhaustive state-based dynamic atomicity.
 	GuardExact
+	// GuardCascade: the tiered conflict engine — name table, argument
+	// predicate, per-block summary, then memoised exact search. Grants
+	// exactly what GuardExact grants; the static tiers and the decision
+	// cache make it cheap.
+	GuardCascade
 )
 
 // Options configures a System.
@@ -247,7 +253,12 @@ func (s *System) AddObject(id ObjectID, t ADT, opts ...ObjectOption) error {
 			UpdateInPlace: cfg.undoLog,
 		})
 	case Static:
-		r, err = mvcc.New(mvcc.Config{ID: id, Spec: t.Spec, Sink: s.manager.Sink()})
+		r, err = mvcc.New(mvcc.Config{
+			ID:       id,
+			Spec:     t.Spec,
+			Sink:     s.manager.Sink(),
+			Commutes: conflict.StaticForType(t),
+		})
 	case Hybrid:
 		if s.detector == nil {
 			return errors.New("weihl83: hybrid systems require deadlock detection (no WaitTimeout)")
@@ -290,6 +301,8 @@ func buildGuard(g Guard, t ADT) (locking.Guard, error) {
 		return locking.EscrowGuard{}, nil
 	case GuardExact:
 		return locking.ExactGuard{Spec: t.Spec}, nil
+	case GuardCascade:
+		return conflict.ForType(t), nil
 	default:
 		return nil, fmt.Errorf("weihl83: unknown guard %d", g)
 	}
