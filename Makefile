@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-smoke check bench-smoke bench-hotpath bench-guardcascade fuzz-smoke clean
+.PHONY: all build vet test race chaos chaos-smoke check bench-smoke bench-hotpath bench-guardcascade bench-service bench-service-full fuzz-smoke clean
 
 all: check
 
@@ -61,6 +61,23 @@ bench-hotpath:
 # throughput of the memoised cascade vs the unmemoised exact search.
 bench-guardcascade:
 	$(GO) run ./cmd/bankbench -json -exp guardcascade -repeat 3 > BENCH_guardcascade.json
+
+# bench-service is the CI service gate: a short open-loop loadgen ladder
+# against an in-process server, gated by benchguard against the committed
+# BENCH_service.json. The smoke rungs reuse (tenants, rate) keys present in
+# the reference. Open-loop commits/s tracks the arrival rate while the
+# server keeps up, so the normalised ratio only collapses when a rung
+# starts shedding or failing — a functional regression gate, not a
+# microbenchmark.
+bench-service:
+	$(GO) run ./cmd/loadgen -tenants 1,2 -rates 500,1000 -conns 256 -duration 2s \
+		| $(GO) run ./cmd/benchguard -ref BENCH_service.json -labels tenants,rate
+
+# bench-service-full regenerates the committed service reference: the full
+# tenants x arrival-rate ladder at 1200 persistent connections with Zipf
+# key skew.
+bench-service-full:
+	$(GO) run ./cmd/loadgen -tenants 1,2,4 -rates 500,1000,2000 -conns 1200 -duration 3s > BENCH_service.json
 
 # fuzz-smoke runs the conflict engine's memoisation fuzzer for a bounded
 # time: the memoised exact tier must be indistinguishable from the

@@ -1,8 +1,11 @@
-// Command benchguard gates CI on hot-path benchmark regressions.
+// Command benchguard gates CI on benchmark regressions.
 //
-// It compares a fresh `bankbench -json -exp hotpath` run against the
-// "after" rows of the committed reference (BENCH_hotpath.json) and fails
-// when any configuration regressed by more than the threshold.
+// It compares a fresh benchmark run (bankbench or loadgen -json output)
+// against a committed reference and fails when any configuration regressed
+// by more than the threshold. The reference may be a {baseline, after}
+// document (BENCH_hotpath.json — the "after" rows are used) or a plain
+// {rows: [...]} document (BENCH_service.json). Rows are matched by kind
+// plus the labels named with -labels.
 //
 // CI machines differ in absolute speed, so raw throughput comparisons
 // would gate on the runner, not the code. benchguard instead computes the
@@ -24,6 +27,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 type row struct {
@@ -37,22 +41,42 @@ type doc struct {
 	Rows []row `json:"rows"`
 }
 
-// reference is the committed BENCH_hotpath.json: the pre-refactor baseline
-// run and the post-refactor "after" run the guard compares against.
+// reference is a committed benchmark file. BENCH_hotpath.json wraps a
+// pre-refactor baseline run and a post-refactor "after" run (the guard
+// compares against the latter); plain benchmark files like
+// BENCH_service.json carry their rows at the top level.
 type reference struct {
-	Baseline doc `json:"baseline"`
-	After    doc `json:"after"`
+	Baseline doc   `json:"baseline"`
+	After    doc   `json:"after"`
+	Rows     []row `json:"rows"`
 }
 
-func key(r row) string {
-	return fmt.Sprintf("%s/workers=%d", r.Kind, r.Labels["workers"])
+// refRowsOf picks the comparison rows out of a reference document: the
+// "after" rows when the baseline/after wrapper is present, the top-level
+// rows otherwise.
+func (ref reference) refRowsOf() []row {
+	if len(ref.After.Rows) > 0 {
+		return ref.After.Rows
+	}
+	return ref.Rows
+}
+
+func key(r row, labels []string) string {
+	var b strings.Builder
+	b.WriteString(r.Kind)
+	for _, l := range labels {
+		fmt.Fprintf(&b, "/%s=%d", l, r.Labels[l])
+	}
+	return b.String()
 }
 
 func main() {
 	refPath := flag.String("ref", "BENCH_hotpath.json", "committed reference file")
-	inPath := flag.String("in", "-", "fresh bankbench -json output (- for stdin)")
+	inPath := flag.String("in", "-", "fresh benchmark -json output (- for stdin)")
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated normalised regression")
+	labelNames := flag.String("labels", "workers", "comma-separated label names forming a row's key")
 	flag.Parse()
+	labels := strings.Split(*labelNames, ",")
 
 	refBytes, err := os.ReadFile(*refPath)
 	if err != nil {
@@ -62,8 +86,9 @@ func main() {
 	if err := json.Unmarshal(refBytes, &ref); err != nil {
 		fatal(fmt.Errorf("parsing %s: %w", *refPath, err))
 	}
-	if len(ref.After.Rows) == 0 {
-		fatal(fmt.Errorf("%s has no after rows", *refPath))
+	refRowList := ref.refRowsOf()
+	if len(refRowList) == 0 {
+		fatal(fmt.Errorf("%s has no reference rows", *refPath))
 	}
 
 	var in io.Reader = os.Stdin
@@ -80,9 +105,9 @@ func main() {
 		fatal(fmt.Errorf("parsing fresh run: %w", err))
 	}
 
-	refRows := make(map[string]float64, len(ref.After.Rows))
-	for _, r := range ref.After.Rows {
-		refRows[key(r)] = r.CommitsPerSec
+	refRows := make(map[string]float64, len(refRowList))
+	for _, r := range refRowList {
+		refRows[key(r, labels)] = r.CommitsPerSec
 	}
 
 	type comparison struct {
@@ -91,11 +116,11 @@ func main() {
 	}
 	var comps []comparison
 	for _, r := range fresh.Rows {
-		want, ok := refRows[key(r)]
+		want, ok := refRows[key(r, labels)]
 		if !ok || want <= 0 {
 			continue
 		}
-		comps = append(comps, comparison{key(r), r.CommitsPerSec / want})
+		comps = append(comps, comparison{key(r, labels), r.CommitsPerSec / want})
 	}
 	if len(comps) == 0 {
 		fatal(fmt.Errorf("no comparable rows between fresh run and %s", *refPath))

@@ -1,0 +1,116 @@
+// Command txserver serves the multi-tenant transaction service over HTTP.
+//
+//	txserver -addr :7083 -property dynamic -guard cascade -autocreate account
+//
+// Tenants are created lazily on first use with the flag-configured
+// defaults; POST /v1/tenants provisions a tenant with explicit options.
+// SIGTERM/SIGINT triggers graceful drain: admissions stop (503
+// "draining"), in-flight transactions get -drain to finish, stragglers are
+// cancelled, and the final metrics snapshot is written to stderr.
+//
+// The -fault flag arms the service fault points from the command line,
+// e.g. -fault-seed 7 -fault svc.accept.drop=0.01,svc.response.torn=0.01.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"weihl83/internal/fault"
+	"weihl83/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":7083", "listen address")
+	property := flag.String("property", "dynamic", "default tenant property: dynamic|static|hybrid")
+	guard := flag.String("guard", "commut", "default object guard: rw|nameonly|commut|escrow|exact|cascade")
+	autocreate := flag.String("autocreate", "account", "ADT for lazily created objects (empty disables auto-create)")
+	record := flag.Bool("record", false, "record histories in every tenant (offline checking; costs memory)")
+	maxInflight := flag.Int("max-inflight", 64, "per-tenant concurrent transaction bound")
+	maxQueue := flag.Int("max-queue", 256, "pending-request queue depth before shedding")
+	retryAfter := flag.Duration("retry-after", 50*time.Millisecond, "advisory Retry-After on shed responses")
+	drain := flag.Duration("drain", 5*time.Second, "grace period for in-flight transactions at shutdown")
+	faultSeed := flag.Int64("fault-seed", 0, "fault injector seed (0 disables injection)")
+	faults := flag.String("fault", "", "comma-separated point=prob pairs, e.g. svc.accept.drop=0.01")
+	flag.Parse()
+
+	tenantDefaults, err := tenantOptions(*property, *guard, *autocreate, *record)
+	if err != nil {
+		log.Fatalf("txserver: %v", err)
+	}
+	var inj *fault.Injector
+	if *faultSeed != 0 {
+		inj = fault.New(*faultSeed)
+		if err := armFaults(inj, *faults); err != nil {
+			log.Fatalf("txserver: %v", err)
+		}
+	}
+	srv := service.New(service.Options{
+		MaxQueueDepth: *maxQueue,
+		MaxInFlight:   *maxInflight,
+		RetryAfter:    *retryAfter,
+		DrainTimeout:  *drain,
+		DefaultTenant: tenantDefaults,
+		Injector:      inj,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("txserver: serving on %s (property=%s guard=%s autocreate=%q)", *addr, *property, *guard, *autocreate)
+
+	select {
+	case sig := <-stop:
+		log.Printf("txserver: %v: draining (grace %v)", sig, *drain)
+	case err := <-errCh:
+		log.Fatalf("txserver: %v", err)
+	}
+	snap := srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(ctx)
+	fmt.Fprintln(os.Stderr, "txserver: final metrics snapshot")
+	fmt.Fprint(os.Stderr, snap.String())
+}
+
+// tenantOptions resolves the flag-level tenant defaults through the wire
+// config parser, so flags and the /v1/tenants endpoint accept exactly the
+// same vocabulary.
+func tenantOptions(property, guard, autocreate string, record bool) (service.TenantOptions, error) {
+	return service.ResolveTenantOptions(service.TenantConfig{
+		Property:   property,
+		Guard:      guard,
+		AutoCreate: autocreate,
+		Record:     record,
+	})
+}
+
+// armFaults parses point=prob pairs.
+func armFaults(inj *fault.Injector, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		name, probStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return fmt.Errorf("bad fault spec %q (want point=prob)", pair)
+		}
+		prob, err := strconv.ParseFloat(probStr, 64)
+		if err != nil {
+			return fmt.Errorf("bad fault probability in %q: %v", pair, err)
+		}
+		inj.Enable(fault.Point(name), fault.Rule{Prob: prob})
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package weihl83_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"weihl83"
+)
+
+// TestRunCtxCancelDuringBackoff pins down the drain-critical behaviour of
+// the retry chain: a transaction parked in backoff whose context is
+// cancelled must return a NON-retryable context error with every lock
+// released. The graceful-drain path of the network service rides on exactly
+// this — cancelling the base context must actually free the tenant's
+// objects, not leave chains holding locks while "cancelled".
+func TestRunCtxCancelDuringBackoff(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	sys := newDynamic(t, weihl83.Options{
+		Property:    weihl83.Dynamic,
+		WaitTimeout: 2 * time.Millisecond,
+		MaxRetries:  1 << 20,
+		Backoff: weihl83.Backoff{
+			// The hook parks every backoff until the chain's context dies,
+			// so the test controls exactly when the chain leaves backoff.
+			Sleep: func(ctx context.Context, d time.Duration) error {
+				select {
+				case entered <- struct{}{}:
+				default:
+				}
+				<-ctx.Done()
+				return ctx.Err()
+			},
+		},
+	})
+	for _, id := range []weihl83.ObjectID{"a", "b"} {
+		if err := sys.AddObject(id, weihl83.Account(), weihl83.WithGuard(weihl83.GuardRW)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// hold pins "a" so the chain's attempts time out retryably and it lands
+	// in backoff, with its lock on "b" from the failed attempt released.
+	hold := sys.Begin()
+	if _, err := hold.Invoke("a", weihl83.OpDeposit, weihl83.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.RunCtx(ctx, func(txn *weihl83.Txn) error {
+			if _, err := txn.Invoke("b", weihl83.OpDeposit, weihl83.Int(1)); err != nil {
+				return err
+			}
+			_, err := txn.Invoke("a", weihl83.OpDeposit, weihl83.Int(1))
+			return err
+		})
+	}()
+	<-entered
+	cancel()
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled chain returned %v, want context.Canceled", err)
+	}
+	if weihl83.Retryable(err) {
+		t.Fatalf("cancellation must not be retryable: %v", err)
+	}
+
+	// Locks must be free: after releasing the holder, a fresh transaction
+	// over both objects must commit on its FIRST attempt — a retry would
+	// park forever in this test's Sleep hook, failing by deadline.
+	hold.Abort()
+	fresh, freshCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer freshCancel()
+	if err := sys.RunCtx(fresh, func(txn *weihl83.Txn) error {
+		for _, id := range []weihl83.ObjectID{"a", "b"} {
+			if _, err := txn.Invoke(id, weihl83.OpDeposit, weihl83.Int(1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("locks not released after cancellation: %v", err)
+	}
+}
+
+// TestNewPacerStandalone covers the exported Pacer constructor: external
+// clients pace their own retry chains with the library's jittered backoff
+// without importing internal/tx or owning a Manager.
+func TestNewPacerStandalone(t *testing.T) {
+	record := func(out *[]time.Duration) weihl83.Backoff {
+		return weihl83.Backoff{
+			Base: time.Millisecond, Max: 8 * time.Millisecond, Seed: 42,
+			Sleep: func(ctx context.Context, d time.Duration) error {
+				*out = append(*out, d)
+				return nil
+			},
+		}
+	}
+	var delays []time.Duration
+	p := weihl83.NewPacer(record(&delays))
+	for i := 0; i < 6; i++ {
+		if err := p.Pause(context.Background(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, d := range delays {
+		ceil := time.Millisecond << i
+		if ceil > 8*time.Millisecond {
+			ceil = 8 * time.Millisecond
+		}
+		// Equal jitter: at least half the capped ceiling, never above it.
+		if d < ceil/2 || d > ceil {
+			t.Errorf("retry %d delay %v outside [%v, %v]", i, d, ceil/2, ceil)
+		}
+	}
+
+	// Two pacers under one policy are distinct chains: their jitter streams
+	// must not march in lockstep.
+	var d1, d2 []time.Duration
+	p1, p2 := weihl83.NewPacer(record(&d1)), weihl83.NewPacer(record(&d2))
+	for i := 0; i < 8; i++ {
+		if err := p1.Pause(context.Background(), 10); err != nil {
+			t.Fatal(err)
+		}
+		if err := p2.Pause(context.Background(), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	same := true
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("two pacers produced identical jitter sequences: %v", d1)
+	}
+
+	// Default sleep path honours the context.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := weihl83.NewPacer(weihl83.Backoff{Base: time.Second, Max: time.Second}).Pause(cancelled, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("Pause under cancelled context returned %v", err)
+	}
+}

@@ -1,0 +1,142 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"weihl83"
+	"weihl83/internal/client"
+	"weihl83/internal/service"
+	"weihl83/internal/value"
+)
+
+func committed(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(service.TxResponse{Txn: "t1", Committed: true, Results: []value.Value{value.Int(1)}})
+}
+
+var oneOp = []service.OpRequest{{Object: "a", Op: "deposit", Arg: value.Int(1)}}
+
+// TestClientRetriesShedHonoringRetryAfter: 429 shed responses are retried
+// under the Pacer, and the server's Retry-After acts as a FLOOR on each
+// pause — the client must not hammer a server that just asked for air.
+func TestClientRetriesShedHonoringRetryAfter(t *testing.T) {
+	const sheds = 3
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-Request-Id") == "" {
+			t.Error("request arrived without X-Request-Id")
+		}
+		if calls.Add(1) <= sheds {
+			w.Header().Set("Retry-After", "0.030")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(service.TxResponse{Error: "shed", Code: service.CodeShed, Retryable: true})
+			return
+		}
+		committed(w)
+	}))
+	defer ts.Close()
+	c := client.New(ts.URL, client.Options{Tenant: "t", MaxRetries: 8})
+	start := time.Now()
+	resp, err := c.Run(context.Background(), oneOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Committed {
+		t.Fatalf("response %+v", resp)
+	}
+	if got := calls.Load(); got != sheds+1 {
+		t.Errorf("server saw %d attempts, want %d", got, sheds+1)
+	}
+	if elapsed := time.Since(start); elapsed < sheds*30*time.Millisecond {
+		t.Errorf("3 floored pauses took only %v, Retry-After not honoured", elapsed)
+	}
+}
+
+// TestClientNonRetryableStopsImmediately: a definitive service error must
+// not burn the retry budget.
+func TestClientNonRetryableStopsImmediately(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		_ = json.NewEncoder(w).Encode(service.TxResponse{Error: "no", Code: "insufficient"})
+	}))
+	defer ts.Close()
+	c := client.New(ts.URL, client.Options{Tenant: "t", MaxRetries: 8})
+	_, err := c.Run(context.Background(), oneOp)
+	var se *client.Error
+	if !errors.As(err, &se) || se.Status != http.StatusUnprocessableEntity || se.Code != "insufficient" {
+		t.Fatalf("error = %v", err)
+	}
+	if weihl83.Retryable(err) {
+		t.Fatalf("definitive error reported retryable: %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d attempts, want 1", got)
+	}
+}
+
+// TestClientTornResponseRetries: a response that dies mid-body (declared
+// length longer than what arrives) maps onto the retryable vocabulary and
+// the next attempt succeeds.
+func TestClientTornResponseRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			raw, _ := json.Marshal(service.TxResponse{Txn: "t1", Committed: true})
+			w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(raw[:len(raw)/2])
+			panic(http.ErrAbortHandler)
+		}
+		committed(w)
+	}))
+	defer ts.Close()
+	c := client.New(ts.URL, client.Options{Tenant: "t", MaxRetries: 4})
+	resp, err := c.Run(context.Background(), oneOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Committed || calls.Load() != 2 {
+		t.Fatalf("resp %+v after %d calls", resp, calls.Load())
+	}
+	if !weihl83.Retryable(client.ErrTorn) || !weihl83.Retryable(client.ErrShed) {
+		t.Error("ErrTorn/ErrShed must be retryable")
+	}
+}
+
+// TestClientContextCancel: cancelling the caller's context stops the retry
+// chain with the context's error, not a retry-exhausted wrapper.
+func TestClientContextCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "10.0")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(service.TxResponse{Error: "shed", Code: service.CodeShed, Retryable: true})
+	}))
+	defer ts.Close()
+	c := client.New(ts.URL, client.Options{Tenant: "t", MaxRetries: 100})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Run(ctx, oneOp)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Run did not return (stuck in Retry-After floor?)")
+	}
+}

@@ -98,6 +98,24 @@ const (
 	// restart falls back to replaying the full log. Hit by
 	// recovery.Disk.Checkpoint.
 	DiskCheckpointTorn Point = "disk.checkpoint.torn"
+	// SvcAcceptDrop: the transaction service drops an admitted request
+	// before executing it — the connection is torn down with no response,
+	// as if the accept queue overflowed or the proxy died. The client sees
+	// a transport error and must treat it as retryable (the transaction
+	// never ran). Hit by service.Server after admission, before Run.
+	SvcAcceptDrop Point = "svc.accept.drop"
+	// SvcResponseTorn: the service's JSON response is cut off after a
+	// prefix and the connection closed — the transaction COMMITTED but the
+	// client cannot parse the outcome. Retrying is safe for conservation
+	// (the harness oracles tolerate duplicate transfers; totals are
+	// preserved) but not exactly-once; this point exists to exercise that
+	// distinction. Hit by service.Server when writing a response body.
+	SvcResponseTorn Point = "svc.response.torn"
+	// SvcDrainTimeout: graceful drain's grace period collapses to zero —
+	// in-flight transactions are cancelled immediately instead of being
+	// given the deadline to finish, as if the supervisor killed the drain.
+	// Hit by service.Server.Drain.
+	SvcDrainTimeout Point = "svc.drain.timeout"
 )
 
 // AllPoints returns every named fault point wired through the system, in
@@ -119,6 +137,9 @@ func AllPoints() []Point {
 		CoordCrashAfterLog,
 		NetPartition,
 		DiskCheckpointTorn,
+		SvcAcceptDrop,
+		SvcResponseTorn,
+		SvcDrainTimeout,
 	}
 }
 

@@ -10,28 +10,78 @@ import (
 
 // HistogramSnapshot is a histogram's state at one instant. Latency
 // histograms observe nanoseconds, so the quantile fields read as ns; other
-// histograms (version-chain lengths) read in their own units.
+// histograms (version-chain lengths) read in their own units. Buckets
+// carries the raw power-of-two bucket counts (trailing zero buckets
+// trimmed), so any quantile can be re-derived from a snapshot — see
+// Quantile — without holding the live histogram.
 type HistogramSnapshot struct {
-	Count int64   `json:"count"`
-	Sum   int64   `json:"sum"`
-	Mean  float64 `json:"mean"`
-	Max   int64   `json:"max"`
-	P50   int64   `json:"p50"`
-	P90   int64   `json:"p90"`
-	P99   int64   `json:"p99"`
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Mean    float64 `json:"mean"`
+	Max     int64   `json:"max"`
+	P50     int64   `json:"p50"`
+	P90     int64   `json:"p90"`
+	P95     int64   `json:"p95"`
+	P99     int64   `json:"p99"`
+	Buckets []int64 `json:"buckets,omitempty"`
 }
 
 // SnapshotOf captures a histogram.
 func SnapshotOf(h *Histogram) HistogramSnapshot {
-	return HistogramSnapshot{
-		Count: h.Count(),
-		Sum:   h.Sum(),
-		Mean:  h.Mean(),
-		Max:   h.Max(),
-		P50:   h.Quantile(0.50),
-		P90:   h.Quantile(0.90),
-		P99:   h.Quantile(0.99),
+	buckets := make([]int64, histBuckets)
+	last := -1
+	for i := range buckets {
+		buckets[i] = atomicLoad(&h.buckets[i])
+		if buckets[i] != 0 {
+			last = i
+		}
 	}
+	return HistogramSnapshot{
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+		Mean:    h.Mean(),
+		Max:     h.Max(),
+		P50:     h.Quantile(0.50),
+		P90:     h.Quantile(0.90),
+		P95:     h.Quantile(0.95),
+		P99:     h.Quantile(0.99),
+		Buckets: buckets[:last+1],
+	}
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the snapshot's raw
+// buckets, the same conservative upper-bound estimate the live histogram
+// gives: consumers (benchmark emitters, dashboards) ask a snapshot for any
+// percentile instead of re-deriving it from the bucket layout themselves.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum int64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum > rank {
+			upper := int64(1)<<uint(i) - 1
+			if i == 0 {
+				upper = 0
+			}
+			if s.Max < upper {
+				upper = s.Max
+			}
+			return upper
+		}
+	}
+	return s.Max
 }
 
 // Snapshot is one consistent-enough sample of a whole registry: every

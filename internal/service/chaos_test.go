@@ -1,0 +1,243 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"weihl83"
+	"weihl83/internal/client"
+	"weihl83/internal/fault"
+	"weihl83/internal/obs"
+	"weihl83/internal/service"
+	"weihl83/internal/value"
+)
+
+// TestServiceChaosConservation is the network-layer chaos run: with
+// fault.SvcAcceptDrop killing admitted requests before they execute and
+// fault.SvcResponseTorn cutting response bodies after commit, clients
+// retrying through the library's backoff must never break atomicity. The
+// oracles are the same ones the in-process chaos harness uses: money
+// conservation under transfers (duplicate-tolerant by construction — a
+// replayed transfer moves money, it does not mint it... provided every
+// transfer is a matched withdraw+deposit) and the offline dynamic
+// atomicity checker over the tenant's recorded history.
+func TestServiceChaosConservation(t *testing.T) {
+	const (
+		accounts = 6
+		seedBal  = 1000
+		workers  = 8
+		txPerW   = 30
+	)
+	inj := fault.New(7)
+	srv := service.New(service.Options{
+		Injector: inj,
+		DefaultTenant: service.TenantOptions{
+			AutoCreate: "account",
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	newClient := func() *client.Client {
+		return client.New(ts.URL, client.Options{Tenant: "chaos", MaxRetries: 64})
+	}
+	acct := func(i int) string { return "acct" + strconv.Itoa(i) }
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Seed before arming the faults: seeding deposits are NOT
+	// duplicate-tolerant, transfers are.
+	c0 := newClient()
+	for i := 0; i < accounts; i++ {
+		if _, err := c0.Run(ctx, []service.OpRequest{{Object: acct(i), Op: "deposit", Arg: value.Int(seedBal)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj.Enable(fault.SvcAcceptDrop, fault.Rule{Prob: 0.15})
+	inj.Enable(fault.SvcResponseTorn, fault.Rule{Prob: 0.15})
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := newClient()
+			rng := rand.New(rand.NewSource(int64(w) + 100))
+			for i := 0; i < txPerW; i++ {
+				src, dst := rng.Intn(accounts), rng.Intn(accounts)
+				_, err := c.Run(ctx, []service.OpRequest{
+					{Object: acct(src), Op: "withdraw", Arg: value.Int(1)},
+					{Object: acct(dst), Op: "deposit", Arg: value.Int(1)},
+				})
+				if err != nil && !weihl83.Retryable(err) {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatalf("worker failed non-retryably: %v", err)
+	}
+
+	// Faults stay armed for the audit: the read is idempotent, retries cope.
+	ops := make([]service.OpRequest, accounts)
+	for i := range ops {
+		ops[i] = service.OpRequest{Object: acct(i), Op: "balance", Arg: value.Nil()}
+	}
+	audit, err := c0.RunReadOnly(ctx, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, v := range audit.Results {
+		iv, ok := v.AsInt()
+		if !ok {
+			t.Fatalf("balance result %v", v)
+		}
+		total += iv
+	}
+	if total != accounts*seedBal {
+		t.Fatalf("conservation violated under service faults: total %d, want %d", total, accounts*seedBal)
+	}
+
+	// Atomicity oracle: the offline checker's search is bounded at 64
+	// activities, far below the conservation run, so a second RECORDED
+	// tenant takes a smaller transfer load under the same armed faults and
+	// hands its history to the checker.
+	oracle := client.New(ts.URL, client.Options{Tenant: "oracle", MaxRetries: 64})
+	if err := oracle.EnsureTenant(ctx, service.TenantConfig{AutoCreate: "account", Record: true}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < accounts; i++ {
+		if _, err := oracle.Run(ctx, []service.OpRequest{{Object: acct(i), Op: "deposit", Arg: value.Int(seedBal)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var owg sync.WaitGroup
+	oErrCh := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		owg.Add(1)
+		go func(w int) {
+			defer owg.Done()
+			c := client.New(ts.URL, client.Options{Tenant: "oracle", MaxRetries: 64})
+			rng := rand.New(rand.NewSource(int64(w) + 900))
+			for i := 0; i < 8; i++ {
+				src, dst := rng.Intn(accounts), rng.Intn(accounts)
+				_, err := c.Run(ctx, []service.OpRequest{
+					{Object: acct(src), Op: "withdraw", Arg: value.Int(1)},
+					{Object: acct(dst), Op: "deposit", Arg: value.Int(1)},
+				})
+				if err != nil && !weihl83.Retryable(err) {
+					oErrCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	owg.Wait()
+	close(oErrCh)
+	if err := <-oErrCh; err != nil {
+		t.Fatalf("oracle worker failed non-retryably: %v", err)
+	}
+	sys := srv.TenantSystem("oracle")
+	if sys == nil {
+		t.Fatal("oracle tenant missing")
+	}
+	if err := sys.Checker().DynamicAtomic(sys.History()); err != nil {
+		t.Fatalf("history not dynamically atomic: %v", err)
+	}
+	if err := sys.Err(); err != nil {
+		t.Fatalf("system corrupted: %v", err)
+	}
+
+	// The run is only a chaos run if the faults actually fired.
+	snap := obs.Default.Snapshot(false)
+	if snap.Counter("svc.accept.dropped") == 0 {
+		t.Error("svc.accept.drop never fired")
+	}
+	if snap.Counter("svc.response.torn") == 0 {
+		t.Error("svc.response.torn never fired")
+	}
+}
+
+// TestServiceDrainCancelsBackoff exercises the drain straggler path
+// end-to-end over HTTP: a transaction parked in server-side backoff behind
+// a held lock must be cancelled by Drain through the RunCtx context path
+// and answered 503 "draining" (retryable, so the client can chase the
+// tenant to wherever it moves next). The fault.SvcDrainTimeout point
+// collapses the grace period, so the test drains instantly even though the
+// configured grace is an hour.
+func TestServiceDrainCancelsBackoff(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	inj := fault.New(1)
+	inj.Enable(fault.SvcDrainTimeout, fault.Rule{Prob: 1})
+	srv := service.New(service.Options{
+		DrainTimeout: time.Hour,
+		Injector:     inj,
+		DefaultTenant: service.TenantOptions{
+			AutoCreate:  "account",
+			Guard:       weihl83.GuardRW,
+			WaitTimeout: time.Millisecond,
+			MaxRetries:  1 << 20,
+			Backoff: weihl83.Backoff{
+				Sleep: func(ctx context.Context, d time.Duration) error {
+					select {
+					case entered <- struct{}{}:
+					default:
+					}
+					<-ctx.Done()
+					return ctx.Err()
+				},
+			},
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL, client.Options{Tenant: "t", MaxRetries: 1})
+	ctx := context.Background()
+
+	if _, err := c.Run(ctx, []service.OpRequest{{Object: "a", Op: "deposit", Arg: value.Int(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	sys := srv.TenantSystem("t")
+	hold := sys.Begin()
+	if _, err := hold.Invoke("a", weihl83.OpDeposit, weihl83.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Abort()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Do(ctx, false, []service.OpRequest{{Object: "a", Op: "deposit", Arg: value.Int(1)}})
+		done <- err
+	}()
+	<-entered // the server-side chain is parked in backoff, holding no locks
+
+	start := time.Now()
+	snap := srv.Drain()
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("drain took %v despite svc.drain.timeout", elapsed)
+	}
+	err := <-done
+	if err == nil {
+		t.Fatal("straggler committed after drain cancelled it")
+	}
+	if !errors.Is(err, client.ErrShed) {
+		t.Fatalf("straggler error = %v, want draining shed", err)
+	}
+	if !weihl83.Retryable(err) {
+		t.Fatalf("draining refusal must stay retryable: %v", err)
+	}
+	if snap.Counter("svc.drain.cancelled") == 0 {
+		t.Error("snapshot missing svc.drain.cancelled")
+	}
+}

@@ -1,0 +1,166 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"weihl83"
+	"weihl83/internal/value"
+)
+
+func txBody(t *testing.T, tenant string, ops ...OpRequest) *bytes.Reader {
+	t.Helper()
+	raw, err := json.Marshal(TxRequest{Tenant: tenant, Ops: ops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(raw)
+}
+
+func depositOp(object string, n int64) OpRequest {
+	return OpRequest{Object: object, Op: "deposit", Arg: value.Int(n)}
+}
+
+func decodeTx(t *testing.T, rr *httptest.ResponseRecorder) TxResponse {
+	t.Helper()
+	var resp TxResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding %q: %v", rr.Body.String(), err)
+	}
+	return resp
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShedOnQueueDepth pins the admission design: the shed decision is
+// PENDING QUEUE DEPTH, not "are workers busy". With the tenant's single
+// execution slot occupied, the first arrival queues (depth 1 = the
+// configured maximum) and the second is shed with 429 + Retry-After — while
+// the queued one is still served once the slot frees.
+func TestShedOnQueueDepth(t *testing.T) {
+	s := New(Options{
+		MaxQueueDepth: 1,
+		MaxInFlight:   1,
+		RetryAfter:    123 * time.Millisecond,
+		DefaultTenant: TenantOptions{AutoCreate: "account"},
+	})
+	tn, err := s.tenant("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.inflight <- struct{}{} // occupy the only execution slot
+
+	queuedDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rr := httptest.NewRecorder()
+		s.mux.ServeHTTP(rr, httptest.NewRequest("POST", "/v1/tx", txBody(t, "t", depositOp("a", 1))))
+		queuedDone <- rr
+	}()
+	waitFor(t, "first request to queue", func() bool { return s.queued.Load() == 1 })
+
+	rr := httptest.NewRecorder()
+	s.mux.ServeHTTP(rr, httptest.NewRequest("POST", "/v1/tx", txBody(t, "t", depositOp("a", 1))))
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-depth arrival: status %d, want 429", rr.Code)
+	}
+	if got := rr.Header().Get("Retry-After"); got != "0.123" {
+		t.Errorf("Retry-After = %q, want 0.123", got)
+	}
+	if resp := decodeTx(t, rr); resp.Code != CodeShed || !resp.Retryable {
+		t.Errorf("shed response = %+v", resp)
+	}
+
+	<-tn.inflight // free the slot; the queued request must now run
+	got := <-queuedDone
+	if got.Code != http.StatusOK {
+		t.Fatalf("queued request: status %d body %s", got.Code, got.Body.String())
+	}
+	if resp := decodeTx(t, got); !resp.Committed {
+		t.Errorf("queued request did not commit: %+v", resp)
+	}
+}
+
+// TestDrainWakesQueuedWaiters: Drain must fail queued admissions fast (503
+// draining) rather than leave them parked against a server that will never
+// grant a slot, and subsequent arrivals are refused outright.
+func TestDrainWakesQueuedWaiters(t *testing.T) {
+	s := New(Options{
+		MaxQueueDepth: 4,
+		MaxInFlight:   1,
+		DefaultTenant: TenantOptions{AutoCreate: "account"},
+	})
+	tn, err := s.tenant("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.inflight <- struct{}{}
+	defer func() { <-tn.inflight }()
+
+	queuedDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rr := httptest.NewRecorder()
+		s.mux.ServeHTTP(rr, httptest.NewRequest("POST", "/v1/tx", txBody(t, "t", depositOp("a", 1))))
+		queuedDone <- rr
+	}()
+	waitFor(t, "request to queue", func() bool { return s.queued.Load() == 1 })
+
+	snap := s.Drain()
+	rr := <-queuedDone
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("queued waiter after drain: status %d, want 503", rr.Code)
+	}
+	if resp := decodeTx(t, rr); resp.Code != CodeDraining || !resp.Retryable {
+		t.Errorf("queued waiter response = %+v", resp)
+	}
+	if snap.Counter("svc.shed.draining") == 0 {
+		t.Errorf("snapshot missing svc.shed.draining")
+	}
+
+	rr = httptest.NewRecorder()
+	s.mux.ServeHTTP(rr, httptest.NewRequest("POST", "/v1/tx", txBody(t, "t", depositOp("a", 1))))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain arrival: status %d, want 503", rr.Code)
+	}
+}
+
+// TestTenantConfigResolution covers the wire-name vocabularies and the
+// override-vs-default rules shared by flags and /v1/tenants.
+func TestTenantConfigResolution(t *testing.T) {
+	opts, err := ResolveTenantOptions(TenantConfig{Property: "hybrid", Guard: "escrow", AutoCreate: "counter", MaxInFlight: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Property != weihl83.Hybrid || opts.Guard != weihl83.GuardEscrow || opts.AutoCreate != "counter" || opts.MaxInFlight != 7 {
+		t.Errorf("resolved %+v", opts)
+	}
+	if _, err := ResolveTenantOptions(TenantConfig{Property: "optimistic"}); err == nil {
+		t.Error("unknown property accepted")
+	}
+	if _, err := ResolveTenantOptions(TenantConfig{Guard: "none"}); err == nil {
+		t.Error("unknown guard accepted")
+	}
+	if _, err := ResolveTenantOptions(TenantConfig{AutoCreate: "btree"}); err == nil {
+		t.Error("unknown type accepted")
+	}
+	// Empty strings keep the server defaults rather than erroring.
+	def, err := ResolveTenantOptions(TenantConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Property == 0 || def.Guard == 0 || def.MaxRetries == 0 {
+		t.Errorf("defaults not filled: %+v", def)
+	}
+}

@@ -1,0 +1,182 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"weihl83"
+	"weihl83/internal/client"
+	"weihl83/internal/service"
+	"weihl83/internal/value"
+)
+
+func startServer(t *testing.T, opts service.Options) (*service.Server, *client.Client, func(tenant string) *client.Client) {
+	t.Helper()
+	srv := service.New(opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	mk := func(tenant string) *client.Client {
+		return client.New(ts.URL, client.Options{Tenant: tenant, MaxRetries: 8})
+	}
+	return srv, mk("t"), mk
+}
+
+func deposit(object string, n int64) service.OpRequest {
+	return service.OpRequest{Object: object, Op: "deposit", Arg: value.Int(n)}
+}
+
+func balance(object string) service.OpRequest {
+	return service.OpRequest{Object: object, Op: "balance", Arg: value.Nil()}
+}
+
+// TestServiceCommitAndRead drives the happy path end to end over real HTTP:
+// lazy tenant creation, auto-created objects, a committing write, and a
+// read-only audit that sees it.
+func TestServiceCommitAndRead(t *testing.T) {
+	_, c, _ := startServer(t, service.Options{
+		DefaultTenant: service.TenantOptions{AutoCreate: "account"},
+	})
+	ctx := context.Background()
+	resp, err := c.Run(ctx, []service.OpRequest{deposit("a", 10), deposit("b", 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Committed || resp.Txn == "" || len(resp.Results) != 2 {
+		t.Fatalf("write response %+v", resp)
+	}
+	audit, err := c.RunReadOnly(ctx, []service.OpRequest{balance("a"), balance("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.Results[0] != value.Int(10) || audit.Results[1] != value.Int(5) {
+		t.Fatalf("audit read %v", audit.Results)
+	}
+}
+
+// TestServiceUnknownObject: with auto-creation disabled, touching an
+// unknown object is the client's error (404, code "no-object"), and
+// explicit object creation fixes it.
+func TestServiceUnknownObject(t *testing.T) {
+	_, c, _ := startServer(t, service.Options{})
+	ctx := context.Background()
+	_, err := c.Run(ctx, []service.OpRequest{deposit("x", 1)})
+	var se *client.Error
+	if !errors.As(err, &se) || se.Status != 404 || se.Code != service.CodeNoObject {
+		t.Fatalf("unknown object error = %v", err)
+	}
+	if weihl83.Retryable(err) {
+		t.Fatalf("unknown object must not be retryable: %v", err)
+	}
+	if err := c.CreateObject(ctx, "x", "account", "escrow"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(ctx, []service.OpRequest{deposit("x", 1)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServiceTenantProvisioning: explicit provisioning is idempotent for an
+// identical config and a conflict (409) for a different one — a tenant's
+// System holds live state, so options cannot silently change under it.
+func TestServiceTenantProvisioning(t *testing.T) {
+	_, c, _ := startServer(t, service.Options{})
+	ctx := context.Background()
+	cfg := service.TenantConfig{Property: "static", Guard: "rw", AutoCreate: "account"}
+	if err := c.EnsureTenant(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnsureTenant(ctx, cfg); err != nil {
+		t.Fatalf("idempotent re-provision: %v", err)
+	}
+	cfg.Guard = "escrow"
+	err := c.EnsureTenant(ctx, cfg)
+	var se *client.Error
+	if !errors.As(err, &se) || se.Status != 409 {
+		t.Fatalf("conflicting re-provision = %v", err)
+	}
+	if err := c.EnsureTenant(ctx, service.TenantConfig{Property: "nope"}); err == nil {
+		t.Fatal("unknown property accepted")
+	}
+}
+
+// TestServiceMetricsTenantFilter: /v1/metrics?tenant= must cut the
+// process-wide registry down to that tenant's instruments only.
+func TestServiceMetricsTenantFilter(t *testing.T) {
+	_, _, mk := startServer(t, service.Options{
+		DefaultTenant: service.TenantOptions{AutoCreate: "account"},
+	})
+	ctx := context.Background()
+	for _, tenant := range []string{"m1", "m2"} {
+		if _, err := mk(tenant).Run(ctx, []service.OpRequest{deposit("a", 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := mk("m1").Metrics(ctx, "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counter("svc.tenant.m1.committed"); got < 1 {
+		t.Errorf("svc.tenant.m1.committed = %d", got)
+	}
+	for name := range snap.Counters {
+		if !strings.HasPrefix(name, "svc.tenant.m1.") {
+			t.Errorf("filtered snapshot leaked counter %q", name)
+		}
+	}
+	for name := range snap.Histograms {
+		if !strings.HasPrefix(name, "svc.tenant.m1.") {
+			t.Errorf("filtered snapshot leaked histogram %q", name)
+		}
+	}
+	if lat, ok := snap.Histograms["svc.tenant.m1.latency_ns"]; !ok || lat.Count < 1 {
+		t.Errorf("tenant latency histogram missing or empty: %+v", lat)
+	}
+	// Unfiltered snapshot still carries the service-wide metrics.
+	full, err := mk("m1").Metrics(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Counter("svc.tx.committed") < 2 {
+		t.Errorf("svc.tx.committed = %d", full.Counter("svc.tx.committed"))
+	}
+}
+
+// TestServiceRetryableAcrossWire: a transaction the server aborts retryably
+// (server-side budget exhausted against a held lock) must come back as a
+// retryable error — cc.ErrUnavailable semantics survive the wire, so the
+// client's own Pacer can take over.
+func TestServiceRetryableAcrossWire(t *testing.T) {
+	srv, c, _ := startServer(t, service.Options{
+		DefaultTenant: service.TenantOptions{
+			AutoCreate:  "account",
+			Guard:       weihl83.GuardRW,
+			WaitTimeout: time.Millisecond, // bounded waits instead of deadlock detection
+			MaxRetries:  2,                // exhaust the server-side budget quickly
+		},
+	})
+	ctx := context.Background()
+	if _, err := c.Run(ctx, []service.OpRequest{deposit("a", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	sys := srv.TenantSystem("t")
+	hold := sys.Begin()
+	if _, err := hold.Invoke("a", weihl83.OpDeposit, weihl83.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Do(ctx, false, []service.OpRequest{deposit("a", 1)})
+	if err == nil {
+		t.Fatal("conflicting transaction committed under a held write lock")
+	}
+	if !weihl83.Retryable(err) {
+		t.Fatalf("server-aborted conflict not retryable across the wire: %v", err)
+	}
+	hold.Abort()
+	// With the lock gone the client-side retry chain succeeds.
+	if _, err := c.Run(ctx, []service.OpRequest{deposit("a", 1)}); err != nil {
+		t.Fatal(err)
+	}
+}

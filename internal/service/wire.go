@@ -1,0 +1,97 @@
+package service
+
+import (
+	"weihl83/internal/value"
+)
+
+// Wire types: the JSON vocabulary shared by the server and the client
+// library. Every request names its tenant explicitly — the service hosts
+// one object namespace per tenant, and nothing in the wire format lets a
+// request reach across namespaces.
+
+// OpRequest is one operation inside a transaction: op(arg) on object.
+type OpRequest struct {
+	Object string      `json:"object"`
+	Op     string      `json:"op"`
+	Arg    value.Value `json:"arg"`
+}
+
+// TxRequest submits one whole transaction: the listed operations run in
+// order inside a single atomic transaction (with automatic retry on
+// transient protocol aborts), and either all commit or none do. The
+// one-shot shape is deliberate: a transaction never spans round trips, so
+// a lost client cannot strand locks at the server — the abandoned-txn
+// hazards of conversational protocols are excluded by construction.
+type TxRequest struct {
+	Tenant string `json:"tenant"`
+	// ReadOnly runs the transaction as a read-only activity (a hybrid
+	// atomicity audit: snapshot reads, never blocks updates, never aborts).
+	ReadOnly bool        `json:"read_only,omitempty"`
+	Ops      []OpRequest `json:"ops"`
+}
+
+// TxResponse reports one transaction's outcome. Committed with Results on
+// success; otherwise Error/Code describe the failure and Retryable says
+// whether re-submitting the whole transaction may succeed (the client
+// library maps Retryable onto the library's Retryable() semantics).
+type TxResponse struct {
+	Txn       string        `json:"txn,omitempty"`
+	Committed bool          `json:"committed"`
+	Results   []value.Value `json:"results,omitempty"`
+	Error     string        `json:"error,omitempty"`
+	Code      string        `json:"code,omitempty"`
+	Retryable bool          `json:"retryable,omitempty"`
+}
+
+// TenantConfig provisions (or reconfigures defaults for) one tenant
+// namespace. Every field except Tenant is optional; zero values select the
+// server's defaults.
+type TenantConfig struct {
+	Tenant string `json:"tenant"`
+	// Property: "dynamic", "static" or "hybrid".
+	Property string `json:"property,omitempty"`
+	// Guard: "rw", "nameonly", "commut", "escrow", "exact" or "cascade" —
+	// the conflict granularity of the tenant's objects (dynamic/hybrid).
+	Guard string `json:"guard,omitempty"`
+	// AutoCreate names an ADT ("account", "counter", "intset", "queue",
+	// "semiqueue", "register", "directory", "seatmap"); when set,
+	// operations on unknown objects lazily create them with that type.
+	AutoCreate string `json:"auto_create,omitempty"`
+	// Record enables history recording for offline checking.
+	Record bool `json:"record,omitempty"`
+	// MaxRetries bounds server-side automatic retries per transaction.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// MaxInFlight bounds the tenant's concurrently executing transactions
+	// (0 selects the server default).
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+}
+
+// ObjectRequest creates one object in a tenant's namespace.
+type ObjectRequest struct {
+	Tenant string `json:"tenant"`
+	Object string `json:"object"`
+	// Type names the ADT (see TenantConfig.AutoCreate for the list).
+	Type string `json:"type"`
+	// Guard overrides the tenant's default conflict granularity.
+	Guard string `json:"guard,omitempty"`
+}
+
+// StatusResponse is the generic ok/error envelope of the provisioning
+// endpoints.
+type StatusResponse struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+}
+
+// Error codes carried in TxResponse.Code / StatusResponse.Code. The
+// retryable ones mirror the library's abort causes; shed/draining are the
+// service's own admission-control verdicts.
+const (
+	CodeShed     = "shed"     // admission queue full: back off and retry
+	CodeDraining = "draining" // server is draining: retry elsewhere/later
+	CodeNoObject = "no-object"
+	CodeBadOp    = "invalid-op"
+	CodeBadReq   = "bad-request"
+	CodeInternal = "internal"
+)

@@ -609,18 +609,40 @@ func (m *Manager) RunReadOnlyCtx(ctx context.Context, fn func(t *Txn) error) err
 	return m.run(ctx, fn, true)
 }
 
-// Pacer paces one externally-driven retry chain with the manager's backoff
-// policy, for callers that run their own retry loop (instrumented harnesses
-// that count attempts) instead of Run. Each Pacer owns a per-chain jitter
-// generator, exactly like a Run retry chain; it is not safe for concurrent
-// use.
+// Pacer paces one externally-driven retry chain with a backoff policy, for
+// callers that run their own retry loop (instrumented harnesses that count
+// attempts, network clients that retry on server-side shed) instead of Run.
+// Each Pacer owns a per-chain jitter generator, exactly like a Run retry
+// chain; it is not safe for concurrent use.
 type Pacer struct {
-	m      *Manager
-	jitter *rand.Rand
+	b        Backoff
+	mkJitter func() *rand.Rand
+	jitter   *rand.Rand
 }
 
-// NewPacer returns a pacer for one retry chain.
-func (m *Manager) NewPacer() *Pacer { return &Pacer{m: m} }
+// NewPacer returns a pacer for one retry chain under the manager's backoff
+// policy, sharing the manager's chain numbering (so manager-run chains and
+// externally-paced chains spread across distinct jitter streams).
+func (m *Manager) NewPacer() *Pacer {
+	return &Pacer{b: m.cfg.Backoff, mkJitter: m.newChainJitter}
+}
+
+// pacerChainSeq numbers the retry chains of standalone pacers, so pacers
+// created from one Backoff spread across distinct jitter streams instead of
+// marching in lockstep.
+var pacerChainSeq atomic.Int64
+
+// NewPacer returns a standalone pacer for one retry chain under backoff
+// policy b (the zero value selects the defaults), with no Manager required:
+// network clients pace their retries against server-side shed with the same
+// machinery Run uses against protocol aborts.
+func NewPacer(b Backoff) *Pacer {
+	(&b).fill()
+	return &Pacer{b: b, mkJitter: func() *rand.Rand {
+		chain := pacerChainSeq.Add(1)
+		return rand.New(rand.NewSource(b.Seed + (chain-1)*-0x61c8864680b583eb))
+	}}
+}
 
 // Pause waits the backoff delay before retry number retry (0-based),
 // honouring ctx. Without pacing, concurrent retriers that lost a conflict
@@ -628,9 +650,9 @@ func (m *Manager) NewPacer() *Pacer { return &Pacer{m: m} }
 // throughput long before the protocol does.
 func (p *Pacer) Pause(ctx context.Context, retry int) error {
 	if p.jitter == nil {
-		p.jitter = p.m.newChainJitter()
+		p.jitter = p.mkJitter()
 	}
-	return p.m.pause(ctx, p.jitter, retry)
+	return pause(ctx, p.b, p.jitter, retry)
 }
 
 // newChainJitter returns the jitter generator for one retry chain, seeded
@@ -650,8 +672,7 @@ func (m *Manager) newChainJitter() *rand.Rand {
 // retryDelay picks the delay before retry number retry (0-based): equal
 // jitter on a capped exponential ceiling — half the ceiling guaranteed,
 // half jittered, so delays grow but concurrent retriers still spread out.
-func (m *Manager) retryDelay(jitter *rand.Rand, retry int) time.Duration {
-	b := m.cfg.Backoff
+func retryDelay(b Backoff, jitter *rand.Rand, retry int) time.Duration {
 	ceil := b.Base
 	for i := 0; i < retry && ceil < b.Max; i++ {
 		ceil *= 2
@@ -664,15 +685,15 @@ func (m *Manager) retryDelay(jitter *rand.Rand, retry int) time.Duration {
 }
 
 // pause waits the retry delay, honouring ctx.
-func (m *Manager) pause(ctx context.Context, jitter *rand.Rand, retry int) error {
-	d := m.retryDelay(jitter, retry)
+func pause(ctx context.Context, b Backoff, jitter *rand.Rand, retry int) error {
+	d := retryDelay(b, jitter, retry)
 	obsBackoffs.Inc()
 	obsBackoffLat.Observe(int64(d))
 	if obsTrace.Enabled() {
 		obsTrace.Record(obs.TraceEvent{Kind: obs.KindBackoff, Dur: d})
 	}
-	if sleep := m.cfg.Backoff.Sleep; sleep != nil {
-		return sleep(ctx, d)
+	if b.Sleep != nil {
+		return b.Sleep(ctx, d)
 	}
 	timer := time.NewTimer(d)
 	defer timer.Stop()
@@ -692,7 +713,7 @@ func (m *Manager) run(ctx context.Context, fn func(t *Txn) error, readOnly bool)
 			if jitter == nil {
 				jitter = m.newChainJitter()
 			}
-			if err := m.pause(ctx, jitter, attempt-1); err != nil {
+			if err := pause(ctx, m.cfg.Backoff, jitter, attempt-1); err != nil {
 				return fmt.Errorf("tx: %w (after %d attempts, last: %v)", err, attempt, lastErr)
 			}
 		}

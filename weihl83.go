@@ -82,6 +82,12 @@ type (
 	// Backoff configures Run's retry pacing: capped exponential backoff
 	// with equal jitter (the zero value selects the defaults).
 	Backoff = tx.Backoff
+	// Pacer paces one externally-driven retry chain with a Backoff policy:
+	// callers that run their own retry loop (network clients retrying on
+	// server-side shed, harnesses that count attempts) get the same capped
+	// exponential backoff with equal jitter that Run uses internally. A
+	// Pacer is one retry chain; it is not safe for concurrent use.
+	Pacer = tx.Pacer
 	// Injector is a seeded deterministic fault injector: decisions are a
 	// pure function of (seed, point, hit), so a seed replays its fault
 	// schedule exactly. Attach one with Disk.SetInjector (stable-storage
@@ -97,6 +103,13 @@ type (
 
 // NewInjector returns a fault injector whose schedule is pinned by seed.
 func NewInjector(seed int64) *Injector { return fault.New(seed) }
+
+// NewPacer returns a standalone retry pacer under backoff policy b (the
+// zero value selects the defaults). External clients pace their retries —
+// against server-side shed, resource outages, anything Retryable — with
+// the same jittered-backoff machinery the transaction runtime uses, without
+// importing internal packages.
+func NewPacer(b Backoff) *Pacer { return tx.NewPacer(b) }
 
 // Fault points injectable at this package's level: the stable-storage
 // hazards of a Disk. (The dist package consults the message and
