@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-smoke check bench-smoke bench-hotpath bench-guardcascade bench-service bench-service-full fuzz-smoke clean
+.PHONY: all build vet test race chaos chaos-smoke chaos-churn check bench-smoke bench-hotpath bench-guardcascade bench-service bench-service-full bench-shard bench-shard-full fuzz-smoke clean
 
 all: check
 
@@ -38,6 +38,14 @@ chaos-smoke:
 	$(GO) run ./cmd/chaos -property dynamic -seed 1 -runs 5 -coordcrash 0.05 -partition 0.5 -checkpoint 2ms
 	$(GO) run ./cmd/chaos -property static -seed 1 -runs 5
 	$(GO) run ./cmd/chaos -property hybrid -seed 1 -runs 5
+
+# chaos-churn is the elastic-cluster chaos gate: membership churn
+# (join/leave/targeted moves/rebalances), shard-migration crash and
+# partition windows, and WAL checkpointing, all at once. On top of the
+# usual oracles every run must end with each object singly-homed and every
+# committed state reconstructible from the logs at its post-churn home.
+chaos-churn:
+	$(GO) run ./cmd/chaos -property dynamic -churn -seed 1 -runs 5 -checkpoint 2ms
 
 # bench-smoke compiles and exercises every benchmark once and produces a
 # machine-readable bankbench result at a tiny scale — a fast regression
@@ -78,6 +86,20 @@ bench-service:
 # key skew.
 bench-service-full:
 	$(GO) run ./cmd/loadgen -tenants 1,2,4 -rates 500,1000,2000 -conns 1200 -duration 3s > BENCH_service.json
+
+# bench-shard is the CI elastic-cluster gate: the commit/s vs sites ladder
+# (1/2/4/8 sites, shard migrations continuously in flight), gated by
+# benchguard against the committed BENCH_shard.json. Throughput rises with
+# cluster size as placement spreads the accounts; a rung collapsing
+# relative to the others means routing, migration freezing, or 2PC
+# regressed.
+bench-shard:
+	$(GO) run ./cmd/bankbench -json -exp shard -workers 4 -transfers 300 -accounts 8 -repeat 3 \
+		| $(GO) run ./cmd/benchguard -ref BENCH_shard.json -labels sites
+
+# bench-shard-full regenerates the committed shard ladder reference.
+bench-shard-full:
+	$(GO) run ./cmd/bankbench -json -exp shard -workers 4 -transfers 300 -accounts 8 -repeat 3 > BENCH_shard.json
 
 # fuzz-smoke runs the conflict engine's memoisation fuzzer for a bounded
 # time: the memoised exact tier must be indistinguishable from the

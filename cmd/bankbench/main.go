@@ -7,6 +7,7 @@
 //	bankbench -exp e9        Lamport audit mix: locking vs hybrid
 //	bankbench -exp hotpath   runtime hot path: commit throughput vs workers
 //	bankbench -exp guardcascade  conflict-engine cascade vs raw guards
+//	bankbench -exp shard     elastic cluster: commit/s vs sites, migrations in flight
 //	bankbench -exp all       everything (hotpath and guardcascade excluded;
 //	                         run them explicitly)
 //
@@ -108,7 +109,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: e5|e6|e7|e9|hotpath|guardcascade|all")
+	exp := flag.String("exp", "all", "experiment: e5|e6|e7|e9|hotpath|guardcascade|shard|all")
 	workers := flag.Int("workers", 4, "transfer workers")
 	transfers := flag.Int("transfers", 200, "transfers per worker")
 	audits := flag.Int("audits", 50, "audits per audit worker")
@@ -156,6 +157,8 @@ func run() int {
 		ok = hotpath(sc)
 	case "guardcascade":
 		ok = guardcascade(sc)
+	case "shard":
+		ok = shardExp(sc)
 	case "all":
 		ok = e5(sc) && e6(sc) && e7(sc) && e9(sc)
 	default:

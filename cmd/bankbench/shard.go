@@ -1,0 +1,245 @@
+// shard measures elastic-cluster commit throughput against the number of
+// sites, with shard migrations in flight: a placement-ring cluster of
+// 1/2/4/8 sites behind a two-member coordinator pool runs the transfer
+// workload through placement-routed resources while a migration driver
+// continuously moves objects between members. The ladder pins the cost of
+// distribution itself (every commit is a 2PC round over the network
+// simulation) and proves throughput survives live rebalancing: migrations
+// drain and freeze one object at a time, and stale routes abort retryably
+// rather than re-executing, so commit/s should degrade gently — not
+// collapse — as sites and in-flight migrations grow. The committed
+// BENCH_shard.json gates regressions via benchguard (-labels sites).
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/dist"
+	"weihl83/internal/histories"
+	"weihl83/internal/locking"
+	"weihl83/internal/tx"
+	"weihl83/internal/value"
+)
+
+// shardCluster is one assembled elastic cluster: N sites joined to the
+// ring, accounts spread round-robin, and a manager routing through
+// placement-pinned cluster resources.
+type shardCluster struct {
+	cluster *dist.Cluster
+	manager *tx.Manager
+	objects []histories.ObjectID
+}
+
+func newShardCluster(nSites, nObjects int, seed int64) (*shardCluster, error) {
+	net := dist.NewNetwork(0, 0, seed)
+	net.SetRPC(300*time.Microsecond, 7)
+	var coords []*dist.Coordinator
+	for _, id := range []dist.SiteID{"C0", "C1"} {
+		c, err := dist.NewCoordinator(dist.CoordinatorConfig{ID: id, Network: net})
+		if err != nil {
+			return nil, err
+		}
+		coords = append(coords, c)
+	}
+	pool, err := dist.NewPool(coords...)
+	if err != nil {
+		return nil, err
+	}
+	sites := make([]*dist.Site, 0, nSites)
+	for i := 0; i < nSites; i++ {
+		s, err := dist.NewSite(dist.SiteConfig{
+			ID:           dist.SiteID(fmt.Sprintf("S%d", i)),
+			Network:      net,
+			Coordinators: pool.IDs(),
+			WaitTimeout:  5 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sites = append(sites, s)
+	}
+	escrow := func(adts.Type) locking.Guard { return locking.EscrowGuard{} }
+	sc := &shardCluster{}
+	for i := 0; i < nObjects; i++ {
+		obj := histories.ObjectID(fmt.Sprintf("acct%d", i))
+		if err := sites[i%nSites].AddObject(obj, adts.Account(), escrow); err != nil {
+			return nil, err
+		}
+		sc.objects = append(sc.objects, obj)
+	}
+	cluster := dist.NewCluster(net, pool, 0, nil)
+	for _, s := range sites {
+		if err := cluster.Join(s.ID()); err != nil {
+			return nil, err
+		}
+	}
+	m, err := tx.NewManager(tx.Config{
+		Property:    tx.Dynamic,
+		Coordinator: pool,
+		MaxRetries:  10000,
+		Backoff:     tx.Backoff{Base: 50 * time.Microsecond, Max: 2 * time.Millisecond, Seed: seed + 1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, obj := range sc.objects {
+		if err := m.Register(cluster.Resource(obj, "")); err != nil {
+			return nil, err
+		}
+	}
+	sc.cluster = cluster
+	sc.manager = m
+	return sc, nil
+}
+
+// seed deposits the working balance into every account, one transaction
+// each, before the clock starts.
+func (sc *shardCluster) seed(ctx context.Context) error {
+	for _, obj := range sc.objects {
+		obj := obj
+		if err := sc.manager.RunCtx(ctx, func(t *tx.Txn) error {
+			_, err := t.Invoke(obj, adts.OpDeposit, value.Int(1_000_000))
+			return err
+		}); err != nil {
+			return fmt.Errorf("seeding %s: %w", obj, err)
+		}
+	}
+	return nil
+}
+
+// shardRun drives the transfer workload with the migration driver active
+// and returns (commits, migrations committed, wall time).
+func (sc *shardCluster) run(workers, transfers int) (int64, int64, time.Duration, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := sc.seed(ctx); err != nil {
+		return 0, 0, 0, err
+	}
+	commits0, _ := sc.manager.Stats()
+
+	// Migration driver: round-robin each object to the next ring member for
+	// the whole measured window, paced so moves stay continuously in flight
+	// without turning the run into a freeze benchmark. Busy objects refuse
+	// the export drain and the move fails retryably — the next lap retries.
+	done := make(chan struct{})
+	var moved int64
+	var driver sync.WaitGroup
+	if members := sc.cluster.Members(); len(members) > 1 {
+		driver.Add(1)
+		go func() {
+			defer driver.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				obj := sc.objects[i%len(sc.objects)]
+				home, ok := sc.cluster.HomeOf(obj)
+				if !ok {
+					continue
+				}
+				dest := members[0]
+				for j, s := range members {
+					if s == home {
+						dest = members[(j+1)%len(members)]
+						break
+					}
+				}
+				mctx, mcancel := context.WithTimeout(ctx, 20*time.Millisecond)
+				if err := sc.cluster.Migrate(mctx, obj, dest); err == nil {
+					moved++
+				}
+				mcancel()
+				select {
+				case <-done:
+					return
+				case <-time.After(time.Millisecond):
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 0; i < transfers; i++ {
+				from := sc.objects[(w+i)%len(sc.objects)]
+				to := sc.objects[(w+i+1)%len(sc.objects)]
+				if err := sc.manager.RunCtx(ctx, func(t *tx.Txn) error {
+					if _, err := t.Invoke(from, adts.OpWithdraw, value.Int(1)); err != nil {
+						return err
+					}
+					_, err := t.Invoke(to, adts.OpDeposit, value.Int(1))
+					return err
+				}); err != nil {
+					errs <- fmt.Errorf("worker %d transfer %d: %w", w, i, err)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	var first error
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	wall := time.Since(start)
+	close(done)
+	driver.Wait()
+	commits1, _ := sc.manager.Stats()
+	return commits1 - commits0, moved, wall, first
+}
+
+// shardExp is the "shard" experiment: commit/s vs cluster size with
+// migrations in flight, best of hotRepeat runs per rung.
+func shardExp(sc scale) bool {
+	fmt.Fprintln(tout, "\nSHARD — elastic-cluster commit throughput vs sites, migrations in flight")
+	fmt.Fprintf(tout, "%-8s %8s %12s %10s %12s\n", "kind", "sites", "commit/s", "moves", "wall")
+	okAll := true
+	for _, nSites := range []int{1, 2, 4, 8} {
+		var bestCps float64
+		var bestMoves int64
+		var bestWall time.Duration
+		got := false
+		for rep := 0; rep < hotRepeat; rep++ {
+			cl, err := newShardCluster(nSites, sc.accounts, 42+int64(rep))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bankbench: shard:", err)
+				return false
+			}
+			commits, moves, wall, err := cl.run(sc.workers, sc.transfers)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bankbench: shard sites=%d: %v\n", nSites, err)
+				okAll = false
+				continue
+			}
+			cps := float64(commits) / wall.Seconds()
+			if !got || cps > bestCps {
+				got, bestCps, bestMoves, bestWall = true, cps, moves, wall
+			}
+		}
+		if !got {
+			continue
+		}
+		fmt.Fprintf(tout, "%-8s %8d %12.0f %10d %12v\n", "cluster", nSites, bestCps, bestMoves, bestWall.Round(time.Millisecond))
+		if jsonDoc != nil {
+			jsonDoc.Rows = append(jsonDoc.Rows, benchRow{
+				Exp:           "shard",
+				Kind:          "cluster",
+				Labels:        map[string]int64{"sites": int64(nSites), "moves": bestMoves},
+				WallNS:        int64(bestWall),
+				CommitsPerSec: bestCps,
+			})
+		}
+	}
+	return okAll
+}

@@ -13,6 +13,7 @@
 //	chaos -property hybrid -torn 0.1 -fail 0.1
 //	chaos -property dynamic -drop 0.2 -dup 0.2 -crash 0.05 -timeout 30s
 //	chaos -property dynamic -coordcrash 0.05 -partition 0.5 -checkpoint 2ms
+//	chaos -property dynamic -churn -checkpoint 2ms -runs 10
 package main
 
 import (
@@ -44,6 +45,10 @@ func main() {
 		ccrash   = flag.Float64("coordcrash", 0.03, "coordinator-crash window probability (dynamic)")
 		part     = flag.Float64("partition", 0.0, "network-partition probability per partition tick (dynamic)")
 		ckpt     = flag.Duration("checkpoint", 0, "checkpoint+compact the logs this often (0 disables; dynamic)")
+		churn    = flag.Bool("churn", false, "elastic-cluster mode: placement ring + coordinator pool + membership churn (dynamic)")
+		churnP   = flag.Float64("churnprob", 0.9, "membership-action probability per churn tick (with -churn)")
+		migCrash = flag.Float64("migcrash", 0.05, "shard-migration crash-window probability (with -churn)")
+		migPart  = flag.Float64("migpartition", 0.2, "mid-migration partition probability (with -churn)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "wall-clock bound per run")
 		verbose  = flag.Bool("v", false, "dump every run, not just failures")
 	)
@@ -82,10 +87,20 @@ func main() {
 			PartitionProb:    *part,
 			CheckpointEvery:  *ckpt,
 		}
+		if *churn {
+			cfg.Churn = true
+			cfg.ChurnProb = *churnP
+			cfg.MigrateCrashProb = *migCrash
+			cfg.MigratePartitionProb = *migPart
+			// Churn replaces the rotating whole-network partitions with the
+			// targeted mid-migration partitions of fault.MigratePartition.
+			cfg.PartitionProb = 0
+		}
 		if prop != tx.Dynamic {
 			cfg.DropProb, cfg.DupProb, cfg.ReplyDropProb, cfg.DelayProb = 0, 0, 0, 0
 			cfg.CrashPrepareProb, cfg.CrashCommitProb = 0, 0
 			cfg.CoordCrashProb, cfg.PartitionProb, cfg.CheckpointEvery = 0, 0, 0
+			cfg.Churn, cfg.ChurnProb, cfg.MigrateCrashProb, cfg.MigratePartitionProb = false, 0, 0, 0
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		rep, err := chaos.Run(ctx, cfg)

@@ -43,6 +43,13 @@ var (
 	ErrUnavailable = errors.New("resource temporarily unavailable")
 )
 
+// ErrMoved: the object the transaction addressed is no longer homed at
+// the site the message reached — a shard migration (or membership change)
+// moved it since the client last refreshed its placement. The transaction
+// must abort, the client refreshes its placement view, and the retry
+// routes to the object's new home. It wraps ErrUnavailable (retryable).
+var ErrMoved = fmt.Errorf("object moved to a new home: %w", ErrUnavailable)
+
 // ErrCoordinatorDown: the transaction's coordinator crashed (or is
 // unreachable) while the outcome was being decided, so the client cannot
 // learn whether the decision was made durable. The client-side transaction
@@ -53,8 +60,8 @@ var (
 var ErrCoordinatorDown = fmt.Errorf("transaction coordinator down: %w", ErrUnavailable)
 
 // AbortCause names the sentinel behind an abort error, for aborts-by-cause
-// metrics: "deadlock", "timeout", "doomed", "conflict", "unavailable",
-// "readonly", "invalid-op", "unknown-txn", or "other".
+// metrics: "deadlock", "timeout", "doomed", "conflict", "moved",
+// "unavailable", "readonly", "invalid-op", "unknown-txn", or "other".
 func AbortCause(err error) string {
 	switch {
 	case errors.Is(err, ErrDeadlock):
@@ -65,6 +72,8 @@ func AbortCause(err error) string {
 		return "doomed"
 	case errors.Is(err, ErrConflict):
 		return "conflict"
+	case errors.Is(err, ErrMoved):
+		return "moved"
 	case errors.Is(err, ErrUnavailable):
 		return "unavailable"
 	case errors.Is(err, ErrReadOnly):

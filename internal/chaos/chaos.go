@@ -85,6 +85,22 @@ type Config struct {
 	// up sites (default 200µs; dynamic only). Zero disables the recoverer
 	// — only safe when no crash or partition faults are enabled.
 	RecoverEvery time.Duration
+	// Churn selects the elastic-cluster mode for dynamic runs: four sites
+	// behind a placement ring, a two-member coordinator pool, and a churn
+	// driver taking membership actions (targeted moves, join/leave,
+	// rebalance) while the workload runs. See runChurn.
+	Churn bool
+	// ChurnProb arms fault.ClusterChurn: the churn driver consults it
+	// every ChurnEvery (default 300µs) and acts when it fires.
+	ChurnProb  float64
+	ChurnEvery time.Duration
+	// MigrateCrashProb arms the shard-migration crash windows
+	// (fault.MigrateCrashSource, fault.MigrateCrashDest,
+	// fault.MigrateCrashCommit) at every site.
+	MigrateCrashProb float64
+	// MigratePartitionProb arms fault.MigratePartition: the network splits
+	// between a migration's copy and its commit, isolating one half.
+	MigratePartitionProb float64
 }
 
 func (c *Config) fill() {
@@ -95,8 +111,11 @@ func (c *Config) fill() {
 		c.Txns = 3
 	}
 	if c.RecoverEvery <= 0 && (c.CrashPrepareProb > 0 || c.CrashCommitProb > 0 ||
-		c.CoordCrashProb > 0 || c.PartitionProb > 0) {
+		c.CoordCrashProb > 0 || c.PartitionProb > 0 || c.Churn) {
 		c.RecoverEvery = 200 * time.Microsecond
+	}
+	if c.Churn && c.ChurnEvery <= 0 {
+		c.ChurnEvery = 300 * time.Microsecond
 	}
 	if c.Delay <= 0 {
 		c.Delay = 50 * time.Microsecond
@@ -161,6 +180,11 @@ func (c Config) injector() *fault.Injector {
 	in.Enable(fault.SiteCrashCommitBeforeLog, fault.Rule{Prob: c.CrashCommitProb})
 	in.Enable(fault.SiteCrashCommitAfterLog, fault.Rule{Prob: c.CrashCommitProb})
 	in.Enable(fault.NetPartition, fault.Rule{Prob: c.PartitionProb})
+	in.Enable(fault.MigrateCrashSource, fault.Rule{Prob: c.MigrateCrashProb})
+	in.Enable(fault.MigrateCrashDest, fault.Rule{Prob: c.MigrateCrashProb})
+	in.Enable(fault.MigrateCrashCommit, fault.Rule{Prob: c.MigrateCrashProb})
+	in.Enable(fault.MigratePartition, fault.Rule{Prob: c.MigratePartitionProb})
+	in.Enable(fault.ClusterChurn, fault.Rule{Prob: c.ChurnProb})
 	// The coordinator crash windows (fault.CoordCrashBeforeLog/AfterLog)
 	// are armed by runDist after the seed deposit commits: an orphaned,
 	// committed-but-retried seed would double the deposit and break the
@@ -193,7 +217,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	var err error
 	switch cfg.Property {
 	case tx.Dynamic:
-		rep, err = runDist(ctx, cfg)
+		if cfg.Churn {
+			rep, err = runChurn(ctx, cfg)
+		} else {
+			rep, err = runDist(ctx, cfg)
+		}
 	case tx.Static, tx.Hybrid:
 		rep, err = runLocal(ctx, cfg)
 	default:

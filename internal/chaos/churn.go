@@ -1,0 +1,350 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/conflict"
+	"weihl83/internal/dist"
+	"weihl83/internal/fault"
+	"weihl83/internal/histories"
+	"weihl83/internal/locking"
+	"weihl83/internal/tx"
+)
+
+// runChurn is the elastic-cluster mode: four sites behind a consistent-hash
+// placement ring, a two-member coordinator pool, and placement-routed
+// clients, with a churn driver taking membership actions — targeted shard
+// moves, a site joining and leaving, rebalances — while the transfer
+// workload runs and the usual message, disk, crash-window and
+// migration-window faults fire.
+//
+// On top of runDist's oracles (atomicity of the recorded history,
+// conservation, restart replay from the logs alone) the churn mode checks
+// the elastic invariant: after quiescing, every object is hosted by exactly
+// one site (Cluster.Reconcile fails on zero or double homes), no matter
+// which crash or partition window a migration died in.
+func runChurn(ctx context.Context, cfg Config) (*Report, error) {
+	inj := cfg.injector()
+	rec := &recorder{}
+	net := dist.NewNetwork(0, 0, cfg.Seed)
+	net.SetInjector(inj)
+	net.SetRPC(300*time.Microsecond, 7)
+
+	var coords []*dist.Coordinator
+	for _, id := range []dist.SiteID{"C0", "C1"} {
+		c, err := dist.NewCoordinator(dist.CoordinatorConfig{ID: id, Network: net, Injector: inj})
+		if err != nil {
+			return nil, err
+		}
+		coords = append(coords, c)
+	}
+	pool, err := dist.NewPool(coords...)
+	if err != nil {
+		return nil, err
+	}
+
+	sites := make(map[dist.SiteID]*dist.Site)
+	for _, id := range []dist.SiteID{"A", "B", "C", "D"} {
+		s, err := dist.NewSite(dist.SiteConfig{
+			ID:           id,
+			Network:      net,
+			Coordinators: pool.IDs(),
+			Sink:         rec.sink(),
+			Injector:     inj,
+			WaitTimeout:  2 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sites[id] = s
+	}
+	// Same guard spread as runDist: the cascade, the standalone escrow
+	// guard, and the plain table guard all travel through migrations.
+	cascade := func(t adts.Type) locking.Guard { return conflict.ForType(t) }
+	escrow := func(adts.Type) locking.Guard { return locking.EscrowGuard{} }
+	table := func(t adts.Type) locking.Guard { return locking.TableGuard{Conflicts: t.Conflicts} }
+	if err := sites["A"].AddObject("acct0", adts.Account(), cascade); err != nil {
+		return nil, err
+	}
+	if err := sites["B"].AddObject("acct1", adts.Account(), escrow); err != nil {
+		return nil, err
+	}
+	if err := sites["B"].AddObject("queue", adts.Queue(), table); err != nil {
+		return nil, err
+	}
+
+	cluster := dist.NewCluster(net, pool, 0, inj)
+	for _, id := range []dist.SiteID{"A", "B", "C"} {
+		if err := cluster.Join(id); err != nil {
+			return nil, err
+		}
+	}
+	// D is the churn site: the driver joins and leaves it mid-run.
+
+	m, err := tx.NewManager(tx.Config{
+		Property:    tx.Dynamic,
+		Coordinator: pool,
+		MaxRetries:  10000,
+		Backoff:     tx.Backoff{Base: 50 * time.Microsecond, Max: 2 * time.Millisecond, Seed: cfg.Seed + 1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	objects := []histories.ObjectID{"acct0", "acct1", "queue"}
+	for _, obj := range objects {
+		if err := m.Register(cluster.Resource(obj, "")); err != nil {
+			return nil, err
+		}
+	}
+
+	done := make(chan struct{})
+	var drivers sync.WaitGroup
+	stopDrivers := func() { close(done); drivers.Wait() }
+
+	// Recoverer: revives crashed sites and pool members, runs the in-doubt
+	// resolver and the abandoned-transaction sweeper (which also reclaims
+	// migration freezes and staged copies leaked by a dead migration
+	// driver), and re-derives placement from the sites after an orphaned
+	// migration left the map stale. Reconcile is best-effort mid-run — it
+	// refuses to adopt anything while a migration is between its two commit
+	// halves — and authoritative only at the final quiesce.
+	if cfg.RecoverEvery > 0 {
+		drivers.Add(1)
+		go func() {
+			defer drivers.Done()
+			tick := time.NewTicker(cfg.RecoverEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					for _, c := range coords {
+						if !c.Up() {
+							_ = c.Recover()
+						}
+					}
+					for _, s := range net.Sites() {
+						if !s.Up() {
+							_ = s.Recover()
+						} else {
+							s.ResolveInDoubt(2 * time.Millisecond)
+							s.AbortAbandoned(25 * time.Millisecond)
+						}
+					}
+					_ = cluster.Reconcile("")
+				}
+			}
+		}()
+	}
+	// Churn driver: on its cadence, consult fault.ClusterChurn and — when
+	// it fires — take the next membership action. Failures are expected
+	// (the move raced a crash window, the object was busy, the run is
+	// ending) and retried implicitly by later actions; the oracles only
+	// care that no action ever breaks single-homing or conservation.
+	drivers.Add(1)
+	go func() {
+		defer drivers.Done()
+		tick := time.NewTicker(cfg.ChurnEvery)
+		defer tick.Stop()
+		step := 0
+		dIn := false
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				if !inj.Fires(fault.ClusterChurn) {
+					continue
+				}
+				actx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+				switch step % 3 {
+				case 0: // targeted shard move to the next ring member
+					obj := objects[step%len(objects)]
+					members := cluster.Members()
+					if home, ok := cluster.HomeOf(obj); ok && len(members) > 1 {
+						dest := members[0]
+						for i, s := range members {
+							if s == home {
+								dest = members[(i+1)%len(members)]
+								break
+							}
+						}
+						_ = cluster.Migrate(actx, obj, dest)
+					}
+				case 1: // membership churn: D joins, later leaves
+					if dIn {
+						_ = cluster.Leave("D")
+					} else {
+						_ = cluster.Join("D")
+					}
+					dIn = !dIn
+				case 2: // align placement with the ring
+					_ = cluster.Rebalance(actx)
+				}
+				cancel()
+				step++
+			}
+		}
+	}()
+	if cfg.CheckpointEvery > 0 {
+		drivers.Add(1)
+		go func() {
+			defer drivers.Done()
+			tick := time.NewTicker(cfg.CheckpointEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					for _, s := range net.Sites() {
+						if s.Up() {
+							_, _ = s.Checkpoint()
+						}
+					}
+					_, _ = pool.Checkpoint()
+				}
+			}
+		}()
+	}
+
+	workErr := seedWorkload(ctx, cfg, m)
+	if workErr == nil {
+		// Armed only after the seed deposit commits: see injector().
+		inj.Enable(fault.CoordCrashBeforeLog, fault.Rule{Prob: cfg.CoordCrashProb})
+		inj.Enable(fault.CoordCrashAfterLog, fault.Rule{Prob: cfg.CoordCrashProb})
+		workErr = runTransfers(ctx, cfg, m)
+	}
+	stopDrivers()
+
+	// Final quiesce: heal, detach message faults, bring every node up and
+	// resolve every in-doubt transaction — client and migration alike.
+	net.Heal()
+	net.SetInjector(nil)
+	for _, c := range coords {
+		if !c.Up() {
+			if err := c.Recover(); err != nil {
+				return nil, fmt.Errorf("chaos: final pool recovery %s: %w", c.ID(), err)
+			}
+		}
+	}
+	var lastRecoverErr error
+	for round := 0; ; round++ {
+		allUp := true
+		pending := 0
+		for _, s := range net.Sites() {
+			if !s.Up() {
+				if err := s.Recover(); err != nil {
+					allUp = false
+					lastRecoverErr = fmt.Errorf("site %s: %w", s.ID(), err)
+					continue
+				}
+			}
+			s.ResolveInDoubt(0)
+			s.AbortAbandoned(0)
+			pending += s.PendingInDoubt()
+		}
+		if allUp && pending == 0 {
+			break
+		}
+		if round >= 200 {
+			return nil, fmt.Errorf("chaos: final recovery did not quiesce: allUp=%v pending=%d last=%v", allUp, pending, lastRecoverErr)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+
+	rep := &Report{Property: cfg.Property, Seed: cfg.Seed, Trace: inj.Trace(), Injector: inj.Summary()}
+	rep.Commits, rep.Aborts = m.Stats()
+	for _, s := range net.Sites() {
+		rep.Crashes += s.Crashes()
+	}
+	for _, c := range coords {
+		rep.Crashes += c.Crashes()
+	}
+	h := rec.history()
+	rep.Events = len(h)
+
+	// Single-homing oracle: re-derive placement from the sites themselves.
+	// Reconcile fails if any object is hosted by zero or two sites — the
+	// invariant every crash window of a migration must preserve.
+	if err := cluster.Reconcile(""); err != nil {
+		return rep, fmt.Errorf("chaos: churn single-homing: %w", err)
+	}
+
+	// Restart-replay oracle at the post-churn homes: every committed state
+	// must be reconstructible from the write-ahead logs alone, including
+	// hosting adopted through migrate-in records and checkpoints.
+	before := make(map[histories.ObjectID]string)
+	homeOf := make(map[histories.ObjectID]*dist.Site)
+	for _, obj := range objects {
+		home, ok := cluster.HomeOf(obj)
+		if !ok {
+			return rep, fmt.Errorf("chaos: churn: object %s untracked after reconcile", obj)
+		}
+		s := sites[home]
+		key, err := s.CommittedStateKey(obj)
+		if err != nil {
+			return rep, err
+		}
+		before[obj] = key
+		homeOf[obj] = s
+	}
+	for _, s := range net.Sites() {
+		s.Crash()
+	}
+	for _, s := range net.Sites() {
+		if err := s.Recover(); err != nil {
+			return rep, fmt.Errorf("chaos: restart oracle recovering %s: %w", s.ID(), err)
+		}
+	}
+	var sum int64
+	var replayErr error
+	for _, obj := range objects {
+		key, err := homeOf[obj].CommittedStateKey(obj)
+		if err != nil {
+			return rep, err
+		}
+		if key != before[obj] && replayErr == nil {
+			replayErr = fmt.Errorf("chaos: restart replay of %s = %q, live committed = %q", obj, key, before[obj])
+		}
+		if obj != "queue" {
+			b, err := strconv.ParseInt(key, 10, 64)
+			if err != nil {
+				return rep, fmt.Errorf("chaos: account state %q: %w", key, err)
+			}
+			rep.Balances = append(rep.Balances, b)
+			sum += b
+		}
+	}
+	total := int64(cfg.Workers * cfg.Txns * perTransfer)
+	rep.Conserved = sum == total
+	rep.CheckErr = checkHistory(cfg.Property, h)
+	if rep.CheckErr != "" && os.Getenv("CHAOS_DEBUG_HISTORY") != "" {
+		fmt.Fprintf(os.Stderr, "=== churn checker failure: %s\n", rep.CheckErr)
+		for i, e := range h {
+			fmt.Fprintf(os.Stderr, "  [%04d] %s\n", i, e)
+		}
+	}
+
+	if workErr != nil {
+		return rep, workErr
+	}
+	if replayErr != nil {
+		return rep, replayErr
+	}
+	if !rep.Conserved {
+		return rep, fmt.Errorf("chaos: conservation violated: balances %v sum %d, want %d", rep.Balances, sum, total)
+	}
+	if rep.CheckErr != "" {
+		return rep, errors.New("chaos: " + rep.CheckErr)
+	}
+	return rep, nil
+}

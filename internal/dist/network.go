@@ -48,9 +48,16 @@ var (
 	obsRPCAttempts      = obs.Default.Counter("dist.rpc.attempts")
 	obsRPCRetransmits   = obs.Default.Counter("dist.rpc.retransmits")
 	obsRPCTimeouts      = obs.Default.Counter("dist.rpc.timeouts")
+	obsRPCExpect0       = obs.Default.Counter("dist.rpc.expect0")
 	obsPartitions       = obs.Default.Counter("dist.net.partitions")
 	obsPartitionBlocked = obs.Default.Counter("dist.net.partition.blocked")
 )
+
+// skipHandshake exists solely for the handshake regression-lock test: when
+// true, proxies skip the epoch handshake and fall back to pinning the epoch
+// from the first successful reply, reintroducing the expect=0 first-contact
+// window. Production code never sets it.
+var skipHandshake atomic.Bool
 
 // SiteID names a site (or the coordinator) on the network.
 type SiteID string
@@ -308,6 +315,13 @@ func call[Req any, Resp any](n *Network, from SiteID, site SiteID, expect uint64
 	timeout, retransmits := n.rpcParams()
 	reqID := n.reqSeq.Add(1)
 	obsRPCCalls.Inc()
+	if expect == 0 {
+		// Regression lock for the exactly-once first-contact hole: the
+		// epoch handshake must pin an epoch before any stateful message,
+		// so a zero expect here means an unchecked retransmission window
+		// is open. Tests assert this counter stays zero.
+		obsRPCExpect0.Inc()
+	}
 	var lastErr error
 	for attempt := 0; attempt <= retransmits; attempt++ {
 		obsRPCAttempts.Inc()
@@ -373,6 +387,117 @@ func deliver[Req any, Resp any](s *Site, reqID uint64, expect uint64, txn histor
 	resp, err := handle(s, req)
 	s.cacheReply(reqID, txn, resp, err)
 	return resp, s.Epoch(), err
+}
+
+// Hello fetches a site's current epoch on behalf of from — the handshake a
+// proxy performs before a transaction's first stateful message to the site,
+// so that no request ever carries expect=0. The exchange is idempotent
+// (reads the epoch, touches no transaction state) and carries no reply
+// cache; it rides the same unreliable message layer with the same
+// retransmission budget. A retransmitted Hello that straddles a crash is
+// harmless: it pins the post-crash epoch and no operation has executed yet.
+func (n *Network) Hello(from, site SiteID) (uint64, error) {
+	s, err := n.Site(site)
+	if err != nil {
+		return 0, err
+	}
+	inj := n.injector()
+	timeout, retransmits := n.rpcParams()
+	obsRPCCalls.Inc()
+	var lastErr error
+	for attempt := 0; attempt <= retransmits; attempt++ {
+		obsRPCAttempts.Inc()
+		if attempt > 0 {
+			obsRPCRetransmits.Inc()
+		}
+		if !n.reachable(from, site) {
+			obsPartitionBlocked.Inc()
+			lastErr = fmt.Errorf("%w: %s cannot reach %s", ErrPartitioned, from, site)
+			time.Sleep(timeout)
+			continue
+		}
+		n.delay() // request latency
+		if d := inj.Delay(fault.NetDelay); d > 0 {
+			time.Sleep(d)
+		}
+		if inj.Fires(fault.NetRequestDrop) {
+			lastErr = fmt.Errorf("dist: hello to %s lost", site)
+			time.Sleep(timeout)
+			continue
+		}
+		if !s.Up() {
+			lastErr = fmt.Errorf("%w: %s", ErrSiteDown, site)
+			time.Sleep(timeout)
+			continue
+		}
+		epoch := s.Epoch()
+		n.delay() // response latency
+		if inj.Fires(fault.NetReplyDrop) {
+			lastErr = fmt.Errorf("dist: hello reply from %s lost", site)
+			time.Sleep(timeout)
+			continue
+		}
+		return epoch, nil
+	}
+	obsRPCTimeouts.Inc()
+	if errors.Is(lastErr, ErrSiteDown) || errors.Is(lastErr, ErrPartitioned) {
+		return 0, lastErr
+	}
+	return 0, fmt.Errorf("%w (%v)", ErrRPCTimeout, lastErr)
+}
+
+// QueryHosting asks a site whether it currently hosts obj (and at which
+// placement version it became home) on behalf of from — the message leg of
+// placement reconciliation. Idempotent, no reply cache, same unreliable
+// message layer and retransmission budget as every other exchange.
+func (n *Network) QueryHosting(from, to SiteID, obj histories.ObjectID) (bool, uint64, error) {
+	s, err := n.Site(to)
+	if err != nil {
+		return false, 0, err
+	}
+	inj := n.injector()
+	timeout, retransmits := n.rpcParams()
+	obsRPCCalls.Inc()
+	var lastErr error
+	for attempt := 0; attempt <= retransmits; attempt++ {
+		obsRPCAttempts.Inc()
+		if attempt > 0 {
+			obsRPCRetransmits.Inc()
+		}
+		if !n.reachable(from, to) {
+			obsPartitionBlocked.Inc()
+			lastErr = fmt.Errorf("%w: %s cannot reach %s", ErrPartitioned, from, to)
+			time.Sleep(timeout)
+			continue
+		}
+		n.delay() // request latency
+		if d := inj.Delay(fault.NetDelay); d > 0 {
+			time.Sleep(d)
+		}
+		if inj.Fires(fault.NetRequestDrop) {
+			lastErr = fmt.Errorf("dist: hosting query to %s lost", to)
+			time.Sleep(timeout)
+			continue
+		}
+		if !s.Up() {
+			lastErr = fmt.Errorf("%w: %s", ErrSiteDown, to)
+			time.Sleep(timeout)
+			continue
+		}
+		hosted, hv := s.hostsObject(obj)
+		n.delay() // response latency
+		if inj.Fires(fault.NetReplyDrop) {
+			lastErr = fmt.Errorf("dist: hosting reply from %s lost", to)
+			time.Sleep(timeout)
+			continue
+		}
+		return hosted, hv, nil
+	}
+	obsRPCTimeouts.Inc()
+	if errors.Is(lastErr, ErrSiteDown) || errors.Is(lastErr, ErrPartitioned) {
+		return false, 0, lastErr
+	}
+	return false, 0, fmt.Errorf("%w (%v)", ErrRPCTimeout, lastErr)
 }
 
 // QueryOutcome asks node to about txn's outcome on behalf of from — the

@@ -30,15 +30,21 @@ var (
 // against its own intentions (see Site.handleInvoke): if a crash wiped the
 // transaction's volatile state in between, the counts disagree and the
 // transaction aborts retryably instead of committing partial effects. The
-// proxy also remembers the site epoch it first observed per transaction
-// and piggybacks it on every later message; if the site crashed in
-// between, the epochs disagree and the site refuses the orphaned message
-// (ErrOrphaned) before it touches any state.
+// proxy also pins the site's epoch per transaction — fetched by an
+// explicit handshake (Network.Hello) before the transaction's first
+// message to the site — and piggybacks it on every message, including the
+// first: a site crash at any point after the handshake makes the epochs
+// disagree and the site refuses the orphaned message (ErrOrphaned) before
+// it touches any state. Pinning before the first stateful message (rather
+// than from its reply) closes the exactly-once hole where a
+// retransmission of the first message carried expect=0 and could
+// re-execute across a crash that had wiped the reply cache.
 type RemoteResource struct {
 	net    *Network
 	origin SiteID // where the proxy's messages originate, for partitions
 	site   SiteID
 	obj    histories.ObjectID
+	rv     uint64 // placement version the route was taken from; 0 = unrouted
 
 	mu     sync.Mutex
 	seq    map[histories.ActivityID]int
@@ -68,6 +74,16 @@ func NewRemoteResourceAt(net *Network, origin, site SiteID, obj histories.Object
 	}
 }
 
+// NewRemoteResourceRouted is NewRemoteResourceAt for placement-routed
+// proxies: every invoke and prepare carries rv, the placement version the
+// route was computed from, so a site whose hosting of the object postdates
+// that version refuses the stale route with ErrMoved.
+func NewRemoteResourceRouted(net *Network, origin, site SiteID, obj histories.ObjectID, rv uint64) *RemoteResource {
+	r := NewRemoteResourceAt(net, origin, site, obj)
+	r.rv = rv
+	return r
+}
+
 // ObjectID implements cc.Resource.
 func (r *RemoteResource) ObjectID() histories.ObjectID { return r.obj }
 
@@ -94,8 +110,39 @@ func (r *RemoteResource) epochOf(txn histories.ActivityID) uint64 {
 	return r.epochs[txn]
 }
 
-// noteEpoch pins the first site epoch the transaction observed; later
-// messages carry it so a site crash in between is detected.
+// ensureEpoch returns the site epoch pinned for txn, performing the
+// handshake (Network.Hello) if this is the transaction's first contact
+// with the site. The handshake executes no operation, so retransmitting it
+// across a crash is safe — it simply pins the newest epoch; any operation
+// that then executes is refused as orphaned if the site crashes before a
+// later message. A handshake failure is a retryable outage.
+func (r *RemoteResource) ensureEpoch(txn histories.ActivityID) (uint64, error) {
+	if e := r.epochOf(txn); e != 0 {
+		return e, nil
+	}
+	if skipHandshake.Load() {
+		// Regression-lock escape hatch (tests only): behave like the old
+		// pin-on-first-reply protocol, sending expect=0 first contact.
+		return 0, nil
+	}
+	epoch, err := r.net.Hello(r.origin, r.site)
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	if prev, ok := r.epochs[txn]; ok {
+		epoch = prev // a concurrent handshake won; keep its pin
+	} else if epoch != 0 {
+		r.epochs[txn] = epoch
+	}
+	r.mu.Unlock()
+	return epoch, nil
+}
+
+// noteEpoch pins the first site epoch the transaction observed from a
+// reply. Only the skipHandshake regression path reaches it with an
+// unpinned transaction; under the handshake protocol the epoch is always
+// pinned before the first message.
 func (r *RemoteResource) noteEpoch(txn histories.ActivityID, epoch uint64) {
 	r.mu.Lock()
 	if _, ok := r.epochs[txn]; !ok && epoch != 0 {
@@ -117,8 +164,13 @@ func (r *RemoteResource) forget(txn histories.ActivityID) {
 func (r *RemoteResource) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Value, error) {
 	n := r.seqOf(txn.ID)
 	start := time.Now()
-	v, epoch, err := call(r.net, r.origin, r.site, r.epochOf(txn.ID), txn.ID, inv, func(s *Site, inv spec.Invocation) (value.Value, error) {
-		return s.handleInvoke(r.obj, txn, inv, n)
+	expect, herr := r.ensureEpoch(txn.ID)
+	if herr != nil {
+		obsInvokeLat.Observe(int64(time.Since(start)))
+		return value.Value{}, herr
+	}
+	v, epoch, err := call(r.net, r.origin, r.site, expect, txn.ID, inv, func(s *Site, inv spec.Invocation) (value.Value, error) {
+		return s.handleInvoke(r.obj, txn, inv, n, r.rv)
 	})
 	obsInvokeLat.Observe(int64(time.Since(start)))
 	if err == nil {
@@ -135,8 +187,13 @@ func (r *RemoteResource) Prepare(txn *cc.TxnInfo) error {
 	n := r.seqOf(txn.ID)
 	type req struct{}
 	start := time.Now()
-	_, epoch, err := call(r.net, r.origin, r.site, r.epochOf(txn.ID), txn.ID, req{}, func(s *Site, _ req) (struct{}, error) {
-		return struct{}{}, s.handlePrepare(r.obj, txn, n)
+	expect, herr := r.ensureEpoch(txn.ID)
+	if herr != nil {
+		obsPrepareLat.Observe(int64(time.Since(start)))
+		return herr
+	}
+	_, epoch, err := call(r.net, r.origin, r.site, expect, txn.ID, req{}, func(s *Site, _ req) (struct{}, error) {
+		return struct{}{}, s.handlePrepare(r.obj, txn, n, r.rv)
 	})
 	obsPrepareLat.Observe(int64(time.Since(start)))
 	if err == nil {
@@ -152,6 +209,9 @@ func (r *RemoteResource) Prepare(txn *cc.TxnInfo) error {
 func (r *RemoteResource) Commit(txn *cc.TxnInfo, _ histories.Timestamp) {
 	type req struct{}
 	start := time.Now()
+	// Prepare pinned the epoch (commit only follows a successful prepare),
+	// so no handshake is needed here; an unpinned epoch can only mean the
+	// skipHandshake regression path.
 	_, _, _ = call(r.net, r.origin, r.site, r.epochOf(txn.ID), txn.ID, req{}, func(s *Site, _ req) (struct{}, error) {
 		return struct{}{}, s.handleCommit(r.obj, txn)
 	})
@@ -164,7 +224,22 @@ func (r *RemoteResource) Commit(txn *cc.TxnInfo, _ histories.Timestamp) {
 func (r *RemoteResource) Abort(txn *cc.TxnInfo) {
 	type req struct{}
 	start := time.Now()
-	_, _, _ = call(r.net, r.origin, r.site, r.epochOf(txn.ID), txn.ID, req{}, func(s *Site, _ req) (struct{}, error) {
+	expect := r.epochOf(txn.ID)
+	if expect == 0 && !skipHandshake.Load() {
+		// The transaction never completed the handshake (it aborted on a
+		// handshake failure or before any contact). Handshake now — the
+		// exchange is idempotent — so even the abort message carries a
+		// checked epoch; if the site is unreachable the abort is dropped
+		// and recovery presumes abort.
+		e, err := r.net.Hello(r.origin, r.site)
+		if err != nil {
+			obsAbortLat.Observe(int64(time.Since(start)))
+			r.forget(txn.ID)
+			return
+		}
+		expect = e
+	}
+	_, _, _ = call(r.net, r.origin, r.site, expect, txn.ID, req{}, func(s *Site, _ req) (struct{}, error) {
 		return struct{}{}, s.handleAbort(r.obj, txn)
 	})
 	obsAbortLat.Observe(int64(time.Since(start)))

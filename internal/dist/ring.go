@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"weihl83/internal/histories"
+)
+
+// Ring is a consistent-hash placement ring mapping objects to sites. Each
+// site contributes several virtual nodes so load spreads evenly and a
+// membership change only moves the objects between the departing or
+// arriving site's points and their predecessors — the property that keeps
+// rebalancing traffic proportional to 1/N instead of reshuffling
+// everything. The ring is a pure placement function: the Cluster owns the
+// authoritative object→site map and uses the ring only to compute targets,
+// so placement changes happen exactly when a migration transaction
+// commits, never implicitly.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+	sites  map[SiteID]bool
+}
+
+type ringPoint struct {
+	hash uint64
+	site SiteID
+}
+
+// NewRing returns an empty ring with the given number of virtual nodes per
+// site (non-positive selects 32).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 32
+	}
+	return &Ring{vnodes: vnodes, sites: make(map[SiteID]bool)}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Add joins a site to the ring.
+func (r *Ring) Add(site SiteID) error {
+	if r.sites[site] {
+		return fmt.Errorf("dist: site %s already on the ring", site)
+	}
+	r.sites[site] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", site, i)), site: site})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].site < r.points[j].site
+	})
+	return nil
+}
+
+// Remove takes a site off the ring.
+func (r *Ring) Remove(site SiteID) error {
+	if !r.sites[site] {
+		return fmt.Errorf("dist: site %s not on the ring", site)
+	}
+	delete(r.sites, site)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.site != site {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return nil
+}
+
+// Owner returns the site an object hashes to: the first ring point at or
+// after the object's hash, wrapping around.
+func (r *Ring) Owner(obj histories.ObjectID) (SiteID, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := ringHash(string(obj))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].site, true
+}
+
+// Sites returns the ring's members, sorted.
+func (r *Ring) Sites() []SiteID {
+	out := make([]SiteID, 0, len(r.sites))
+	for s := range r.sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of member sites.
+func (r *Ring) Len() int { return len(r.sites) }

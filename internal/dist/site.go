@@ -3,6 +3,7 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -52,6 +53,20 @@ var ErrRefused = fmt.Errorf("dist: refused: transaction already resolved at site
 // knows the outcome. The site stays down; retry Recover once the partition
 // heals or the coordinator comes back. It wraps cc.ErrUnavailable.
 var ErrStillInDoubt = fmt.Errorf("dist: in-doubt transactions unresolved: %w", cc.ErrUnavailable)
+
+// ErrMoved reports a message for an object this site is not (or no longer)
+// home to — the sender's placement view is stale, typically because a
+// shard migration committed since it was fetched. It wraps cc.ErrMoved
+// (and transitively cc.ErrUnavailable): the transaction aborts, the client
+// refreshes placement, and the retry routes to the new home.
+var ErrMoved = fmt.Errorf("dist: object is not homed at this site: %w", cc.ErrMoved)
+
+// ErrMigrating reports an operation refused because the object is frozen
+// by an in-flight shard migration (or the migration's drain found the
+// object still busy). It wraps cc.ErrUnavailable: the freeze resolves when
+// the migration commits or aborts, so the retry either lands here again or
+// is told ErrMoved and re-routes.
+var ErrMigrating = fmt.Errorf("dist: object is migrating: %w", cc.ErrUnavailable)
 
 // DecisionLog is an in-memory commit/abort outcome log satisfying the
 // runtime's coordinator hook (tx.Coordinator) for single-process setups —
@@ -118,8 +133,14 @@ type SiteConfig struct {
 	// Network to attach to. Required.
 	Network *Network
 	// Coordinator names the coordinator this site's in-doubt recoveries
-	// query first during cooperative termination. Required.
+	// query first during cooperative termination. Required unless
+	// Coordinators is set.
 	Coordinator SiteID
+	// Coordinators names a coordinator pool in pool order: an in-doubt
+	// recovery queries the member owning the transaction (the same
+	// hash-by-id assignment Pool uses for decisions). When set it takes
+	// precedence over Coordinator.
+	Coordinators []SiteID
 	// Sink receives history events from the site's objects.
 	Sink cc.EventSink
 	// WaitTimeout, when positive, bounds every blocked lock wait at the
@@ -154,7 +175,7 @@ type SiteConfig struct {
 type Site struct {
 	id          SiteID
 	net         *Network
-	coordID     SiteID
+	coords      []SiteID // coordinator pool, in pool order
 	sink        cc.EventSink
 	waitTimeout time.Duration
 	inj         *fault.Injector
@@ -175,6 +196,7 @@ type Site struct {
 	disk       *recovery.Disk // stable: survives crashes
 	types      map[histories.ObjectID]adts.Type
 	guards     map[histories.ObjectID]func(adts.Type) locking.Guard
+	seedHosted map[histories.ObjectID]bool            // stable: objects seeded here (pre-migration)
 	objects    map[histories.ObjectID]*locking.Object // volatile
 	detector   *locking.Detector                      // volatile
 	prepared   map[histories.ActivityID]*preparedTxn  // volatile in-doubt set
@@ -184,6 +206,27 @@ type Site struct {
 	replyOrder []uint64                               // insertion order, for eviction
 	replyCap   int
 	crashes    int64 // total crashes, for diagnostics
+
+	// Migration state. hosted is the volatile hosting view (rebuilt from
+	// the log at recovery: seedHosted plus committed migrations); homedAt
+	// records the placement version at which an object migrated in, so a
+	// request carrying an older placement view is refused as moved;
+	// migrating freezes an object under an in-flight migration
+	// transaction; staged holds copied-in state between a migration's
+	// import and its commit.
+	hosted    map[histories.ObjectID]bool
+	homedAt   map[histories.ObjectID]uint64
+	migrating map[histories.ObjectID]histories.ActivityID
+	staged    map[histories.ActivityID]map[histories.ObjectID]stagedImport
+}
+
+// stagedImport is the copied object state a migration's import handler
+// stages at the destination before prepare makes it durable.
+type stagedImport struct {
+	state spec.State
+	typ   adts.Type
+	guard func(adts.Type) locking.Guard
+	ringv uint64
 }
 
 // preparedTxn tracks a transaction this site voted yes for and has not yet
@@ -194,6 +237,17 @@ type preparedTxn struct {
 	preparedAt   time.Time
 	attempts     int       // failed termination-protocol attempts
 	nextTry      time.Time // capped-backoff gate for the next attempt
+	// migrate marks objects whose prepared intentions are migration
+	// halves rather than client calls; the resolver applies hosting
+	// changes instead of object commits for them.
+	migrate map[histories.ObjectID]stagedMigrate
+}
+
+// stagedMigrate is a prepared migration half awaiting its outcome.
+type stagedMigrate struct {
+	dir    recovery.MigrateDir
+	ringv  uint64
+	staged stagedImport // MigrateIn only
 }
 
 // activeTxn tracks a transaction that has invoked operations here (and so
@@ -214,8 +268,12 @@ type cachedReply struct {
 
 // NewSite creates a site and attaches it to the network.
 func NewSite(cfg SiteConfig) (*Site, error) {
-	if cfg.ID == "" || cfg.Network == nil || cfg.Coordinator == "" {
-		return nil, errors.New("dist: SiteConfig needs ID, Network and Coordinator")
+	coords := cfg.Coordinators
+	if len(coords) == 0 && cfg.Coordinator != "" {
+		coords = []SiteID{cfg.Coordinator}
+	}
+	if cfg.ID == "" || cfg.Network == nil || len(coords) == 0 {
+		return nil, errors.New("dist: SiteConfig needs ID, Network and at least one coordinator")
 	}
 	cap := cfg.ReplyCacheCap
 	if cap <= 0 {
@@ -224,7 +282,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 	s := &Site{
 		id:          cfg.ID,
 		net:         cfg.Network,
-		coordID:     cfg.Coordinator,
+		coords:      append([]SiteID(nil), coords...),
 		sink:        cfg.Sink,
 		waitTimeout: cfg.WaitTimeout,
 		inj:         cfg.Injector,
@@ -233,6 +291,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		disk:        &recovery.Disk{},
 		types:       make(map[histories.ObjectID]adts.Type),
 		guards:      make(map[histories.ObjectID]func(adts.Type) locking.Guard),
+		seedHosted:  make(map[histories.ObjectID]bool),
 		objects:     make(map[histories.ObjectID]*locking.Object),
 		detector:    locking.NewDetector(),
 		prepared:    make(map[histories.ActivityID]*preparedTxn),
@@ -240,6 +299,10 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		decided:     make(map[histories.ActivityID]bool),
 		replies:     make(map[uint64]cachedReply),
 		replyCap:    cap,
+		hosted:      make(map[histories.ObjectID]bool),
+		homedAt:     make(map[histories.ObjectID]uint64),
+		migrating:   make(map[histories.ObjectID]histories.ActivityID),
+		staged:      make(map[histories.ActivityID]map[histories.ObjectID]stagedImport),
 	}
 	s.disk.SetInjector(cfg.Injector)
 	if err := cfg.Network.register(s); err != nil {
@@ -293,6 +356,8 @@ func (s *Site) AddObject(id histories.ObjectID, t adts.Type, guard func(adts.Typ
 	}
 	s.types[id] = t
 	s.guards[id] = guard
+	s.seedHosted[id] = true
+	s.hosted[id] = true
 	s.objects[id] = o
 	return nil
 }
@@ -325,6 +390,10 @@ func (s *Site) Crash() {
 	s.decided = nil
 	s.replies = nil
 	s.replyOrder = nil
+	s.hosted = nil
+	s.homedAt = nil
+	s.migrating = nil
+	s.staged = nil
 	s.crashes++
 	obsSiteCrashes.Inc()
 	if obsSiteTrace.Enabled() {
@@ -414,8 +483,12 @@ func (s *Site) Checkpoint() (int64, error) {
 	for id, t := range s.types {
 		specs[id] = t.Spec
 	}
+	seed := make(map[histories.ObjectID]bool, len(s.seedHosted))
+	for id, h := range s.seedHosted {
+		seed[id] = h
+	}
 	s.mu.Unlock()
-	return s.disk.Checkpoint(specs)
+	return s.disk.CheckpointHosted(specs, seed)
 }
 
 // Recover brings the site back in three phases. First the write-ahead log
@@ -441,6 +514,7 @@ func (s *Site) Recover() error {
 		txn          histories.ActivityID
 		objects      []histories.ObjectID
 		participants []string
+		migrate      map[histories.ObjectID]bool // migration halves: no commit event
 	}
 	inDoubt := make(map[histories.ActivityID]*doubt)
 	var order []histories.ActivityID
@@ -458,6 +532,12 @@ func (s *Site) Recover() error {
 			}
 			d.objects = append(d.objects, r.Object)
 			d.participants = unionStrings(d.participants, r.Participants)
+			if r.Migrate != recovery.MigrateNone {
+				if d.migrate == nil {
+					d.migrate = make(map[histories.ObjectID]bool)
+				}
+				d.migrate[r.Object] = true
+			}
 		case recovery.RecordCommit, recovery.RecordAbort:
 			delete(inDoubt, r.Txn)
 		case recovery.RecordCheckpoint:
@@ -507,6 +587,7 @@ func (s *Site) Recover() error {
 			return fmt.Errorf("dist: recovering %s: %w", s.id, err)
 		}
 		obs.Default.Counter("dist.indoubt.resolved." + res.path).Inc()
+		debugTrace("recover-resolve %s@%s commit=%v path=%s objs=%v", res.d.txn, s.id, res.commit, res.path, res.d.objects)
 		if res.commit {
 			obsInDoubtCommits.Inc()
 			// The transaction is durably committed (coordinator or peer
@@ -516,6 +597,11 @@ func (s *Site) Recover() error {
 			// effects before this point, so the late commit event is a
 			// valid observation.
 			for _, obj := range res.d.objects {
+				// Migration halves carry no client calls: they produce no
+				// history events, so no commit event is owed either.
+				if res.d.migrate[obj] {
+					continue
+				}
 				s.sink.Emit(histories.Commit(obj, res.d.txn))
 			}
 		} else {
@@ -530,8 +616,18 @@ func (s *Site) Recover() error {
 	for id, t := range s.types {
 		specs[id] = t.Spec
 	}
-	states, err := recovery.Restart(s.disk, specs)
+	states, hosted, err := recovery.RestartHosted(s.disk, specs, s.seedHosted)
 	if err != nil {
+		if os.Getenv("DIST_DEBUG_REBUILD") != "" {
+			fmt.Fprintf(os.Stderr, "=== rebuild failure at %s: %v\n", s.id, err)
+			for i, r := range s.disk.Records() {
+				fmt.Fprintf(os.Stderr, "  [%03d] kind=%d txn=%s obj=%s mig=%d ringv=%d torn=%v calls=%d states=%v decided=%d hosted=%v parts=%v\n",
+					i, r.Kind, r.Txn, r.Object, r.Migrate, r.RingV, r.Torn, len(r.Calls), keysOf(r.States), len(r.Decided), r.Hosted, r.Participants)
+				for _, c := range r.Calls {
+					fmt.Fprintf(os.Stderr, "        call %v\n", c)
+				}
+			}
+		}
 		return fmt.Errorf("dist: recovering %s: %w", s.id, err)
 	}
 	s.detector = locking.NewDetector()
@@ -556,12 +652,40 @@ func (s *Site) Recover() error {
 			}
 		}
 	}
+	s.hosted = hosted
+	s.homedAt = make(map[histories.ObjectID]uint64)
+	for _, r := range s.disk.Records() {
+		// Re-derive the placement version each hosted object migrated in
+		// at. Compaction may have dropped the migrate-in record; the
+		// version then reverts to zero, which only widens the accepted
+		// placement range — safe, because hosting itself (the check that
+		// refuses the wrong home) is checkpoint-durable.
+		if r.Torn || r.Kind != recovery.RecordIntentions || r.Migrate != recovery.MigrateIn {
+			continue
+		}
+		if s.decided[r.Txn] && hosted[r.Object] {
+			s.homedAt[r.Object] = r.RingV
+		}
+	}
+	s.migrating = make(map[histories.ObjectID]histories.ActivityID)
+	s.staged = make(map[histories.ActivityID]map[histories.ObjectID]stagedImport)
 	for id, t := range s.types {
+		if !hosted[id] {
+			// The object's schema stays in the catalog (its pre-migration
+			// log records still replay through it) but the object lives at
+			// its new home now.
+			continue
+		}
 		o, err := s.buildObject(id, t, s.guards[id], states[id])
 		if err != nil {
 			return fmt.Errorf("dist: recovering %s/%s: %w", s.id, id, err)
 		}
 		s.objects[id] = o
+	}
+	if debugTraceOn {
+		for id, o := range s.objects {
+			debugTrace("rebuilt %s@%s -> %s", id, s.id, o.Base().Key())
+		}
 	}
 	s.up = true
 	obsSiteRecoveries.Inc()
@@ -602,6 +726,77 @@ func (s *Site) object(id histories.ObjectID) (*locking.Object, error) {
 	return o, nil
 }
 
+// objectRouted is object for placement-routed client operations: the site
+// must currently be home to the object, and the request's placement
+// version rv (zero: unversioned) must not predate the migration that
+// brought the object here — either way the sender's placement view is
+// stale and the request is refused with ErrMoved rather than executed at
+// the wrong home.
+func (s *Site) objectRouted(id histories.ObjectID, rv uint64) (*locking.Object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.up {
+		return nil, fmt.Errorf("%w: %s", ErrSiteDown, s.id)
+	}
+	if !s.hosted[id] {
+		if _, known := s.types[id]; known {
+			return nil, fmt.Errorf("%w: %s at %s", ErrMoved, id, s.id)
+		}
+		return nil, fmt.Errorf("dist: no object %s at %s", id, s.id)
+	}
+	if rv != 0 && rv < s.homedAt[id] {
+		return nil, fmt.Errorf("%w: %s at %s homed at placement %d, request carries %d", ErrMoved, id, s.id, s.homedAt[id], rv)
+	}
+	o, ok := s.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("dist: no object %s at %s", id, s.id)
+	}
+	return o, nil
+}
+
+// frozenCheck refuses a client operation on an object frozen by an
+// in-flight migration transaction. It runs under s.mu AFTER the caller
+// registered the transaction in s.active, so it pairs with the migration
+// drain scan (also under s.mu): either the client registers first and the
+// drain sees it (migration told busy), or the freeze lands first and the
+// client sees it here — never both proceeding.
+func (s *Site) frozenCheck(obj histories.ObjectID, txn histories.ActivityID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if owner, frozen := s.migrating[obj]; frozen && owner != txn {
+		return fmt.Errorf("%w: %s at %s (frozen by %s)", ErrMigrating, obj, s.id, owner)
+	}
+	return nil
+}
+
+// hostsObject reports whether the site currently hosts obj and the
+// placement version it became home at — the answer to a placement
+// reconciliation query.
+func (s *Site) hostsObject(obj histories.ObjectID) (bool, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.up || !s.hosted[obj] {
+		return false, 0
+	}
+	return true, s.homedAt[obj]
+}
+
+// HostedObjects returns the objects this running site is currently home
+// to, sorted. A cluster adopting the site reads its seeded placement from
+// here.
+func (s *Site) HostedObjects() []histories.ObjectID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []histories.ObjectID
+	for id, h := range s.hosted {
+		if h {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // --- server-side message handlers ---------------------------------------
 
 // handleInvoke executes one invocation. seq is the number of calls the
@@ -610,8 +805,8 @@ func (s *Site) object(id histories.ObjectID) (*locking.Object, error) {
 // intentions between its operations, and executing further calls would let
 // a partial transaction commit — refuse with the retryable ErrStaleTxn
 // instead.
-func (s *Site) handleInvoke(obj histories.ObjectID, txn *cc.TxnInfo, inv spec.Invocation, seq int) (value.Value, error) {
-	o, err := s.object(obj)
+func (s *Site) handleInvoke(obj histories.ObjectID, txn *cc.TxnInfo, inv spec.Invocation, seq int, rv uint64) (value.Value, error) {
+	o, err := s.objectRouted(obj, rv)
 	if err != nil {
 		return value.Nil(), err
 	}
@@ -625,6 +820,9 @@ func (s *Site) handleInvoke(obj histories.ObjectID, txn *cc.TxnInfo, inv spec.In
 		return value.Nil(), fmt.Errorf("%w: %s at %s has %d of %d calls", ErrStaleTxn, txn.ID, s.id, got, seq)
 	}
 	s.registerTxn(txn, obj)
+	if err := s.frozenCheck(obj, txn.ID); err != nil {
+		return value.Nil(), err
+	}
 	v, err := o.Invoke(txn, inv)
 	if err == nil && s.isDecided(txn.ID) {
 		// The abandoned-transaction sweeper resolved this transaction while
@@ -671,9 +869,12 @@ func (s *Site) registerTxn(txn *cc.TxnInfo, obj histories.ObjectID) {
 // redoable. A transaction this site already resolved (an abort applied, or
 // a refusal promised to a querying peer) is voted no under voteMu, so a
 // yes-vote can never interleave with the refusal that forbids it.
-func (s *Site) handlePrepare(obj histories.ObjectID, txn *cc.TxnInfo, expect int) error {
-	o, err := s.object(obj)
+func (s *Site) handlePrepare(obj histories.ObjectID, txn *cc.TxnInfo, expect int, rv uint64) error {
+	o, err := s.objectRouted(obj, rv)
 	if err != nil {
+		return err
+	}
+	if err := s.frozenCheck(obj, txn.ID); err != nil {
 		return err
 	}
 	calls := o.PendingCalls(txn)
@@ -724,6 +925,7 @@ func (s *Site) handlePrepare(obj histories.ObjectID, txn *cc.TxnInfo, expect int
 		p.objects[obj] = true
 	}
 	s.mu.Unlock()
+	debugTrace("prepare %s %s@%s", txn.ID, obj, s.id)
 	return nil
 }
 
@@ -747,7 +949,17 @@ func (s *Site) handleCommit(obj histories.ObjectID, txn *cc.TxnInfo) error {
 		s.Crash()
 		return fmt.Errorf("%w: %s (crashed before logging commit)", ErrSiteDown, s.id)
 	}
-	_ = s.disk.Append(recovery.Record{Kind: recovery.RecordCommit, Txn: txn.ID})
+	// The commit record is mandatory, not best-effort: installing the
+	// commit with the append failed would let the live state advance past
+	// the durable story, and a checkpoint taken in that window captures
+	// later transactions' effects while re-appending this one's intentions
+	// behind them — replay then redoes the operations in the wrong order.
+	// On failure the transaction stays prepared (its locks still held, so
+	// no later transaction can slip past it) and the in-doubt resolver
+	// finishes the commit against the coordinator's durable decision.
+	if err := s.disk.Append(recovery.Record{Kind: recovery.RecordCommit, Txn: txn.ID}); err != nil {
+		return fmt.Errorf("dist: commit %s at %s: %w", txn.ID, s.id, err)
+	}
 	if s.inj.Fires(fault.SiteCrashCommitAfterLog) {
 		// The commit is durable but not installed; restart will redo it.
 		// Emit the commit event now — the log append was the observable
@@ -758,6 +970,7 @@ func (s *Site) handleCommit(obj histories.ObjectID, txn *cc.TxnInfo) error {
 	}
 	o.Commit(txn, histories.TSNone)
 	s.outcomeApplied(txn.ID, obj, true)
+	debugTrace("commit %s %s@%s -> %s", txn.ID, obj, s.id, o.Base().Key())
 	return nil
 }
 
@@ -770,7 +983,351 @@ func (s *Site) handleAbort(obj histories.ObjectID, txn *cc.TxnInfo) error {
 	_ = s.disk.Append(recovery.Record{Kind: recovery.RecordAbort, Txn: txn.ID})
 	o.Abort(txn)
 	s.outcomeApplied(txn.ID, obj, false)
+	debugTrace("abort %s %s@%s -> %s", txn.ID, obj, s.id, o.Base().Key())
 	return nil
+}
+
+// --- shard-migration message handlers -----------------------------------
+//
+// A migration is an ordinary transaction with two participants: the
+// object's old home prepares a MigrateOut half (commit drops hosting) and
+// the new home prepares a MigrateIn half (commit adopts the copied state
+// as the object's committed baseline and takes over hosting). Both halves
+// force intentions at prepare and resolve through the same 2PC and
+// cooperative-termination machinery as client transactions, so a crash at
+// any point leaves the object singly-homed: either the migration is
+// durably committed everywhere it matters (and recovery redoes the
+// hosting change from the log) or it presumed-aborts and the object stays
+// at its old home.
+
+// migExport is the state a migration's export returns: the object's
+// committed baseline plus the schema needed to rebuild it at the new home.
+// The model is in-process, so the guard factory travels by reference.
+type migExport struct {
+	State spec.State
+	Type  adts.Type
+	Guard func(adts.Type) locking.Guard
+}
+
+// handleMigrateExport freezes obj under migration transaction txn and
+// returns its committed state. The freeze only lands on a drained object:
+// any other transaction with live invocations or a prepared vote on obj
+// refuses the migration (retryably — the driver backs off and retries),
+// because moving an object out from under undecided intentions could
+// commit them at a home that no longer owns the object.
+func (s *Site) handleMigrateExport(obj histories.ObjectID, txn *cc.TxnInfo) (migExport, error) {
+	o, err := s.objectRouted(obj, 0)
+	if err != nil {
+		return migExport{}, err
+	}
+	s.mu.Lock()
+	if owner, frozen := s.migrating[obj]; frozen && owner != txn.ID {
+		s.mu.Unlock()
+		return migExport{}, fmt.Errorf("%w: %s at %s (frozen by %s)", ErrMigrating, obj, s.id, owner)
+	}
+	for id, a := range s.active {
+		if id != txn.ID && a.objects[obj] {
+			s.mu.Unlock()
+			return migExport{}, fmt.Errorf("%w: %s at %s busy (active transaction %s)", ErrMigrating, obj, s.id, id)
+		}
+	}
+	for id, p := range s.prepared {
+		if id != txn.ID && p.objects[obj] {
+			s.mu.Unlock()
+			return migExport{}, fmt.Errorf("%w: %s at %s busy (in-doubt transaction %s)", ErrMigrating, obj, s.id, id)
+		}
+	}
+	s.migrating[obj] = txn.ID
+	typ := s.types[obj]
+	guard := s.guards[obj]
+	s.mu.Unlock()
+	// Register the migration in the active set: if its driver dies before
+	// prepare, the abandoned-transaction sweeper reclaims the freeze.
+	s.registerTxn(txn, obj)
+	if err := s.exportOutcomeCatchUp(obj); err != nil {
+		s.mu.Lock()
+		if owner, ok := s.migrating[obj]; ok && owner == txn.ID {
+			delete(s.migrating, obj)
+		}
+		s.mu.Unlock()
+		return migExport{}, err
+	}
+	debugTrace("export %s %s@%s base=%s", txn.ID, obj, s.id, o.Base().Key())
+	return migExport{State: o.Base(), Type: typ, Guard: guard}, nil
+}
+
+// exportOutcomeCatchUp makes the object's durable story as new as the
+// state about to be exported. A tolerated outcome-append failure (see
+// handleCommit, handleMigrateCommit) leaves a transaction decided in
+// memory — its effects already in the committed state the export copies —
+// but undecided on disk. Left there, a checkpoint would re-append its
+// intentions after the snapshot as if still in doubt, and once the object
+// has moved on, a later recovery would resolve the transaction and redo
+// those intentions against a baseline that already includes them: a
+// double-apply (or, for an object the site no longer hosts, a rebuild
+// failure). Forcing the missing outcome records before the copy leaves
+// keeps replay redo exactly-once. The caller holds the freeze and the
+// drain found the object quiet, so the decided set for obj is stable. A
+// failed append refuses the export (retryably — the driver backs off).
+func (s *Site) exportOutcomeCatchUp(obj histories.ObjectID) error {
+	durable := make(map[histories.ActivityID]bool)
+	var onObj []histories.ActivityID
+	seen := make(map[histories.ActivityID]bool)
+	for _, r := range s.disk.Records() {
+		if r.Torn {
+			continue
+		}
+		switch r.Kind {
+		case recovery.RecordIntentions:
+			if r.Object == obj && !seen[r.Txn] {
+				seen[r.Txn] = true
+				onObj = append(onObj, r.Txn)
+			}
+		case recovery.RecordCommit, recovery.RecordAbort:
+			durable[r.Txn] = true
+		case recovery.RecordCheckpoint:
+			for txn := range r.Decided {
+				durable[txn] = true
+			}
+		}
+	}
+	s.mu.Lock()
+	var missing []histories.ActivityID
+	for _, txn := range onObj {
+		if !durable[txn] && s.decided[txn] {
+			missing = append(missing, txn)
+		}
+	}
+	s.mu.Unlock()
+	for _, txn := range missing {
+		if err := s.disk.Append(recovery.Record{Kind: recovery.RecordCommit, Txn: txn}); err != nil {
+			return fmt.Errorf("dist: export of %s at %s: forcing outcome of %s: %w", obj, s.id, txn, err)
+		}
+	}
+	return nil
+}
+
+// handleMigrateImport stages the copied object state at the destination.
+// The staging is volatile: a crash before prepare wipes it and the
+// migration's prepare then votes no (ErrStaleTxn). The object's schema
+// (type + guard factory) is adopted into the site's stable catalog so a
+// post-commit recovery can rebuild the object.
+func (s *Site) handleMigrateImport(obj histories.ObjectID, txn *cc.TxnInfo, exp migExport, ringv uint64) error {
+	s.mu.Lock()
+	if !s.up {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrSiteDown, s.id)
+	}
+	if s.hosted[obj] {
+		s.mu.Unlock()
+		return fmt.Errorf("dist: import of %s at %s: already hosted here: %w", obj, s.id, cc.ErrUnavailable)
+	}
+	if _, known := s.types[obj]; !known {
+		guard := exp.Guard
+		if guard == nil {
+			guard = func(t adts.Type) locking.Guard { return conflict.ForType(t) }
+		}
+		s.types[obj] = exp.Type
+		s.guards[obj] = guard
+	}
+	m := s.staged[txn.ID]
+	if m == nil {
+		m = make(map[histories.ObjectID]stagedImport)
+		s.staged[txn.ID] = m
+	}
+	m[obj] = stagedImport{state: exp.State, typ: exp.Type, guard: s.guards[obj], ringv: ringv}
+	s.mu.Unlock()
+	s.registerTxn(txn, obj)
+	return nil
+}
+
+// handleMigratePrepare is the migration's yes-vote at one half: it checks
+// the volatile half survived since export/import (a crash in between wiped
+// it — vote no), then forces a Migrate-marked intentions record under the
+// same voteMu discipline as client prepares. The MigrateIn record carries
+// the copied baseline, so a committed migration is redoable from the log
+// alone. The fault.MigrateCrashSource / fault.MigrateCrashDest windows sit
+// after the force: the vote is durable but never reaches the coordinator,
+// leaving the migration in doubt for the termination protocol.
+func (s *Site) handleMigratePrepare(obj histories.ObjectID, txn *cc.TxnInfo, dir recovery.MigrateDir, ringv uint64) error {
+	s.mu.Lock()
+	if !s.up {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrSiteDown, s.id)
+	}
+	var st stagedImport
+	switch dir {
+	case recovery.MigrateOut:
+		if owner := s.migrating[obj]; owner != txn.ID {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: migration %s lost its freeze on %s at %s", ErrStaleTxn, txn.ID, obj, s.id)
+		}
+	case recovery.MigrateIn:
+		var ok bool
+		st, ok = s.staged[txn.ID][obj]
+		if !ok {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: migration %s lost its staged import of %s at %s", ErrStaleTxn, txn.ID, obj, s.id)
+		}
+	default:
+		s.mu.Unlock()
+		return fmt.Errorf("dist: migrate-prepare %s at %s: no direction", txn.ID, s.id)
+	}
+	s.mu.Unlock()
+	s.voteMu.Lock()
+	s.mu.Lock()
+	_, alreadyResolved := s.decided[txn.ID]
+	s.mu.Unlock()
+	if alreadyResolved {
+		s.voteMu.Unlock()
+		return fmt.Errorf("%w: %s at %s", ErrRefused, txn.ID, s.id)
+	}
+	rec := recovery.Record{
+		Kind:         recovery.RecordIntentions,
+		Txn:          txn.ID,
+		Object:       obj,
+		Participants: txn.Participants,
+		Migrate:      dir,
+		RingV:        ringv,
+	}
+	if dir == recovery.MigrateIn {
+		rec.States = map[histories.ObjectID]spec.State{obj: st.state}
+	}
+	err := s.disk.Append(rec)
+	s.voteMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("dist: migrate-prepare %s at %s: %w", txn.ID, s.id, err)
+	}
+	point := fault.MigrateCrashSource
+	if dir == recovery.MigrateIn {
+		point = fault.MigrateCrashDest
+	}
+	if s.inj.Fires(point) {
+		s.Crash()
+		return fmt.Errorf("%w: %s (crashed after logging migrate vote)", ErrSiteDown, s.id)
+	}
+	s.mu.Lock()
+	if s.prepared != nil {
+		p := s.prepared[txn.ID]
+		if p == nil {
+			p = &preparedTxn{
+				objects:      make(map[histories.ObjectID]bool),
+				participants: append([]string(nil), txn.Participants...),
+				preparedAt:   time.Now(),
+			}
+			s.prepared[txn.ID] = p
+		}
+		p.objects[obj] = true
+		if p.migrate == nil {
+			p.migrate = make(map[histories.ObjectID]stagedMigrate)
+		}
+		p.migrate[obj] = stagedMigrate{dir: dir, ringv: ringv, staged: st}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// handleMigrateCommit installs a migration half's commit. Two crash
+// windows ride the fault.MigrateCrashCommit point: before the local commit
+// record (the migration stays in doubt here and termination resolves it
+// against the coordinator's log) and after it (restart redoes the hosting
+// change from the log alone).
+func (s *Site) handleMigrateCommit(obj histories.ObjectID, txn *cc.TxnInfo) error {
+	if !s.Up() {
+		return fmt.Errorf("%w: %s", ErrSiteDown, s.id)
+	}
+	if s.inj.Fires(fault.MigrateCrashCommit) {
+		s.Crash()
+		return fmt.Errorf("%w: %s (crashed before logging migrate commit)", ErrSiteDown, s.id)
+	}
+	// The commit record is mandatory and write-ahead for a migration half:
+	// everything logged at this site for the object after an In-half commit
+	// (client intentions, checkpoint hosting snapshots) hangs its
+	// replayability off this record. Installing the hosting change with the
+	// append failed would let a checkpoint fold committed client intentions
+	// into a snapshot it must discard (the durable story still says the
+	// object never arrived), losing them. On failure the half stays in
+	// doubt; the resolver retries with the same write-ahead discipline.
+	if err := s.disk.Append(recovery.Record{Kind: recovery.RecordCommit, Txn: txn.ID}); err != nil {
+		return fmt.Errorf("dist: migrate-commit %s at %s: %w", txn.ID, s.id, err)
+	}
+	if s.inj.Fires(fault.MigrateCrashCommit) {
+		s.Crash()
+		return fmt.Errorf("%w: %s (crashed after logging migrate commit)", ErrSiteDown, s.id)
+	}
+	s.applyMigrate(txn.ID, obj, true)
+	s.outcomeApplied(txn.ID, obj, true)
+	return nil
+}
+
+// handleMigrateAbort undoes a migration half: the freeze lifts at the
+// source, the staged copy is dropped at the destination.
+func (s *Site) handleMigrateAbort(obj histories.ObjectID, txn *cc.TxnInfo) error {
+	if !s.Up() {
+		return fmt.Errorf("%w: %s", ErrSiteDown, s.id)
+	}
+	_ = s.disk.Append(recovery.Record{Kind: recovery.RecordAbort, Txn: txn.ID})
+	s.applyMigrate(txn.ID, obj, false)
+	s.outcomeApplied(txn.ID, obj, false)
+	return nil
+}
+
+// applyMigrate looks up the prepared migration half for (txn, obj) and
+// installs the outcome. A missing prepared entry with a commit outcome
+// means recovery already applied the hosting change from the log — the
+// install is a no-op, the idempotence the write-ahead log provides.
+func (s *Site) applyMigrate(txn histories.ActivityID, obj histories.ObjectID, commit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.prepared == nil { // crashed concurrently
+		return
+	}
+	var sm stagedMigrate
+	if p := s.prepared[txn]; p != nil {
+		sm = p.migrate[obj]
+	}
+	s.applyMigrateOutcomeLocked(txn, obj, sm, commit)
+}
+
+// applyMigrateOutcomeLocked installs one migration half's outcome under
+// s.mu: commit of an Out half drops the object and its hosting, commit of
+// an In half builds the object from the staged baseline and takes hosting
+// at the migration's placement version; abort unfreezes and unstages.
+func (s *Site) applyMigrateOutcomeLocked(txn histories.ActivityID, obj histories.ObjectID, sm stagedMigrate, commit bool) {
+	if !commit {
+		if owner, ok := s.migrating[obj]; ok && owner == txn {
+			delete(s.migrating, obj)
+		}
+		if m := s.staged[txn]; m != nil {
+			delete(m, obj)
+			if len(m) == 0 {
+				delete(s.staged, txn)
+			}
+		}
+		return
+	}
+	switch sm.dir {
+	case recovery.MigrateOut:
+		delete(s.objects, obj)
+		s.hosted[obj] = false
+		delete(s.homedAt, obj)
+		if owner, ok := s.migrating[obj]; ok && owner == txn {
+			delete(s.migrating, obj)
+		}
+	case recovery.MigrateIn:
+		if o, err := s.buildObject(obj, sm.staged.typ, s.guards[obj], sm.staged.state); err == nil {
+			s.objects[obj] = o
+		}
+		debugTrace("adopt %s %s@%s ringv=%d base=%s", txn, obj, s.id, sm.ringv, sm.staged.state.Key())
+		s.hosted[obj] = true
+		s.homedAt[obj] = sm.ringv
+		if m := s.staged[txn]; m != nil {
+			delete(m, obj)
+			if len(m) == 0 {
+				delete(s.staged, txn)
+			}
+		}
+	}
 }
 
 // outcomeApplied records that txn's outcome reached obj: the object is
@@ -854,6 +1411,14 @@ func (s *Site) AbortAbandoned(idle time.Duration) int {
 		if out == OutcomeUnknown || out == OutcomeAborted {
 			s.decided[txn] = false
 			s.evictRepliesLocked()
+			// A swept migration driver leaves a freeze or a staged copy
+			// behind; the abort reclaims both.
+			for obj, owner := range s.migrating {
+				if owner == txn {
+					delete(s.migrating, obj)
+				}
+			}
+			delete(s.staged, txn)
 		}
 		var objects []*locking.Object
 		if a != nil && out != OutcomeCommitted {
@@ -894,4 +1459,24 @@ func (s *Site) CommittedStateKey(id histories.ObjectID) (string, error) {
 		return "", err
 	}
 	return o.Base().Key(), nil
+}
+
+// keysOf lists a state map's keys for debug dumps.
+func keysOf(m map[histories.ObjectID]spec.State) []histories.ObjectID {
+	var ks []histories.ObjectID
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// debugTrace prints migration/commit state-transition traces to stderr when
+// DIST_DEBUG_TRACE is set (diagnostic aid for chaos-failure triage).
+var debugTraceOn = os.Getenv("DIST_DEBUG_TRACE") != ""
+
+func debugTrace(format string, args ...any) {
+	if debugTraceOn {
+		fmt.Fprintf(os.Stderr, "TRACE "+format+"\n", args...)
+	}
 }

@@ -140,8 +140,13 @@ func (s *Site) outcomeOf(txn histories.ActivityID) Outcome {
 // impossible). Anything else — coordinator in-doubt window, a peer also
 // in doubt, an unreachable peer — leaves the transaction blocked: ok is
 // false and the caller retries later.
+//
+// With a coordinator pool, the member queried is the one owning txn by
+// the same hash-by-id assignment Pool.Decide uses, so the asker always
+// reaches the node that made (or would have made) the decision.
 func (s *Site) resolveOutcome(txn histories.ActivityID, participants []string) (commit bool, path string, ok bool) {
-	out, err := s.net.QueryOutcome(s.id, s.coordID, txn)
+	coord := s.coords[coordIndex(txn, len(s.coords))]
+	out, err := s.net.QueryOutcome(s.id, coord, txn)
 	if err == nil {
 		switch out {
 		case OutcomeCommitted:
@@ -257,8 +262,33 @@ func (s *Site) applyOutcome(txn histories.ActivityID, commit bool, path string) 
 		s.mu.Unlock()
 		return false
 	}
+	if s.prepared[txn] == nil {
+		s.mu.Unlock()
+		return false
+	}
+	// The outcome record is mandatory, not best-effort: installing an
+	// outcome whose record failed to append lets the live state advance
+	// past the durable story — for a client commit a checkpoint in that
+	// window captures later effects while re-appending this transaction's
+	// intentions behind them (reordering replay); for a migration half it
+	// makes client intentions durable against a hosting story the log does
+	// not tell. Force the record before touching anything; on failure the
+	// transaction stays prepared and a later resolver pass retries.
+	s.mu.Unlock()
+	kindAhead := recovery.RecordAbort
+	if commit {
+		kindAhead = recovery.RecordCommit
+	}
+	if err := s.disk.Append(recovery.Record{Kind: kindAhead, Txn: txn}); err != nil {
+		return false
+	}
+	s.mu.Lock()
+	if !s.up || s.prepared == nil {
+		s.mu.Unlock()
+		return false
+	}
 	p := s.prepared[txn]
-	if p == nil { // a handler won the race
+	if p == nil { // a handler won the race while the record was forced
 		s.mu.Unlock()
 		return false
 	}
@@ -273,17 +303,18 @@ func (s *Site) applyOutcome(txn histories.ActivityID, commit bool, path string) 
 	s.evictRepliesLocked()
 	objects := make([]*locking.Object, 0, len(ids))
 	for _, id := range ids {
+		if sm, isMigration := p.migrate[id]; isMigration {
+			// A resolved migration half installs a hosting change, not an
+			// object commit: drop or adopt the object under s.mu.
+			s.applyMigrateOutcomeLocked(txn, id, sm, commit)
+			continue
+		}
 		if o := s.objects[id]; o != nil {
 			objects = append(objects, o)
 		}
 	}
 	det := s.detector
 	s.mu.Unlock()
-	kind := recovery.RecordAbort
-	if commit {
-		kind = recovery.RecordCommit
-	}
-	_ = s.disk.Append(recovery.Record{Kind: kind, Txn: txn})
 	info := &cc.TxnInfo{ID: txn}
 	for _, o := range objects {
 		if commit {
@@ -292,6 +323,7 @@ func (s *Site) applyOutcome(txn histories.ActivityID, commit bool, path string) 
 			o.Abort(info)
 		}
 	}
+	debugTrace("resolve %s@%s commit=%v path=%s objs=%v", txn, s.id, commit, path, ids)
 	if det != nil {
 		det.Forget(txn)
 	}

@@ -116,6 +116,33 @@ const (
 	// given the deadline to finish, as if the supervisor killed the drain.
 	// Hit by service.Server.Drain.
 	SvcDrainTimeout Point = "svc.drain.timeout"
+	// MigrateCrashSource: the source site of a shard migration crashes
+	// after forcing its migrate-out intentions (its yes-vote) to the log —
+	// the migration is in doubt at the source and resolves through the
+	// cooperative termination protocol. Hit by dist.Site in the migration
+	// prepare handler.
+	MigrateCrashSource Point = "migrate.crash.source"
+	// MigrateCrashDest: the destination site of a shard migration crashes
+	// after forcing its migrate-in intentions (the copied state baseline)
+	// to the log — in doubt at the destination, resolved cooperatively.
+	// Hit by dist.Site in the migration prepare handler.
+	MigrateCrashDest Point = "migrate.crash.dest"
+	// MigrateCrashCommit: a migration participant crashes on receiving the
+	// commit decision, before logging and applying the placement change —
+	// recovery resolves the in-doubt migration against the coordinator's
+	// decision log and redoes the hosting change from the logged
+	// intentions. Hit by dist.Site in the migration commit handler.
+	MigrateCrashCommit Point = "migrate.crash.commit"
+	// MigratePartition: the network partitions mid-migration, isolating
+	// the migration's source or destination between the copy and the
+	// commit. Consulted by the chaos harness's churn driver when a
+	// migration starts.
+	MigratePartition Point = "migrate.partition"
+	// ClusterChurn: a membership-churn action (join, leave, rebalance, or
+	// a targeted shard move) is taken against the elastic cluster while
+	// the workload runs. Consulted by the chaos harness's churn driver on
+	// its cadence.
+	ClusterChurn Point = "cluster.churn"
 )
 
 // AllPoints returns every named fault point wired through the system, in
@@ -140,6 +167,11 @@ func AllPoints() []Point {
 		SvcAcceptDrop,
 		SvcResponseTorn,
 		SvcDrainTimeout,
+		MigrateCrashSource,
+		MigrateCrashDest,
+		MigrateCrashCommit,
+		MigratePartition,
+		ClusterChurn,
 	}
 }
 

@@ -1,0 +1,161 @@
+package recovery
+
+import (
+	"testing"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/histories"
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+// stateWithBalance builds an account state with a balance, for migration
+// baselines.
+func stateWithBalance(t *testing.T, n int64) spec.State {
+	t.Helper()
+	out, err := spec.Apply(adts.AccountSpec{}.Init(), spec.Invocation{Op: adts.OpDeposit, Arg: value.Int(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Next
+}
+
+// TestRestartHostedMigrateOutDropsObject: a committed migrate-out removes
+// the object from the site's committed state and hosting; an undecided one
+// changes nothing (presumed abort).
+func TestRestartHostedMigrateOutDropsObject(t *testing.T) {
+	d := &Disk{}
+	specs := checkpointSpecs()
+	commitDeposit(t, d, "t1", "a", 40)
+	if err := d.Append(Record{Kind: RecordIntentions, Txn: "m1", Object: "a", Migrate: MigrateOut, RingV: 2, Participants: []string{"S1", "S2"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Undecided migration: the object stays home with its state.
+	states, hosted, err := RestartHosted(d, specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hosted["a"] || states["a"] == nil {
+		t.Fatalf("undecided migrate-out already removed the object: hosted=%v", hosted)
+	}
+	if got := states["a"].(adts.AccountState).Balance(); got != 40 {
+		t.Errorf("balance before decision = %d, want 40", got)
+	}
+
+	// Committed migration: object and state leave the site.
+	if err := d.Append(Record{Kind: RecordCommit, Txn: "m1"}); err != nil {
+		t.Fatal(err)
+	}
+	states, hosted, err = RestartHosted(d, specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hosted["a"] {
+		t.Error("object still hosted after committed migrate-out")
+	}
+	if _, ok := states["a"]; ok {
+		t.Error("object state survived a committed migrate-out")
+	}
+	if !hosted["b"] {
+		t.Error("unrelated object lost hosting")
+	}
+}
+
+// TestRestartHostedMigrateInAdoptsBaseline: a committed migrate-in makes
+// the copied state the object's committed baseline at the new home, and
+// later client intentions replay on top of it.
+func TestRestartHostedMigrateInAdoptsBaseline(t *testing.T) {
+	d := &Disk{}
+	specs := checkpointSpecs()
+	initial := map[histories.ObjectID]bool{"b": true} // seeded with b only
+	if err := d.Append(Record{
+		Kind: RecordIntentions, Txn: "m1", Object: "a", Migrate: MigrateIn, RingV: 2,
+		States: map[histories.ObjectID]spec.State{"a": stateWithBalance(t, 40)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Undecided: the site is not yet home.
+	_, hosted, err := RestartHosted(d, specs, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hosted["a"] {
+		t.Error("undecided migrate-in already took hosting")
+	}
+
+	if err := d.Append(Record{Kind: RecordCommit, Txn: "m1"}); err != nil {
+		t.Fatal(err)
+	}
+	commitDeposit(t, d, "t2", "a", 5) // post-move client txn at the new home
+	states, hosted, err := RestartHosted(d, specs, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hosted["a"] {
+		t.Error("committed migrate-in did not take hosting")
+	}
+	if got := states["a"].(adts.AccountState).Balance(); got != 45 {
+		t.Errorf("balance = %d, want 45 (migrated 40 + deposited 5)", got)
+	}
+}
+
+// TestCheckpointHostedSurvivesCompaction: compaction drops committed
+// migration records, so the checkpoint must carry hosting — after a
+// migrate-out, a migrate-in, and a checkpoint, a restart from the
+// compacted log reproduces both states and hosting exactly.
+func TestCheckpointHostedSurvivesCompaction(t *testing.T) {
+	d := &Disk{}
+	specs := checkpointSpecs()
+	initial := map[histories.ObjectID]bool{"a": true, "b": true}
+	commitDeposit(t, d, "t1", "b", 7)
+	// "a" leaves, "c" arrives.
+	if err := d.Append(Record{Kind: RecordIntentions, Txn: "m1", Object: "a", Migrate: MigrateOut, RingV: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(Record{Kind: RecordCommit, Txn: "m1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(Record{
+		Kind: RecordIntentions, Txn: "m2", Object: "c", Migrate: MigrateIn, RingV: 3,
+		States: map[histories.ObjectID]spec.State{"c": stateWithBalance(t, 11)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(Record{Kind: RecordCommit, Txn: "m2"}); err != nil {
+		t.Fatal(err)
+	}
+	specs["c"] = adts.AccountSpec{}
+
+	wantStates, wantHosted, err := RestartHosted(d, specs, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CheckpointHosted(specs, initial); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("log length after checkpoint = %d, want 1", d.Len())
+	}
+	gotStates, gotHosted, err := RestartHosted(d, specs, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, h := range wantHosted {
+		if gotHosted[id] != h {
+			t.Errorf("hosted[%s] = %v after compaction, want %v", id, gotHosted[id], h)
+		}
+	}
+	if gotHosted["a"] || !gotHosted["b"] || !gotHosted["c"] {
+		t.Errorf("hosting after compaction = %v, want a gone, b and c home", gotHosted)
+	}
+	for id, st := range wantStates {
+		if gotStates[id] == nil || gotStates[id].Key() != st.Key() {
+			t.Errorf("state[%s] diverged across compaction", id)
+		}
+	}
+	if got := gotStates["c"].(adts.AccountState).Balance(); got != 11 {
+		t.Errorf("migrated-in balance = %d, want 11", got)
+	}
+}

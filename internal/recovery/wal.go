@@ -28,7 +28,7 @@ var (
 // recordBytes estimates a record's serialized size: a fixed header plus
 // per-call, per-state and per-decision overheads.
 func recordBytes(r Record) int64 {
-	return 64 + 48*int64(len(r.Calls)) + 96*int64(len(r.States)) + 24*int64(len(r.Decided))
+	return 64 + 48*int64(len(r.Calls)) + 96*int64(len(r.States)) + 24*int64(len(r.Decided)) + 16*int64(len(r.Hosted))
 }
 
 // RecordKind discriminates write-ahead-log records.
@@ -47,6 +47,22 @@ const (
 	RecordCheckpoint
 )
 
+// MigrateDir marks an intentions record as one half of a transactional
+// shard migration: Out at the object's old home (commit drops hosting), In
+// at its new home (commit adopts the copied state as the object's
+// committed baseline and takes over hosting). A migration is an ordinary
+// transaction — its halves prepare, force intentions, and resolve through
+// the same 2PC/termination protocol as any other — so a crash mid-move
+// recovers or presumed-aborts with the object still singly-homed.
+type MigrateDir int
+
+// Migration directions for Record.Migrate.
+const (
+	MigrateNone MigrateDir = iota
+	MigrateOut
+	MigrateIn
+)
+
 // Record is one entry in the write-ahead log.
 type Record struct {
 	Kind   RecordKind
@@ -54,6 +70,14 @@ type Record struct {
 	Object histories.ObjectID // RecordIntentions and RecordInstalled
 	Calls  []spec.Call        // RecordIntentions
 	TS     histories.Timestamp
+	// Migrate marks a migration half (RecordIntentions): Out at the old
+	// home, In at the new. A committed MigrateIn adopts States[Object] as
+	// the object's committed baseline; a committed MigrateOut removes the
+	// object from the site's committed state.
+	Migrate MigrateDir
+	// RingV is the placement version the migration installs when it
+	// commits (RecordIntentions with Migrate set).
+	RingV uint64
 	// Torn marks a record whose append failed partway: only a prefix of
 	// its calls reached stable storage. Restart discards torn records,
 	// modelling checksum-validated log entries.
@@ -71,6 +95,12 @@ type Record struct {
 	// transactions are deliberately absent: presumed abort makes their
 	// records forgettable.
 	Decided map[histories.ActivityID]bool
+	// Hosted is a checkpoint's hosting snapshot (RecordCheckpoint, sites
+	// with migration support): which objects the site was home to at
+	// checkpoint time. Compaction drops committed migration records, so
+	// hosting must be re-derivable from the checkpoint alone. Nil on
+	// checkpoints taken without hosting awareness.
+	Hosted map[histories.ObjectID]bool
 }
 
 // clone deep-copies a record so callers can never alias the live log.
@@ -90,6 +120,12 @@ func (r Record) clone() Record {
 		cp.Decided = make(map[histories.ActivityID]bool, len(r.Decided))
 		for txn, v := range r.Decided {
 			cp.Decided[txn] = v
+		}
+	}
+	if r.Hosted != nil {
+		cp.Hosted = make(map[histories.ObjectID]bool, len(r.Hosted))
+		for id, v := range r.Hosted {
+			cp.Hosted[id] = v
 		}
 	}
 	return cp
@@ -221,11 +257,38 @@ func Restart(d *Disk, specs map[histories.ObjectID]spec.SerialSpec) (map[histori
 	return replay(d.Records(), specs)
 }
 
+// RestartHosted is Restart for sites that host a moving set of objects: it
+// additionally rebuilds which objects the site is home to. initialHosted
+// names the objects the site was seeded with (before any migration); nil
+// means every object in specs. Committed migrate-in records take hosting
+// (and adopt the copied state baseline), committed migrate-out records
+// drop it, and a checkpoint's Hosted snapshot re-bases the derivation the
+// way its States snapshot re-bases state replay.
+func RestartHosted(d *Disk, specs map[histories.ObjectID]spec.SerialSpec, initialHosted map[histories.ObjectID]bool) (map[histories.ObjectID]spec.State, map[histories.ObjectID]bool, error) {
+	return replayHosted(d.Records(), specs, initialHosted)
+}
+
 // replay is Restart's core over an explicit record sequence.
 func replay(recs []Record, specs map[histories.ObjectID]spec.SerialSpec) (map[histories.ObjectID]spec.State, error) {
+	states, _, err := replayHosted(recs, specs, nil)
+	return states, err
+}
+
+// replayHosted is the replay core, also deriving hosting.
+func replayHosted(recs []Record, specs map[histories.ObjectID]spec.SerialSpec, initialHosted map[histories.ObjectID]bool) (map[histories.ObjectID]spec.State, map[histories.ObjectID]bool, error) {
 	states := make(map[histories.ObjectID]spec.State, len(specs))
 	for id, s := range specs {
 		states[id] = s.Init()
+	}
+	hosted := make(map[histories.ObjectID]bool, len(specs))
+	if initialHosted == nil {
+		for id := range specs {
+			hosted[id] = true
+		}
+	} else {
+		for id, h := range initialHosted {
+			hosted[id] = h
+		}
 	}
 	// Pass 1: every transaction's durable fate. A commit record or a
 	// checkpoint Decided entry wins over an abort record: a durable commit
@@ -256,9 +319,33 @@ func replay(recs []Record, specs map[histories.ObjectID]spec.SerialSpec) (map[hi
 			if !committed[r.Txn] || applied[r.Txn][r.Object] {
 				continue
 			}
+			if applied[r.Txn] == nil {
+				applied[r.Txn] = make(map[histories.ObjectID]bool)
+			}
+			switch r.Migrate {
+			case MigrateIn:
+				// The committed migration made the copied baseline this
+				// site's committed state for the object and took hosting.
+				// Client intentions on the object at this site are always
+				// logged after the migrate-in they depend on, so position
+				// order replays them onto the adopted baseline.
+				if st, ok := r.States[r.Object]; ok {
+					states[r.Object] = st
+				}
+				hosted[r.Object] = true
+				applied[r.Txn][r.Object] = true
+				continue
+			case MigrateOut:
+				// The object left this site: its committed state lives at
+				// the new home now.
+				delete(states, r.Object)
+				hosted[r.Object] = false
+				applied[r.Txn][r.Object] = true
+				continue
+			}
 			base, ok := states[r.Object]
 			if !ok {
-				return nil, fmt.Errorf("recovery: log references unknown object %s", r.Object)
+				return nil, nil, fmt.Errorf("recovery: log references unknown object %s", r.Object)
 			}
 			l := &IntentionsList{}
 			for _, c := range r.Calls {
@@ -266,12 +353,9 @@ func replay(recs []Record, specs map[histories.ObjectID]spec.SerialSpec) (map[hi
 			}
 			next, err := l.Apply(base)
 			if err != nil {
-				return nil, fmt.Errorf("recovery: redo of %s at %s: %w", r.Txn, r.Object, err)
+				return nil, nil, fmt.Errorf("recovery: redo of %s at %s: %w", r.Txn, r.Object, err)
 			}
 			states[r.Object] = next
-			if applied[r.Txn] == nil {
-				applied[r.Txn] = make(map[histories.ObjectID]bool)
-			}
 			applied[r.Txn][r.Object] = true
 		case RecordInstalled:
 			// Informational; redo is idempotent because we replay from
@@ -279,17 +363,31 @@ func replay(recs []Record, specs map[histories.ObjectID]spec.SerialSpec) (map[hi
 		case RecordCheckpoint:
 			// The snapshot summarises everything before it: adopt its
 			// states (objects created after the checkpoint keep their
-			// initial state). Any transaction undecided at checkpoint time
-			// had its intentions re-appended after the checkpoint record by
-			// compaction, so they still replay onto the snapshot.
+			// initial state, and an object the snapshot omits because it
+			// had migrated out is dropped). Any transaction undecided at
+			// checkpoint time had its intentions re-appended after the
+			// checkpoint record by compaction, so they still replay onto
+			// the snapshot.
 			for id, st := range r.States {
 				if _, known := states[id]; known {
 					states[id] = st
+				} else if r.Hosted[id] {
+					// A migrated-in object absent from the caller's
+					// initial set: the snapshot is its baseline.
+					states[id] = st
+				}
+			}
+			if r.Hosted != nil {
+				for id, h := range r.Hosted {
+					hosted[id] = h
+					if !h {
+						delete(states, id)
+					}
 				}
 			}
 		}
 	}
-	return states, nil
+	return states, hosted, nil
 }
 
 // Checkpoint writes a checkpoint record — the committed-state snapshot
@@ -300,16 +398,32 @@ func replay(recs []Record, specs map[histories.ObjectID]spec.SerialSpec) (map[hi
 // it is appended torn (so restart ignores it), nothing is compacted, and
 // the full log remains the source of truth.
 func (d *Disk) Checkpoint(specs map[histories.ObjectID]spec.SerialSpec) (int64, error) {
+	return d.checkpoint(specs, nil, false)
+}
+
+// CheckpointHosted is Checkpoint for sites with migration support: the
+// checkpoint record additionally snapshots which objects the site hosts
+// (derived from initialHosted plus the log's committed migrations), so
+// hosting survives the compaction that drops the migration records
+// themselves. initialHosted has RestartHosted's semantics.
+func (d *Disk) CheckpointHosted(specs map[histories.ObjectID]spec.SerialSpec, initialHosted map[histories.ObjectID]bool) (int64, error) {
+	return d.checkpoint(specs, initialHosted, true)
+}
+
+func (d *Disk) checkpoint(specs map[histories.ObjectID]spec.SerialSpec, initialHosted map[histories.ObjectID]bool, withHosted bool) (int64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	// Snapshot by replaying the log under the disk mutex: the states are
 	// exactly what Restart would rebuild at this instant, so the snapshot
 	// can never tear across a multi-object installation.
-	states, err := replay(d.records, specs)
+	states, hosted, err := replayHosted(d.records, specs, initialHosted)
 	if err != nil {
 		return 0, fmt.Errorf("recovery: checkpoint replay: %w", err)
 	}
 	cp := Record{Kind: RecordCheckpoint, States: states, Decided: make(map[histories.ActivityID]bool)}
+	if withHosted {
+		cp.Hosted = hosted
+	}
 	undecided := make(map[histories.ActivityID]bool)
 	for _, r := range d.records {
 		if r.Torn {
@@ -333,6 +447,7 @@ func (d *Disk) Checkpoint(specs map[histories.ObjectID]spec.SerialSpec) (int64, 
 		torn := cp.clone()
 		torn.States = nil // the snapshot never made it to stable storage
 		torn.Decided = nil
+		torn.Hosted = nil
 		torn.Torn = true
 		d.records = append(d.records, torn)
 		obsCheckpointTorn.Inc()

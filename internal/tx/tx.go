@@ -116,6 +116,15 @@ type siteReporter interface {
 	ParticipantSite() string
 }
 
+// txnSiteReporter is implemented by resources whose hosting site can
+// differ per transaction — a placement-routed cluster proxy pins the
+// object's home at the transaction's first contact, and a later
+// transaction may find the object migrated elsewhere. It takes precedence
+// over siteReporter.
+type txnSiteReporter interface {
+	ParticipantSiteFor(txn histories.ActivityID) string
+}
+
 // Coordinator is the distributed commit coordinator the runtime reports
 // decisions to. Begin is called when two-phase commit starts (before any
 // prepare); Decide is called with the outcome — after every prepare
@@ -428,7 +437,9 @@ func (t *Txn) Commit() error {
 	}
 	if t.m.cfg.Coordinator != nil && len(t.joined) > 0 {
 		for _, r := range t.joined {
-			if sr, ok := r.(siteReporter); ok {
+			if sr, ok := r.(txnSiteReporter); ok {
+				t.info.Participants = append(t.info.Participants, sr.ParticipantSiteFor(t.info.ID))
+			} else if sr, ok := r.(siteReporter); ok {
 				t.info.Participants = append(t.info.Participants, sr.ParticipantSite())
 			}
 		}
