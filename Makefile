@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-smoke chaos-churn check bench-smoke bench-hotpath bench-guardcascade bench-service bench-service-full bench-shard bench-shard-full fuzz-smoke clean
+.PHONY: all build vet test race chaos chaos-smoke chaos-churn check bench-smoke bench-hotpath bench-guardcascade bench-service bench-service-full bench-shard bench-shard-full bench-durable bench-durable-full fuzz-smoke clean
 
 all: check
 
@@ -101,12 +101,31 @@ bench-shard:
 bench-shard-full:
 	$(GO) run ./cmd/bankbench -json -exp shard -workers 4 -transfers 300 -accounts 8 -repeat 3 > BENCH_shard.json
 
-# fuzz-smoke runs the conflict engine's memoisation fuzzer for a bounded
-# time: the memoised exact tier must be indistinguishable from the
-# unmemoised search on arbitrary scenarios, across repeats and cache
-# invalidations.
+# bench-durable is the CI durability gate: the same transfer workload
+# committed through the in-memory WAL model and the file-backed segmented
+# WAL (real fsync-batched group commit) across a 10/100/1k/10k object
+# ladder, gated by benchguard against the committed BENCH_durable.json.
+# The mem rows pin the no-I/O commit path; the file rows pin the
+# group-commit fsync path and cold-recovery scan — a file row collapsing
+# relative to the mem rows means batching or the segment scan regressed.
+# The threshold is wider than the other gates because fsync latency on CI
+# filesystems is intrinsically noisier than CPU-bound throughput.
+bench-durable:
+	$(GO) run ./cmd/bankbench -json -exp durable -workers 4 -transfers 300 -repeat 3 \
+		| $(GO) run ./cmd/benchguard -ref BENCH_durable.json -labels backend,objects -threshold 0.35
+
+# bench-durable-full regenerates the committed durability reference.
+bench-durable-full:
+	$(GO) run ./cmd/bankbench -json -exp durable -workers 4 -transfers 300 -repeat 3 > BENCH_durable.json
+
+# fuzz-smoke runs the library's fuzzers for a bounded time each: the
+# conflict engine's memoised exact tier must be indistinguishable from the
+# unmemoised search, and the WAL frame decoder must turn arbitrary segment
+# damage into a clean torn-tail trim or ErrCorrupt — never a panic or a
+# silent misparse.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzExactMemo -fuzztime=30s ./internal/conflict
+	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=30s ./internal/recovery
 
 clean:
 	$(GO) clean ./...

@@ -8,6 +8,7 @@
 //	bankbench -exp hotpath   runtime hot path: commit throughput vs workers
 //	bankbench -exp guardcascade  conflict-engine cascade vs raw guards
 //	bankbench -exp shard     elastic cluster: commit/s vs sites, migrations in flight
+//	bankbench -exp durable   WAL backend ladder: in-memory vs file-backed fsync
 //	bankbench -exp all       everything (hotpath and guardcascade excluded;
 //	                         run them explicitly)
 //
@@ -50,6 +51,7 @@ type benchRow struct {
 	Labels            map[string]int64      `json:"labels,omitempty"`
 	WallNS            int64                 `json:"wall_ns"`
 	CommitsPerSec     float64               `json:"commits_per_sec,omitempty"`
+	RecoveryNS        int64                 `json:"recovery_ns,omitempty"`
 	TransfersPerSec   float64               `json:"transfers_per_sec"`
 	TransferRetryRate float64               `json:"transfer_retry_rate"`
 	TransferFailed    int64                 `json:"transfer_failed"`
@@ -109,7 +111,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: e5|e6|e7|e9|hotpath|guardcascade|shard|all")
+	exp := flag.String("exp", "all", "experiment: e5|e6|e7|e9|hotpath|guardcascade|shard|durable|all")
 	workers := flag.Int("workers", 4, "transfer workers")
 	transfers := flag.Int("transfers", 200, "transfers per worker")
 	audits := flag.Int("audits", 50, "audits per audit worker")
@@ -159,6 +161,8 @@ func run() int {
 		ok = guardcascade(sc)
 	case "shard":
 		ok = shardExp(sc)
+	case "durable":
+		ok = durable(sc)
 	case "all":
 		ok = e5(sc) && e6(sc) && e7(sc) && e9(sc)
 	default:

@@ -52,6 +52,7 @@ func run() int {
 	verify := flag.Bool("verify", false, "record the history and check the local atomicity property")
 	wal := flag.Bool("wal", false, "write-ahead-log every commit (enables crash-restart and -checkpoint)")
 	checkpoint := flag.Bool("checkpoint", false, "checkpoint+compact the log after the run and verify restart equivalence (implies -wal)")
+	dataDir := flag.String("data", "", "directory for a file-backed WAL instead of the in-memory model (implies -wal; the log persists across runs)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
 
@@ -60,9 +61,24 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "simulate: unknown kind", *kindName)
 		return 2
 	}
+	specs := workloadSpecs(*workload, *accounts)
+	if specs == nil {
+		fmt.Fprintln(os.Stderr, "simulate: unknown workload", *workload)
+		return 2
+	}
 	cfg := sim.Config{Kind: kind, Record: *verify, Skew: *skew, Seed: *seed}
-	var disk *recovery.Disk
-	if *wal || *checkpoint {
+	var disk recovery.Backend
+	switch {
+	case *dataDir != "":
+		w, err := recovery.OpenFileWAL(recovery.FileWALOptions{Dir: *dataDir, Specs: specs})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simulate: opening file WAL:", err)
+			return 1
+		}
+		defer w.Close()
+		disk = w
+		cfg.WAL = disk
+	case *wal || *checkpoint:
 		disk = &recovery.Disk{}
 		cfg.WAL = disk
 	}
@@ -107,14 +123,6 @@ func run() int {
 	fmt.Printf("transfer throughput: %.0f txn/s\n", metrics.TransferThroughput())
 
 	if disk != nil {
-		specs := make(map[histories.ObjectID]spec.SerialSpec)
-		if *workload == "bank" {
-			for i := 0; i < *accounts; i++ {
-				specs[histories.ObjectID(fmt.Sprintf("acct%d", i))] = adts.AccountSpec{}
-			}
-		} else {
-			specs["queue"] = adts.QueueSpec{}
-		}
 		fmt.Printf("wal: %d records\n", disk.Len())
 		if *checkpoint {
 			// Restart must rebuild the same committed states from the
@@ -171,6 +179,25 @@ func run() int {
 		fmt.Printf("verified: recorded history (%d events) satisfies %s atomicity\n", len(h), kind.Property())
 	}
 	return 0
+}
+
+// workloadSpecs names the objects (and their serial specs) a workload
+// uses; the file-backed WAL needs the table at open to decode any
+// checkpoint snapshot a previous run left behind. Nil means an unknown
+// workload.
+func workloadSpecs(workload string, accounts int) map[histories.ObjectID]spec.SerialSpec {
+	specs := make(map[histories.ObjectID]spec.SerialSpec)
+	switch workload {
+	case "bank":
+		for i := 0; i < accounts; i++ {
+			specs[histories.ObjectID(fmt.Sprintf("acct%d", i))] = adts.AccountSpec{}
+		}
+	case "queue":
+		specs["queue"] = adts.QueueSpec{}
+	default:
+		return nil
+	}
+	return specs
 }
 
 func boolToInt(b bool) int {

@@ -8,6 +8,11 @@
 // "draining"), in-flight transactions get -drain to finish, stragglers are
 // cancelled, and the final metrics snapshot is written to stderr.
 //
+// -data <dir> puts every tenant on a file-backed write-ahead log under
+// <dir>/<tenant> (requires the dynamic property): a drained server
+// restarted with the same -data recovers each tenant's objects and
+// committed state.
+//
 // The -fault flag arms the service fault points from the command line,
 // e.g. -fault-seed 7 -fault svc.accept.drop=0.01,svc.response.torn=0.01.
 package main
@@ -39,6 +44,7 @@ func main() {
 	maxQueue := flag.Int("max-queue", 256, "pending-request queue depth before shedding")
 	retryAfter := flag.Duration("retry-after", 50*time.Millisecond, "advisory Retry-After on shed responses")
 	drain := flag.Duration("drain", 5*time.Second, "grace period for in-flight transactions at shutdown")
+	data := flag.String("data", "", "data directory for file-backed tenant durability (empty keeps tenants in memory)")
 	faultSeed := flag.Int64("fault-seed", 0, "fault injector seed (0 disables injection)")
 	faults := flag.String("fault", "", "comma-separated point=prob pairs, e.g. svc.accept.drop=0.01")
 	flag.Parse()
@@ -60,6 +66,7 @@ func main() {
 		RetryAfter:    *retryAfter,
 		DrainTimeout:  *drain,
 		DefaultTenant: tenantDefaults,
+		DataDir:       *data,
 		Injector:      inj,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

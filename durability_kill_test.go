@@ -1,0 +1,187 @@
+package weihl83_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"weihl83"
+)
+
+// killTestEnv marks the re-exec child: when set, the test binary runs the
+// commit storm instead of the normal suite.
+const killTestEnv = "WEIHL83_KILL_DIR"
+
+const killAccounts = 8
+
+// killTypes is the object table the storm runs against and recovery
+// rebuilds: a ring of accounts plus a committed-transaction counter that
+// rides in the same transaction as every deposit (the conservation
+// oracle: sum of balances == counter value, atomically).
+func killTypes() map[weihl83.ObjectID]weihl83.ADT {
+	types := map[weihl83.ObjectID]weihl83.ADT{"total": weihl83.Counter()}
+	for i := 0; i < killAccounts; i++ {
+		types[weihl83.ObjectID(fmt.Sprintf("k%d", i))] = weihl83.Account()
+	}
+	return types
+}
+
+// TestDurabilityKillChild is the re-exec child body: an endless
+// multi-worker commit storm on the file backend, acknowledging each
+// commit by appending a line to the ack file AFTER Run returns. It only
+// runs when the parent re-execs the test binary with the env var set; the
+// parent SIGKILLs it mid-storm, so it never exits on its own.
+func TestDurabilityKillChild(t *testing.T) {
+	dir := os.Getenv(killTestEnv)
+	if dir == "" {
+		t.Skip("re-exec child only (parent: TestKillNineRecovery)")
+	}
+	types := killTypes()
+	wal, err := weihl83.OpenFileWAL(filepath.Join(dir, "wal"), types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := weihl83.NewSystem(weihl83.Options{Property: weihl83.Dynamic, WAL: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RecoverObjects(types); err != nil {
+		t.Fatal(err)
+	}
+	acks, err := os.OpenFile(filepath.Join(dir, "acks"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ackMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				acct := weihl83.ObjectID(fmt.Sprintf("k%d", (w+i)%killAccounts))
+				err := sys.Run(func(txn *weihl83.Txn) error {
+					if _, err := txn.Invoke(acct, weihl83.OpDeposit, weihl83.Int(1)); err != nil {
+						return err
+					}
+					_, err := txn.Invoke("total", weihl83.OpIncrement, weihl83.Nil())
+					return err
+				})
+				if err != nil {
+					continue
+				}
+				// The commit is durable (Run returned after the forced
+				// commit record); only now may the client act on it. The
+				// ack line deliberately goes unsynced — a SIGKILL does not
+				// lose page-cache writes, so every complete line in the
+				// file names a commit the WAL must recover.
+				ackMu.Lock()
+				fmt.Fprintf(acks, "%d.%d\n", w, i)
+				ackMu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait() // never returns; the parent kills the process
+}
+
+// TestKillNineRecovery is the end-to-end crash test the file backend
+// exists for: re-exec this test binary as a child running an eight-worker
+// commit storm on a real on-disk WAL, SIGKILL it mid-storm (no drain, no
+// flush, a torn tail overwhelmingly likely), then recover from the same
+// directory in-process and check the two oracles — conservation (the
+// deposit and the counter increment of each transaction either both
+// survived or neither did) and durability (every commit the child
+// acknowledged after Run returned is recovered).
+func TestKillNineRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestDurabilityKillChild$", "-test.v")
+	cmd.Env = append(os.Environ(), killTestEnv+"="+dir)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Let the storm run until a healthy batch of commits is acknowledged,
+	// then kill without warning.
+	ackPath := filepath.Join(dir, "acks")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if raw, err := os.ReadFile(ackPath); err == nil && strings.Count(string(raw), "\n") >= 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("child never produced 200 acknowledged commits")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait() // killed: error expected
+
+	// Count complete ack lines (the final line may itself be torn).
+	f, err := os.Open(ackPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	acked := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		acked++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover on the same directory, in-process.
+	types := killTypes()
+	wal, err := weihl83.OpenFileWAL(filepath.Join(dir, "wal"), types)
+	if err != nil {
+		t.Fatalf("reopening WAL after SIGKILL: %v", err)
+	}
+	defer wal.Close()
+	sys, err := weihl83.NewSystem(weihl83.Options{Property: weihl83.Dynamic, WAL: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RecoverObjects(types); err != nil {
+		t.Fatalf("recovering objects after SIGKILL: %v", err)
+	}
+	var total, sum int64
+	if err := sys.Run(func(txn *weihl83.Txn) error {
+		v, err := txn.Invoke("total", weihl83.OpRead, weihl83.Nil())
+		if err != nil {
+			return err
+		}
+		total, _ = v.AsInt()
+		sum = 0
+		for i := 0; i < killAccounts; i++ {
+			v, err := txn.Invoke(weihl83.ObjectID(fmt.Sprintf("k%d", i)), weihl83.OpBalance, weihl83.Nil())
+			if err != nil {
+				return err
+			}
+			b, _ := v.AsInt()
+			sum += b
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != total {
+		t.Errorf("conservation violated after SIGKILL: balances sum %d, counter %d", sum, total)
+	}
+	if total < int64(acked) {
+		t.Errorf("lost committed transactions: child acknowledged %d, recovered %d", acked, total)
+	}
+	t.Logf("SIGKILL recovery: %d acknowledged, %d recovered commits, %d WAL records", acked, total, wal.Len())
+}

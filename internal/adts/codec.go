@@ -1,0 +1,205 @@
+package adts
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"weihl83/internal/spec"
+	"weihl83/internal/value"
+)
+
+// State codecs: every built-in spec implements spec.StateCodec so its
+// objects can round-trip through a durable checkpoint snapshot. Encodings
+// are JSON of the state's natural representation — small, stable, and
+// independent of the in-memory layout.
+
+var (
+	_ spec.StateCodec = AccountSpec{}
+	_ spec.StateCodec = CounterSpec{}
+	_ spec.StateCodec = QueueSpec{}
+	_ spec.StateCodec = SemiQueueSpec{}
+	_ spec.StateCodec = IntSetSpec{}
+	_ spec.StateCodec = RegisterSpec{}
+	_ spec.StateCodec = DirectorySpec{}
+	_ spec.StateCodec = SeatMapSpec{}
+)
+
+func codecErr(spec string, st spec.State) error {
+	return fmt.Errorf("adts: %s codec: unexpected state %T", spec, st)
+}
+
+// EncodeState implements spec.StateCodec.
+func (AccountSpec) EncodeState(st spec.State) ([]byte, error) {
+	s, ok := st.(AccountState)
+	if !ok {
+		return nil, codecErr("account", st)
+	}
+	return json.Marshal(int64(s))
+}
+
+// DecodeState implements spec.StateCodec.
+func (AccountSpec) DecodeState(b []byte) (spec.State, error) {
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return nil, err
+	}
+	return AccountState(n), nil
+}
+
+// EncodeState implements spec.StateCodec.
+func (CounterSpec) EncodeState(st spec.State) ([]byte, error) {
+	s, ok := st.(counterState)
+	if !ok {
+		return nil, codecErr("counter", st)
+	}
+	return json.Marshal(int64(s))
+}
+
+// DecodeState implements spec.StateCodec.
+func (CounterSpec) DecodeState(b []byte) (spec.State, error) {
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return nil, err
+	}
+	return counterState(n), nil
+}
+
+// encodeInt64s marshals a []int64-backed state, normalising nil to [].
+func encodeInt64s(s []int64) ([]byte, error) {
+	if s == nil {
+		s = []int64{}
+	}
+	return json.Marshal(s)
+}
+
+// EncodeState implements spec.StateCodec.
+func (QueueSpec) EncodeState(st spec.State) ([]byte, error) {
+	s, ok := st.(queueState)
+	if !ok {
+		return nil, codecErr("queue", st)
+	}
+	return encodeInt64s(s)
+}
+
+// DecodeState implements spec.StateCodec.
+func (QueueSpec) DecodeState(b []byte) (spec.State, error) {
+	var s []int64
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, err
+	}
+	return queueState(s), nil
+}
+
+// EncodeState implements spec.StateCodec.
+func (SemiQueueSpec) EncodeState(st spec.State) ([]byte, error) {
+	s, ok := st.(semiQueueState)
+	if !ok {
+		return nil, codecErr("semiqueue", st)
+	}
+	return encodeInt64s(s)
+}
+
+// DecodeState implements spec.StateCodec.
+func (SemiQueueSpec) DecodeState(b []byte) (spec.State, error) {
+	var s []int64
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, err
+	}
+	return semiQueueState(s), nil
+}
+
+// EncodeState implements spec.StateCodec.
+func (IntSetSpec) EncodeState(st spec.State) ([]byte, error) {
+	s, ok := st.(intSetState)
+	if !ok {
+		return nil, codecErr("intset", st)
+	}
+	return encodeInt64s(s)
+}
+
+// DecodeState implements spec.StateCodec.
+func (IntSetSpec) DecodeState(b []byte) (spec.State, error) {
+	var s []int64
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, err
+	}
+	return intSetState(s), nil
+}
+
+// EncodeState implements spec.StateCodec.
+func (RegisterSpec) EncodeState(st spec.State) ([]byte, error) {
+	s, ok := st.(registerState)
+	if !ok {
+		return nil, codecErr("register", st)
+	}
+	return json.Marshal(s.val)
+}
+
+// DecodeState implements spec.StateCodec.
+func (RegisterSpec) DecodeState(b []byte) (spec.State, error) {
+	var v value.Value
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, err
+	}
+	return registerState{val: v}, nil
+}
+
+// wireBinding is binding's serialized form.
+type wireBinding struct {
+	K int64 `json:"k"`
+	V int64 `json:"v"`
+}
+
+// EncodeState implements spec.StateCodec.
+func (DirectorySpec) EncodeState(st spec.State) ([]byte, error) {
+	s, ok := st.(directoryState)
+	if !ok {
+		return nil, codecErr("directory", st)
+	}
+	out := make([]wireBinding, len(s))
+	for i, b := range s {
+		out[i] = wireBinding{K: b.k, V: b.v}
+	}
+	return json.Marshal(out)
+}
+
+// DecodeState implements spec.StateCodec.
+func (DirectorySpec) DecodeState(b []byte) (spec.State, error) {
+	var in []wireBinding
+	if err := json.Unmarshal(b, &in); err != nil {
+		return nil, err
+	}
+	if len(in) == 0 {
+		return directoryState(nil), nil
+	}
+	out := make(directoryState, len(in))
+	for i, w := range in {
+		out[i] = binding{k: w.K, v: w.V}
+	}
+	return out, nil
+}
+
+// EncodeState implements spec.StateCodec.
+func (SeatMapSpec) EncodeState(st spec.State) ([]byte, error) {
+	s, ok := st.(seatMapState)
+	if !ok {
+		return nil, codecErr("seatmap", st)
+	}
+	taken := s.taken
+	if taken == nil {
+		taken = []bool{}
+	}
+	return json.Marshal(taken)
+}
+
+// DecodeState implements spec.StateCodec.
+func (s SeatMapSpec) DecodeState(b []byte) (spec.State, error) {
+	var taken []bool
+	if err := json.Unmarshal(b, &taken); err != nil {
+		return nil, err
+	}
+	if len(taken) != s.Seats {
+		return nil, fmt.Errorf("adts: seatmap codec: snapshot has %d seats, spec has %d", len(taken), s.Seats)
+	}
+	return seatMapState{taken: taken}, nil
+}

@@ -33,6 +33,9 @@ type CoordinatorConfig struct {
 	// fault.CoordCrashAfterLog) and stable-storage faults on the
 	// coordinator's own log (fault.DiskAppendFail, fault.DiskCheckpointTorn).
 	Injector *fault.Injector
+	// Disk substitutes the coordinator's stable storage. Nil selects a
+	// fresh in-memory recovery.Disk.
+	Disk recovery.Backend
 }
 
 // Coordinator is the crashable two-phase-commit coordinator: it forces
@@ -48,7 +51,7 @@ type Coordinator struct {
 
 	mu           sync.Mutex
 	up           bool
-	disk         *recovery.Disk // stable: survives crashes
+	disk         recovery.Backend // stable: survives crashes
 	decided      map[histories.ActivityID]bool
 	inflight     map[histories.ActivityID]bool // volatile: Begin'd, not yet decided
 	crashes      int64
@@ -61,12 +64,15 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.ID == "" || cfg.Network == nil {
 		return nil, errors.New("dist: CoordinatorConfig needs ID and Network")
 	}
+	if cfg.Disk == nil {
+		cfg.Disk = &recovery.Disk{}
+	}
 	c := &Coordinator{
 		id:       cfg.ID,
 		net:      cfg.Network,
 		inj:      cfg.Injector,
 		up:       true,
-		disk:     &recovery.Disk{},
+		disk:     cfg.Disk,
 		decided:  make(map[histories.ActivityID]bool),
 		inflight: make(map[histories.ActivityID]bool),
 	}
@@ -88,7 +94,7 @@ func (c *Coordinator) Up() bool {
 }
 
 // Disk exposes the coordinator's stable storage (for tests).
-func (c *Coordinator) Disk() *recovery.Disk { return c.disk }
+func (c *Coordinator) Disk() recovery.Backend { return c.disk }
 
 // Crashes returns how many times the coordinator has crashed.
 func (c *Coordinator) Crashes() int64 {

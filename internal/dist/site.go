@@ -161,6 +161,10 @@ type SiteConfig struct {
 	// stable-storage faults on the site's disk (fault.DiskAppendFail,
 	// fault.DiskAppendTorn, fault.DiskCheckpointTorn).
 	Injector *fault.Injector
+	// Disk substitutes the site's stable storage. Nil selects a fresh
+	// in-memory recovery.Disk; pass a recovery.FileWAL (opened on the
+	// site's own directory) for real durability.
+	Disk recovery.Backend
 }
 
 // Site hosts locking-protocol objects, a write-ahead log on its own
@@ -193,7 +197,7 @@ type Site struct {
 	mu         sync.Mutex
 	up         bool
 	epoch      uint64
-	disk       *recovery.Disk // stable: survives crashes
+	disk       recovery.Backend // stable: survives crashes
 	types      map[histories.ObjectID]adts.Type
 	guards     map[histories.ObjectID]func(adts.Type) locking.Guard
 	seedHosted map[histories.ObjectID]bool            // stable: objects seeded here (pre-migration)
@@ -279,6 +283,9 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 	if cap <= 0 {
 		cap = 1024
 	}
+	if cfg.Disk == nil {
+		cfg.Disk = &recovery.Disk{}
+	}
 	s := &Site{
 		id:          cfg.ID,
 		net:         cfg.Network,
@@ -288,7 +295,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		inj:         cfg.Injector,
 		up:          true,
 		epoch:       1,
-		disk:        &recovery.Disk{},
+		disk:        cfg.Disk,
 		types:       make(map[histories.ObjectID]adts.Type),
 		guards:      make(map[histories.ObjectID]func(adts.Type) locking.Guard),
 		seedHosted:  make(map[histories.ObjectID]bool),
@@ -329,7 +336,7 @@ func (s *Site) Epoch() uint64 {
 }
 
 // Disk exposes the site's stable storage (for tests).
-func (s *Site) Disk() *recovery.Disk { return s.disk }
+func (s *Site) Disk() recovery.Backend { return s.disk }
 
 // AddObject hosts a new object at the site. guard builds the conflict rule
 // from the type (so recovery can rebuild it — crucially, a recovering site

@@ -143,6 +143,18 @@ const (
 	// the workload runs. Consulted by the chaos harness's churn driver on
 	// its cadence.
 	ClusterChurn Point = "cluster.churn"
+	// DiskWriteTorn: a file-backed WAL write tears — only a prefix of the
+	// frame's bytes reach the file before the write errors. The backend
+	// truncates the file back to the pre-record offset so the live log
+	// stays clean, and the caller sees a retryable write failure. Hit by
+	// recovery.FileWAL's file layer per frame write.
+	DiskWriteTorn Point = "disk.write.torn"
+	// DiskFsyncFail: the fsync that forces a group-commit batch fails —
+	// nothing in the batch may be acknowledged (a commit record the
+	// client saw fail must not survive restart), so the backend truncates
+	// the segment back to the pre-batch offset and fails every group. Hit
+	// by recovery.FileWAL's file layer per fsync.
+	DiskFsyncFail Point = "disk.fsync.fail"
 )
 
 // AllPoints returns every named fault point wired through the system, in
@@ -172,6 +184,8 @@ func AllPoints() []Point {
 		MigrateCrashCommit,
 		MigratePartition,
 		ClusterChurn,
+		DiskWriteTorn,
+		DiskFsyncFail,
 	}
 }
 

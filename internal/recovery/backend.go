@@ -1,0 +1,44 @@
+package recovery
+
+import (
+	"weihl83/internal/fault"
+	"weihl83/internal/histories"
+	"weihl83/internal/spec"
+)
+
+// Backend is the stable-storage seam: everything the protocol layers need
+// from a write-ahead log, with the durability mechanism behind it
+// pluggable. Two implementations ship: Disk, the in-memory model that the
+// fault injector can tear deterministically (the chaos default), and
+// FileWAL, a file-backed segmented log whose torn-write detection is real
+// CRC framing rather than an injected flag.
+//
+// All methods are safe for concurrent use. The contract mirrors Disk's
+// long-standing semantics:
+//
+//   - Append/AppendBatch: a nil error means the record group is durably
+//     logged; any error means the caller must treat it as not logged (the
+//     write-ahead rule — a commit that cannot be logged stays prepared).
+//     AppendBatch isolates faults per group: errs[i] is nil iff group i is
+//     durable, independent of its batch mates.
+//   - Records returns a deep-copied snapshot; mutating it cannot alias the
+//     live log.
+//   - Checkpoint/CheckpointHosted snapshot committed state, compact the
+//     log, and report estimated bytes reclaimed.
+//   - SetInjector attaches a deterministic fault injector (nil detaches).
+//   - Close releases any OS resources; the in-memory disk has none.
+type Backend interface {
+	Append(r Record) error
+	AppendBatch(groups [][]Record) []error
+	Records() []Record
+	Len() int
+	Checkpoint(specs map[histories.ObjectID]spec.SerialSpec) (int64, error)
+	CheckpointHosted(specs map[histories.ObjectID]spec.SerialSpec, initialHosted map[histories.ObjectID]bool) (int64, error)
+	SetInjector(in *fault.Injector)
+	Close() error
+}
+
+var _ Backend = (*Disk)(nil)
+
+// Close implements Backend. The in-memory disk holds no OS resources.
+func (d *Disk) Close() error { return nil }

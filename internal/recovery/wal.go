@@ -253,7 +253,7 @@ func (d *Disk) Len() int {
 // transaction it depends on; concurrently-prepared transactions hold
 // non-conflicting locks, whose recorded results replay validly in either
 // order.
-func Restart(d *Disk, specs map[histories.ObjectID]spec.SerialSpec) (map[histories.ObjectID]spec.State, error) {
+func Restart(d Backend, specs map[histories.ObjectID]spec.SerialSpec) (map[histories.ObjectID]spec.State, error) {
 	return replay(d.Records(), specs)
 }
 
@@ -264,7 +264,7 @@ func Restart(d *Disk, specs map[histories.ObjectID]spec.SerialSpec) (map[histori
 // (and adopt the copied state baseline), committed migrate-out records
 // drop it, and a checkpoint's Hosted snapshot re-bases the derivation the
 // way its States snapshot re-bases state replay.
-func RestartHosted(d *Disk, specs map[histories.ObjectID]spec.SerialSpec, initialHosted map[histories.ObjectID]bool) (map[histories.ObjectID]spec.State, map[histories.ObjectID]bool, error) {
+func RestartHosted(d Backend, specs map[histories.ObjectID]spec.SerialSpec, initialHosted map[histories.ObjectID]bool) (map[histories.ObjectID]spec.State, map[histories.ObjectID]bool, error) {
 	return replayHosted(d.Records(), specs, initialHosted)
 }
 

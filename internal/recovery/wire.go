@@ -1,0 +1,129 @@
+package recovery
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"weihl83/internal/histories"
+	"weihl83/internal/spec"
+)
+
+// wireRecord is Record's serialized form inside a WAL frame. Everything is
+// plain JSON except checkpoint state snapshots: spec.State is an interface,
+// so each object's state is encoded through its spec's StateCodec and
+// carried as raw bytes keyed by object id. Decoding therefore needs the
+// spec table, which the file backend is constructed with.
+type wireRecord struct {
+	Kind         RecordKind                      `json:"k"`
+	Txn          histories.ActivityID            `json:"t,omitempty"`
+	Object       histories.ObjectID              `json:"o,omitempty"`
+	Calls        []spec.Call                     `json:"c,omitempty"`
+	TS           histories.Timestamp             `json:"ts,omitempty"`
+	Migrate      MigrateDir                      `json:"m,omitempty"`
+	RingV        uint64                          `json:"rv,omitempty"`
+	Participants []string                        `json:"p,omitempty"`
+	States       map[histories.ObjectID]rawState `json:"s,omitempty"`
+	Decided      []histories.ActivityID          `json:"d,omitempty"`
+	Hosted       map[histories.ObjectID]bool     `json:"h,omitempty"`
+}
+
+// rawState is one object's encoded snapshot state.
+type rawState = json.RawMessage
+
+// encodeRecord serializes r for the file backend. specs supplies the
+// StateCodec for each object appearing in a checkpoint's States snapshot;
+// a spec without a codec makes the record unencodable (the caller's
+// checkpoint fails cleanly, leaving the uncompacted log authoritative).
+// Torn records are never encoded: on a real file a torn write is a
+// truncated frame, not a flagged record.
+func encodeRecord(r Record, specs map[histories.ObjectID]spec.SerialSpec) ([]byte, error) {
+	w := wireRecord{
+		Kind:         r.Kind,
+		Txn:          r.Txn,
+		Object:       r.Object,
+		Calls:        r.Calls,
+		TS:           r.TS,
+		Migrate:      r.Migrate,
+		RingV:        r.RingV,
+		Participants: r.Participants,
+		Hosted:       r.Hosted,
+	}
+	if r.States != nil {
+		w.States = make(map[histories.ObjectID]rawState, len(r.States))
+		for id, st := range r.States {
+			s, ok := specs[id]
+			if !ok {
+				return nil, fmt.Errorf("recovery: encode: no spec for object %s", id)
+			}
+			codec, ok := s.(spec.StateCodec)
+			if !ok {
+				return nil, fmt.Errorf("recovery: encode: spec %s for object %s has no StateCodec", s.Name(), id)
+			}
+			b, err := codec.EncodeState(st)
+			if err != nil {
+				return nil, fmt.Errorf("recovery: encode state of %s: %w", id, err)
+			}
+			w.States[id] = b
+		}
+	}
+	if r.Decided != nil {
+		w.Decided = make([]histories.ActivityID, 0, len(r.Decided))
+		for txn := range r.Decided {
+			w.Decided = append(w.Decided, txn)
+		}
+		sort.Slice(w.Decided, func(i, j int) bool { return w.Decided[i] < w.Decided[j] })
+	}
+	return json.Marshal(w)
+}
+
+// decodeRecord reverses encodeRecord. It returns ErrCorrupt-wrapped errors
+// for payloads that pass their frame checksum but do not parse: a valid
+// CRC over an undecodable record means the bytes are authentic and the log
+// is damaged (or written by an incompatible version), which trimming must
+// not paper over.
+func decodeRecord(payload []byte, specs map[histories.ObjectID]spec.SerialSpec) (Record, error) {
+	var w wireRecord
+	if err := json.Unmarshal(payload, &w); err != nil {
+		return Record{}, fmt.Errorf("%w: undecodable record: %v", ErrCorrupt, err)
+	}
+	if w.Kind < RecordIntentions || w.Kind > RecordCheckpoint {
+		return Record{}, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, w.Kind)
+	}
+	r := Record{
+		Kind:         w.Kind,
+		Txn:          w.Txn,
+		Object:       w.Object,
+		Calls:        w.Calls,
+		TS:           w.TS,
+		Migrate:      w.Migrate,
+		RingV:        w.RingV,
+		Participants: w.Participants,
+		Hosted:       w.Hosted,
+	}
+	if w.States != nil {
+		r.States = make(map[histories.ObjectID]spec.State, len(w.States))
+		for id, raw := range w.States {
+			s, ok := specs[id]
+			if !ok {
+				return Record{}, fmt.Errorf("recovery: decode: checkpoint references object %s with no spec", id)
+			}
+			codec, ok := s.(spec.StateCodec)
+			if !ok {
+				return Record{}, fmt.Errorf("recovery: decode: spec %s for object %s has no StateCodec", s.Name(), id)
+			}
+			st, err := codec.DecodeState(raw)
+			if err != nil {
+				return Record{}, fmt.Errorf("%w: state of %s: %v", ErrCorrupt, id, err)
+			}
+			r.States[id] = st
+		}
+	}
+	if w.Decided != nil {
+		r.Decided = make(map[histories.ActivityID]bool, len(w.Decided))
+		for _, txn := range w.Decided {
+			r.Decided[txn] = true
+		}
+	}
+	return r, nil
+}

@@ -74,6 +74,12 @@ type Options struct {
 	DrainTimeout time.Duration
 	// DefaultTenant seeds the options of lazily created tenants.
 	DefaultTenant TenantOptions
+	// DataDir, when non-empty, puts every tenant on a file-backed
+	// write-ahead log under DataDir/<tenant> with a persisted object
+	// catalog, so a drained server restarted on the same directory
+	// recovers each tenant's objects and committed state. Durable tenants
+	// require the Dynamic property. Empty keeps tenants in memory.
+	DataDir string
 	// Injector, when non-nil, arms the service fault points
 	// (svc.accept.drop, svc.response.torn, svc.drain.timeout).
 	Injector *fault.Injector
@@ -191,7 +197,7 @@ func (s *Server) tenant(name string) (*tenant, error) {
 	if tn := s.tenants[name]; tn != nil {
 		return tn, nil
 	}
-	tn, err := newTenant(name, s.opts.DefaultTenant)
+	tn, err := newTenant(name, s.opts.DefaultTenant, s.opts.DataDir)
 	if err != nil {
 		return nil, err
 	}
@@ -426,7 +432,7 @@ func (s *Server) handleTenant(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	tn, err := newTenant(cfg.Tenant, opts)
+	tn, err := newTenant(cfg.Tenant, opts, s.opts.DataDir)
 	if err != nil {
 		s.writeJSON(w, http.StatusBadRequest, StatusResponse{Error: err.Error(), Code: CodeBadReq})
 		return
@@ -536,5 +542,13 @@ func (s *Server) Drain() obs.Snapshot {
 		s.cancelBase()
 		<-done
 	}
+	// With every handler gone nothing can append: close the tenants'
+	// write-ahead logs so file-backed state is cleanly released. (Close is
+	// idempotent, so concurrent Drain calls are safe.)
+	s.mu.Lock()
+	for _, tn := range s.tenants {
+		tn.close()
+	}
+	s.mu.Unlock()
 	return obs.Default.Snapshot(false)
 }

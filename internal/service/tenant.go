@@ -49,6 +49,14 @@ type tenant struct {
 	mu      sync.Mutex
 	objects map[string]bool
 
+	// Durable tenants (Options.DataDir set) additionally carry their data
+	// directory, the file-backed WAL, and the persisted object catalog
+	// (the WAL records effects; the catalog records which objects exist
+	// and how they were configured, so a restart can rebuild the set).
+	dir     string
+	wal     *weihl83.FileWAL
+	catalog []catalogEntry
+
 	// inflight bounds concurrently executing transactions: acquiring a
 	// slot is admission, waiting for one is the queue.
 	inflight chan struct{}
@@ -150,8 +158,27 @@ func sameTenantOptions(a, b TenantOptions) bool {
 		a.MaxInFlight == b.MaxInFlight
 }
 
-// newTenant builds the tenant's private System.
-func newTenant(name string, opts TenantOptions) (*tenant, error) {
+// newTenant builds the tenant's private System; with dataDir set the
+// System runs on a file-backed WAL under dataDir/<name> and recovers any
+// catalogued objects and their committed state.
+func newTenant(name string, opts TenantOptions, dataDir string) (*tenant, error) {
+	prefix := "svc.tenant." + name + "."
+	tn := &tenant{
+		name:      name,
+		opts:      opts,
+		objects:   make(map[string]bool),
+		inflight:  make(chan struct{}, opts.MaxInFlight),
+		committed: obs.Default.Counter(prefix + "committed"),
+		failed:    obs.Default.Counter(prefix + "failed"),
+		shed:      obs.Default.Counter(prefix + "shed"),
+		latency:   obs.Default.Histogram(prefix + "latency_ns"),
+	}
+	if dataDir != "" {
+		if err := tn.openDurable(dataDir); err != nil {
+			return nil, err
+		}
+		return tn, nil
+	}
 	sys, err := weihl83.NewSystem(weihl83.Options{
 		Property:    opts.Property,
 		Record:      opts.Record,
@@ -162,18 +189,16 @@ func newTenant(name string, opts TenantOptions) (*tenant, error) {
 	if err != nil {
 		return nil, err
 	}
-	prefix := "svc.tenant." + name + "."
-	return &tenant{
-		name:      name,
-		opts:      opts,
-		sys:       sys,
-		objects:   make(map[string]bool),
-		inflight:  make(chan struct{}, opts.MaxInFlight),
-		committed: obs.Default.Counter(prefix + "committed"),
-		failed:    obs.Default.Counter(prefix + "failed"),
-		shed:      obs.Default.Counter(prefix + "shed"),
-		latency:   obs.Default.Histogram(prefix + "latency_ns"),
-	}, nil
+	tn.sys = sys
+	return tn, nil
+}
+
+// close releases the tenant's file-backed WAL (no-op for in-memory
+// tenants; idempotent).
+func (tn *tenant) close() {
+	if tn.wal != nil {
+		_ = tn.wal.Close()
+	}
 }
 
 // addObject creates one object (idempotent for identical repeats: creating
@@ -197,6 +222,18 @@ func (tn *tenant) addObject(id, typeName, guardName string) error {
 	defer tn.mu.Unlock()
 	if tn.objects[id] {
 		return nil
+	}
+	// Durable tenants persist the catalog entry BEFORE creating the
+	// object: a crash between the two leaves a catalogued object that the
+	// next open creates empty, which is exactly what the client asked for.
+	// The reverse order could commit effects to an object a restart does
+	// not know how to rebuild.
+	if tn.wal != nil {
+		entry := catalogEntry{ID: id, Type: typeName, Guard: guardWire[guard]}
+		if err := writeCatalog(tn.dir, append(tn.catalog, entry)); err != nil {
+			return fmt.Errorf("persisting catalog: %w", err)
+		}
+		tn.catalog = append(tn.catalog, entry)
 	}
 	if err := tn.sys.AddObject(weihl83.ObjectID(id), mk(), weihl83.WithGuard(guard)); err != nil {
 		return err

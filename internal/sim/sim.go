@@ -125,7 +125,7 @@ type Config struct {
 	// WAL, when set, write-ahead-logs every commit so the system's state
 	// survives a crash-restart (recovery.Restart); chaos runs inject disk
 	// faults through it.
-	WAL *recovery.Disk
+	WAL recovery.Backend
 	// Backoff paces Run's retries (zero value = defaults).
 	Backoff tx.Backoff
 }

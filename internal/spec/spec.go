@@ -73,6 +73,20 @@ type SerialSpec interface {
 	Init() State
 }
 
+// StateCodec is an optional extension of SerialSpec for types whose states
+// can be serialized to stable storage. Key() is a canonical encoding but
+// deliberately not a reversible one (states are interface values built by
+// each type); a durable backend needs to round-trip checkpoint snapshots
+// through bytes, so specs that want their objects to survive in an on-disk
+// checkpoint implement StateCodec too. DecodeState(EncodeState(st)) must
+// yield a state with st's Key.
+type StateCodec interface {
+	// EncodeState serializes a state produced by this spec.
+	EncodeState(State) ([]byte, error)
+	// DecodeState reverses EncodeState.
+	DecodeState([]byte) (State, error)
+}
+
 // Apply runs inv deterministically from st by selecting the specification's
 // first outcome. Protocol implementations use Apply as the canonical
 // executable behaviour of the type; checkers use Step directly so that all

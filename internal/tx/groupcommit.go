@@ -31,7 +31,7 @@ type walReq struct {
 // walGroup batches concurrent transactions' write-ahead-log appends into
 // single forced writes (group commit). The first committer with no leader
 // running becomes leader, drains the queue, and hands the whole batch to
-// recovery.Disk.AppendBatch under one stable-storage acquisition; arrivals
+// the backend's AppendBatch under one stable-storage force; arrivals
 // during that write queue up for the next batch. When the leader finishes
 // it promotes the oldest queued request's owner to lead the next batch —
 // leadership rotates with the workload, so no committer waits more than
@@ -42,7 +42,7 @@ type walReq struct {
 // faulted record, so one transaction's torn write never aborts its batch
 // mates (exactly as if each had appended solo).
 type walGroup struct {
-	disk *recovery.Disk
+	disk recovery.Backend
 
 	mu      sync.Mutex
 	queue   []*walReq

@@ -180,7 +180,7 @@ type Config struct {
 	Record bool
 	// WAL, when set, receives intentions and commit records during
 	// two-phase commit, enabling crash-restart via recovery.Restart.
-	WAL *recovery.Disk
+	WAL recovery.Backend
 	// Coordinator, when set, is told when two-phase commit starts and is
 	// asked to make each outcome durable — the coordinator's commit point
 	// in distributed two-phase commit. Participants that crash afterwards

@@ -91,7 +91,7 @@ func TestStaticReadOnlyNeverConflicts(t *testing.T) {
 	}
 }
 
-func newHybridSystemWAL(t *testing.T, disk *recovery.Disk) *tx.Manager {
+func newHybridSystemWAL(t *testing.T, disk recovery.Backend) *tx.Manager {
 	t.Helper()
 	det := locking.NewDetector()
 	var src clock.Source

@@ -20,7 +20,7 @@ import (
 
 // newDynamicSystem builds a dynamic-atomicity manager over two escrow
 // accounts and a commutativity-locked set.
-func newDynamicSystem(t *testing.T, wal *recovery.Disk) (*tx.Manager, *locking.Detector) {
+func newDynamicSystem(t *testing.T, wal recovery.Backend) (*tx.Manager, *locking.Detector) {
 	t.Helper()
 	det := locking.NewDetector()
 	m, err := tx.NewManager(tx.Config{Property: tx.Dynamic, Detector: det, Record: true, WAL: wal})

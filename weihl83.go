@@ -76,9 +76,19 @@ type (
 	Txn = tx.Txn
 	// Checker decides the paper's atomicity properties offline.
 	Checker = core.Checker
-	// Disk is the stable-storage abstraction used for write-ahead logging
-	// and crash-restart simulation.
+	// Disk is the in-memory stable-storage model used for write-ahead
+	// logging and crash-restart simulation — and the backend of choice for
+	// deterministic fault injection.
 	Disk = recovery.Disk
+	// Backend is the stable-storage seam: any write-ahead-log
+	// implementation a System can log to. Disk (in-memory, fault-
+	// injectable) and FileWAL (file-backed, segmented, fsync-batched)
+	// both satisfy it.
+	Backend = recovery.Backend
+	// FileWAL is the file-backed segmented write-ahead log: CRC32C-framed
+	// records, one fsync per group-commit batch, segment rotation with an
+	// on-disk checkpoint manifest, and torn-tail trimming at recovery.
+	FileWAL = recovery.FileWAL
 	// Backoff configures Run's retry pacing: capped exponential backoff
 	// with equal jitter (the zero value selects the defaults).
 	Backoff = tx.Backoff
@@ -125,6 +135,14 @@ const (
 	// log is left uncompacted and restart falls back to replaying it in
 	// full.
 	DiskCheckpointTorn = fault.DiskCheckpointTorn
+	// DiskWriteTorn makes a file-backed WAL frame write tear: a prefix of
+	// the frame reaches the file, the backend repairs by truncating, and
+	// the caller sees a retryable failure (FileWAL only).
+	DiskWriteTorn = fault.DiskWriteTorn
+	// DiskFsyncFail makes the fsync forcing a group-commit batch fail:
+	// every transaction in the batch aborts retryably and nothing from the
+	// batch survives restart (FileWAL only).
+	DiskFsyncFail = fault.DiskFsyncFail
 )
 
 // Property selects the local atomicity property a System enforces.
@@ -173,8 +191,9 @@ type Options struct {
 	// MaxRetries bounds Run's automatic retries (default 100).
 	MaxRetries int
 	// WAL, when non-nil, receives intentions and commit records, enabling
-	// Restart.
-	WAL *Disk
+	// Restart. Use a &Disk{} for the in-memory model or OpenFileWAL for
+	// real file-backed durability.
+	WAL Backend
 	// Backoff paces Run's retries (zero value = capped exponential backoff
 	// with equal jitter at the defaults).
 	Backoff Backoff
@@ -225,6 +244,12 @@ type ObjectOption func(*objectConfig)
 type objectConfig struct {
 	guard   Guard
 	undoLog bool
+	initial spec.State
+}
+
+// withInitial seeds the object's committed base state (crash recovery).
+func withInitial(st spec.State) ObjectOption {
+	return func(c *objectConfig) { c.initial = st }
 }
 
 // WithGuard selects the conflict granularity (dynamic and hybrid systems).
@@ -264,6 +289,7 @@ func (s *System) AddObject(id ObjectID, t ADT, opts ...ObjectOption) error {
 			WaitTimeout:   s.opts.WaitTimeout,
 			Sink:          s.manager.Sink(),
 			UpdateInPlace: cfg.undoLog,
+			Initial:       cfg.initial,
 		})
 	case Static:
 		r, err = mvcc.New(mvcc.Config{
@@ -411,6 +437,72 @@ func (s *System) Checkpoint() (int64, error) {
 		return 0, fmt.Errorf("weihl83: checkpoint: %w", err)
 	}
 	return reclaimed, nil
+}
+
+// OpenFileWAL opens (or creates) a file-backed segmented write-ahead log
+// in dir. types names the ADT of every object whose state may appear in an
+// on-disk checkpoint snapshot — needed to decode an existing checkpoint at
+// open; pass the same table the system's objects are created with. The
+// returned backend goes into Options.WAL; close it after the System is
+// done.
+func OpenFileWAL(dir string, types map[ObjectID]ADT) (*FileWAL, error) {
+	specs := make(map[ObjectID]spec.SerialSpec, len(types))
+	for id, t := range types {
+		specs[id] = t.Spec
+	}
+	w, err := recovery.OpenFileWAL(recovery.FileWALOptions{Dir: dir, Specs: specs})
+	if err != nil {
+		return nil, fmt.Errorf("weihl83: %w", err)
+	}
+	return w, nil
+}
+
+// RecoverObjects rebuilds every named object from the system's write-ahead
+// log and registers it: each object is created with its recovered
+// committed state as the base. It is the restart half of durable
+// operation — open the WAL on the same directory, create an empty System
+// with it, then RecoverObjects with the same type table (and object
+// options) the objects were originally created with. Only dynamic systems
+// support live recovery; the system must not contain the objects yet.
+func (s *System) RecoverObjects(types map[ObjectID]ADT, opts ...ObjectOption) error {
+	return s.RecoverObjectsWith(types, func(ObjectID) []ObjectOption { return opts })
+}
+
+// RecoverObjectsWith is RecoverObjects with per-object options: optsFor is
+// consulted once per object for the options (guard, undo log) that object
+// was originally created with. Callers that persist a per-object catalog
+// alongside the WAL use this to restore heterogeneous guards.
+func (s *System) RecoverObjectsWith(types map[ObjectID]ADT, optsFor func(ObjectID) []ObjectOption) error {
+	if s.opts.WAL == nil {
+		return errors.New("weihl83: system has no write-ahead log")
+	}
+	if s.opts.Property != Dynamic {
+		return errors.New("weihl83: RecoverObjects requires a dynamic-atomicity system")
+	}
+	specs := make(map[ObjectID]spec.SerialSpec, len(types))
+	for id, t := range types {
+		if _, dup := s.objects[id]; dup {
+			return fmt.Errorf("weihl83: RecoverObjects: object %q already exists", id)
+		}
+		specs[id] = t.Spec
+	}
+	states, err := recovery.Restart(s.opts.WAL, specs)
+	if err != nil {
+		return fmt.Errorf("weihl83: recover: %w", err)
+	}
+	for id, t := range types {
+		var objOpts []ObjectOption
+		if optsFor != nil {
+			objOpts = optsFor(id)
+		}
+		if st, ok := states[id]; ok {
+			objOpts = append(append([]ObjectOption(nil), objOpts...), withInitial(st))
+		}
+		if err := s.AddObject(id, t, objOpts...); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Retryable reports whether err is a transient protocol abort (deadlock,
