@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-smoke chaos-churn check bench-smoke bench-hotpath bench-guardcascade bench-service bench-service-full bench-shard bench-shard-full bench-durable bench-durable-full fuzz-smoke clean
+.PHONY: all build vet staticcheck test race chaos chaos-smoke chaos-churn chaos-replication check bench-smoke bench-hotpath bench-guardcascade bench-service bench-service-full bench-shard bench-shard-full bench-durable bench-durable-full bench-replication bench-replication-full fuzz-smoke clean
 
 all: check
 
@@ -10,15 +10,25 @@ build:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs honnef.co/go/tools when the binary is on PATH and is a
+# no-op otherwise: the gate must not depend on network installs, so
+# machines without the tool (including minimal CI runners) skip it.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed, skipping"; \
+	fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: vet, build, and the full suite under the race
-# detector.
-check: vet build race
+# check is the CI gate: vet, staticcheck (when present), build, and the
+# full suite under the race detector.
+check: vet staticcheck build race
 
 # chaos runs the fault-injection harness across a batch of seeds under
 # every atomicity property.
@@ -46,6 +56,17 @@ chaos-smoke:
 # committed state reconstructible from the logs at its post-churn home.
 chaos-churn:
 	$(GO) run ./cmd/chaos -property dynamic -churn -seed 1 -runs 5 -checkpoint 2ms
+
+# chaos-replication is the replica-group chaos gate: every object
+# replicated across a four-site cluster while follower deliveries drop,
+# followers crash inside the apply windows, single-site partitions rotate,
+# and WAL checkpointing compacts the logs. On top of the usual oracles
+# every completed snapshot audit must see a conserved total and every
+# follower must converge to its leader's committed state — both before and
+# after a crash-all-sites restart. Coordinator crashes stay unarmed here:
+# an orphaned decision never ships its deliveries (DESIGN §14).
+chaos-replication:
+	$(GO) run ./cmd/chaos -property dynamic -replication -seed 1 -runs 5 -checkpoint 2ms
 
 # bench-smoke compiles and exercises every benchmark once and produces a
 # machine-readable bankbench result at a tiny scale — a fast regression
@@ -118,14 +139,31 @@ bench-durable:
 bench-durable-full:
 	$(GO) run ./cmd/bankbench -json -exp durable -workers 4 -transfers 300 -repeat 3 > BENCH_durable.json
 
+# bench-replication is the CI replica-group gate: the factor ladder
+# (1/2/3/4 replicas on a fixed four-site cluster) measuring commuting
+# commit/s, read-any audit/s and the non-commuting sync-barrier cost,
+# gated by benchguard against the committed BENCH_replication.json on the
+# audit-rate axis. Audit throughput rising with the factor is the point of
+# read-any; a rung collapsing relative to the others means the router, the
+# snapshot pin, or the delivery path regressed.
+bench-replication:
+	$(GO) run ./cmd/bankbench -json -exp replication -workers 4 -transfers 200 -audits 200 -accounts 8 -repeat 3 \
+		| $(GO) run ./cmd/benchguard -ref BENCH_replication.json -labels replicas -threshold 0.35
+
+# bench-replication-full regenerates the committed replication ladder.
+bench-replication-full:
+	$(GO) run ./cmd/bankbench -json -exp replication -workers 4 -transfers 200 -audits 200 -accounts 8 -repeat 3 > BENCH_replication.json
+
 # fuzz-smoke runs the library's fuzzers for a bounded time each: the
 # conflict engine's memoised exact tier must be indistinguishable from the
-# unmemoised search, and the WAL frame decoder must turn arbitrary segment
+# unmemoised search, the WAL frame decoder must turn arbitrary segment
 # damage into a clean torn-tail trim or ErrCorrupt — never a panic or a
-# silent misparse.
+# silent misparse — and every ADT state decoder must reject corrupt
+# checkpoint bytes cleanly or produce a state that round-trips.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzExactMemo -fuzztime=30s ./internal/conflict
 	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=30s ./internal/recovery
+	$(GO) test -run='^$$' -fuzz=FuzzStateDecode -fuzztime=30s ./internal/adts
 
 clean:
 	$(GO) clean ./...

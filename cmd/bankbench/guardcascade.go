@@ -185,13 +185,15 @@ func guardcascade(sc scale) bool {
 			}
 			fmt.Fprintf(tout, "%-16s %8d %14.0f\n", variant.label, workers, best)
 			if jsonDoc != nil {
-				jsonDoc.Rows = append(jsonDoc.Rows, benchRow{
+				row := benchRow{
 					Exp:           "guardcascade",
 					Kind:          variant.label,
 					Labels:        map[string]int64{"workers": int64(workers)},
 					WallNS:        int64(bestWall),
 					CommitsPerSec: best,
-				})
+				}
+				stampCommitLatency(&row)
+				jsonDoc.Rows = append(jsonDoc.Rows, row)
 			}
 		}
 	}

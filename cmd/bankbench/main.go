@@ -8,6 +8,8 @@
 //	bankbench -exp hotpath   runtime hot path: commit throughput vs workers
 //	bankbench -exp guardcascade  conflict-engine cascade vs raw guards
 //	bankbench -exp shard     elastic cluster: commit/s vs sites, migrations in flight
+//	bankbench -exp replication  replica groups: commuting commit/s, read-any audit/s
+//	                         and sync-barrier cost vs replication factor
 //	bankbench -exp durable   WAL backend ladder: in-memory vs file-backed fsync
 //	bankbench -exp all       everything (hotpath and guardcascade excluded;
 //	                         run them explicitly)
@@ -60,6 +62,34 @@ type benchRow struct {
 	Violations        int64                 `json:"violations"`
 	TransferLatency   obs.HistogramSnapshot `json:"transfer_latency_ns"`
 	AuditLatency      obs.HistogramSnapshot `json:"audit_latency_ns"`
+	// Commit-latency percentiles of the runtime's tx.commit.latency_ns
+	// histogram over this row's window (a delta snapshot between row
+	// boundaries, so rows in one invocation don't contaminate each other).
+	CommitLatencyP50NS int64 `json:"commit_latency_p50_ns"`
+	CommitLatencyP95NS int64 `json:"commit_latency_p95_ns"`
+	CommitLatencyP99NS int64 `json:"commit_latency_p99_ns"`
+}
+
+// commitLatBase is the tx.commit.latency_ns snapshot at the previous row
+// boundary; commitLatencyDelta advances it.
+var commitLatBase obs.HistogramSnapshot
+
+// commitLatencyDelta returns the commit-latency observations since the
+// previous row boundary and moves the boundary forward.
+func commitLatencyDelta() obs.HistogramSnapshot {
+	cur := obs.SnapshotOf(obs.Default.Histogram("tx.commit.latency_ns"))
+	d := cur.DeltaSince(commitLatBase)
+	commitLatBase = cur
+	return d
+}
+
+// stampCommitLatency fills the row's commit-latency percentile columns
+// from the current delta window.
+func stampCommitLatency(r *benchRow) {
+	d := commitLatencyDelta()
+	r.CommitLatencyP50NS = d.P50
+	r.CommitLatencyP95NS = d.Quantile(0.95)
+	r.CommitLatencyP99NS = d.Quantile(0.99)
 }
 
 // benchDoc is the -json output: rows plus the observability snapshot
@@ -90,7 +120,7 @@ func record(exp string, kind sim.Kind, labels map[string]int64, m *sim.Metrics) 
 	if m.Wall > 0 {
 		auditRate = float64(m.AuditCommits()) / m.Wall.Seconds()
 	}
-	jsonDoc.Rows = append(jsonDoc.Rows, benchRow{
+	row := benchRow{
 		Exp:               exp,
 		Kind:              kind.String(),
 		Labels:            labels,
@@ -103,7 +133,9 @@ func record(exp string, kind sim.Kind, labels map[string]int64, m *sim.Metrics) 
 		Violations:        m.ConservationViolations(),
 		TransferLatency:   m.TransferLatencyStats(),
 		AuditLatency:      m.AuditLatencyStats(),
-	})
+	}
+	stampCommitLatency(&row)
+	jsonDoc.Rows = append(jsonDoc.Rows, row)
 }
 
 func main() {
@@ -111,7 +143,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: e5|e6|e7|e9|hotpath|guardcascade|shard|durable|all")
+	exp := flag.String("exp", "all", "experiment: e5|e6|e7|e9|hotpath|guardcascade|shard|durable|replication|all")
 	workers := flag.Int("workers", 4, "transfer workers")
 	transfers := flag.Int("transfers", 200, "transfers per worker")
 	audits := flag.Int("audits", 50, "audits per audit worker")
@@ -163,6 +195,8 @@ func run() int {
 		ok = shardExp(sc)
 	case "durable":
 		ok = durable(sc)
+	case "replication":
+		ok = replicationExp(sc)
 	case "all":
 		ok = e5(sc) && e6(sc) && e7(sc) && e9(sc)
 	default:

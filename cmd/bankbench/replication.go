@@ -1,0 +1,292 @@
+// replication measures what replica groups buy and what they cost: a
+// four-site cluster runs the same workloads at replication factor 1
+// (single-home baseline — EnableReplication is a no-op), 2, 3 and 4.
+// Three phases per rung:
+//
+//   - commuting updates (pure deposits): the conflict engine proves every
+//     pair commutative, so follower delivery is asynchronous — commit/s
+//     should hold as the factor grows, because the leader's 2PC round is
+//     unchanged and shipping is off the commit path;
+//   - read-any audits (read-only two-account sums): at factor 1 audits
+//     take read locks at the leaders; at factor ≥2 they run lock-free
+//     against follower snapshots and spread over the set, so audits/s
+//     should scale — the committed BENCH_replication.json gates the
+//     acceptance ratio (factor 3 ≥ 2x factor 1) via benchguard;
+//   - non-commuting updates (withdraw+deposit transfers): withdrawals
+//     conflict, so every commit pays the sync barrier draining in-flight
+//     deliveries — the price of staying serializable, reported so the
+//     ladder shows it stays a constant factor rather than growing with
+//     the replica count.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"weihl83/internal/adts"
+	"weihl83/internal/dist"
+	"weihl83/internal/histories"
+	"weihl83/internal/locking"
+	"weihl83/internal/tx"
+	"weihl83/internal/value"
+)
+
+// replSites is the fixed cluster size of the replication ladder; the
+// factor sweep runs against constant hardware so rungs are comparable.
+const replSites = 4
+
+// replCluster is one assembled replicated cluster.
+type replCluster struct {
+	cluster *dist.Cluster
+	manager *tx.Manager
+	objects []histories.ObjectID
+}
+
+func newReplCluster(factor, nObjects int, seed int64) (*replCluster, error) {
+	net := dist.NewNetwork(0, 0, seed)
+	net.SetRPC(300*time.Microsecond, 7)
+	var coords []*dist.Coordinator
+	for _, id := range []dist.SiteID{"C0", "C1"} {
+		c, err := dist.NewCoordinator(dist.CoordinatorConfig{ID: id, Network: net})
+		if err != nil {
+			return nil, err
+		}
+		coords = append(coords, c)
+	}
+	pool, err := dist.NewPool(coords...)
+	if err != nil {
+		return nil, err
+	}
+	sites := make([]*dist.Site, 0, replSites)
+	for i := 0; i < replSites; i++ {
+		s, err := dist.NewSite(dist.SiteConfig{
+			ID:           dist.SiteID(fmt.Sprintf("S%d", i)),
+			Network:      net,
+			Coordinators: pool.IDs(),
+			WaitTimeout:  5 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sites = append(sites, s)
+	}
+	escrow := func(adts.Type) locking.Guard { return locking.EscrowGuard{} }
+	rc := &replCluster{}
+	for i := 0; i < nObjects; i++ {
+		obj := histories.ObjectID(fmt.Sprintf("acct%d", i))
+		if err := sites[i%replSites].AddObject(obj, adts.Account(), escrow); err != nil {
+			return nil, err
+		}
+		rc.objects = append(rc.objects, obj)
+	}
+	cluster := dist.NewCluster(net, pool, 0, nil)
+	for _, s := range sites {
+		if err := cluster.Join(s.ID()); err != nil {
+			return nil, err
+		}
+	}
+	if err := cluster.EnableReplication(factor); err != nil {
+		return nil, err
+	}
+	m, err := tx.NewManager(tx.Config{
+		Property:    tx.Dynamic,
+		Coordinator: pool,
+		ReadRouter:  cluster.ReadRouter(),
+		MaxRetries:  10000,
+		Backoff:     tx.Backoff{Base: 50 * time.Microsecond, Max: 2 * time.Millisecond, Seed: seed + 1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, obj := range rc.objects {
+		if err := m.Register(cluster.Resource(obj, "")); err != nil {
+			return nil, err
+		}
+	}
+	rc.cluster = cluster
+	rc.manager = m
+	if err := cluster.ReplicationIdle(10 * time.Second); err != nil {
+		return nil, fmt.Errorf("seeding followers: %w", err)
+	}
+	return rc, nil
+}
+
+// replResult is one rung's measurements.
+type replResult struct {
+	commutPerSec    float64
+	auditsPerSec    float64
+	nonCommutPerSec float64
+}
+
+func (rc *replCluster) run(workers, transfers, audits int) (replResult, error) {
+	var res replResult
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	// Working balances, so the non-commuting phase's withdrawals are
+	// covered and never fail on insufficient funds.
+	for _, obj := range rc.objects {
+		obj := obj
+		if err := rc.manager.RunCtx(ctx, func(t *tx.Txn) error {
+			_, err := t.Invoke(obj, adts.OpDeposit, value.Int(1_000_000))
+			return err
+		}); err != nil {
+			return res, fmt.Errorf("seeding %s: %w", obj, err)
+		}
+	}
+
+	// Phase 1 — commuting updates: pure deposits, asynchronous delivery.
+	commits0, _ := rc.manager.Stats()
+	start := time.Now()
+	if err := rc.eachWorker(ctx, workers, func(w int) error {
+		for i := 0; i < transfers; i++ {
+			obj := rc.objects[(w+i)%len(rc.objects)]
+			if err := rc.manager.RunCtx(ctx, func(t *tx.Txn) error {
+				_, err := t.Invoke(obj, adts.OpDeposit, value.Int(1))
+				return err
+			}); err != nil {
+				return fmt.Errorf("worker %d deposit %d: %w", w, i, err)
+			}
+		}
+		return nil
+	}); err != nil {
+		return res, err
+	}
+	wall := time.Since(start)
+	commits1, _ := rc.manager.Stats()
+	res.commutPerSec = float64(commits1-commits0) / wall.Seconds()
+
+	// The audits must observe a settled snapshot floor; waiting for the
+	// deposit deliveries also keeps phase costs from bleeding into each
+	// other.
+	if err := rc.cluster.ReplicationIdle(30 * time.Second); err != nil {
+		return res, err
+	}
+
+	// Phase 2 — read-any audits: two-account read-only sums.
+	start = time.Now()
+	var auditCount int64
+	var mu sync.Mutex
+	if err := rc.eachWorker(ctx, workers, func(w int) error {
+		n := 0
+		for i := 0; i < audits; i++ {
+			a := rc.objects[(w+i)%len(rc.objects)]
+			b := rc.objects[(w+i+1)%len(rc.objects)]
+			if err := rc.manager.RunReadOnlyCtx(ctx, func(t *tx.Txn) error {
+				if _, err := t.Invoke(a, adts.OpBalance, value.Nil()); err != nil {
+					return err
+				}
+				_, err := t.Invoke(b, adts.OpBalance, value.Nil())
+				return err
+			}); err != nil {
+				return fmt.Errorf("worker %d audit %d: %w", w, i, err)
+			}
+			n++
+		}
+		mu.Lock()
+		auditCount += int64(n)
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		return res, err
+	}
+	wall = time.Since(start)
+	res.auditsPerSec = float64(auditCount) / wall.Seconds()
+
+	// Phase 3 — non-commuting updates: withdraw+deposit transfers, every
+	// commit paying the sync barrier.
+	commits0, _ = rc.manager.Stats()
+	start = time.Now()
+	if err := rc.eachWorker(ctx, workers, func(w int) error {
+		for i := 0; i < transfers; i++ {
+			from := rc.objects[(w+i)%len(rc.objects)]
+			to := rc.objects[(w+i+1)%len(rc.objects)]
+			if err := rc.manager.RunCtx(ctx, func(t *tx.Txn) error {
+				if _, err := t.Invoke(from, adts.OpWithdraw, value.Int(1)); err != nil {
+					return err
+				}
+				_, err := t.Invoke(to, adts.OpDeposit, value.Int(1))
+				return err
+			}); err != nil {
+				return fmt.Errorf("worker %d transfer %d: %w", w, i, err)
+			}
+		}
+		return nil
+	}); err != nil {
+		return res, err
+	}
+	wall = time.Since(start)
+	commits1, _ = rc.manager.Stats()
+	res.nonCommutPerSec = float64(commits1-commits0) / wall.Seconds()
+	return res, nil
+}
+
+// eachWorker fans fn over worker indices and returns the first error.
+func (rc *replCluster) eachWorker(ctx context.Context, workers int, fn func(w int) error) error {
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) { errs <- fn(w) }(w)
+	}
+	var first error
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// replicationExp is the "replication" experiment: the factor ladder.
+func replicationExp(sc scale) bool {
+	fmt.Fprintln(tout, "\nREPLICATION — replica-group ladder on a 4-site cluster")
+	fmt.Fprintf(tout, "%-8s %9s %14s %12s %16s\n", "kind", "replicas", "commut cmt/s", "audit/s", "noncommut cmt/s")
+	okAll := true
+	for _, factor := range []int{1, 2, 3, 4} {
+		var best replResult
+		got := false
+		for rep := 0; rep < hotRepeat; rep++ {
+			cl, err := newReplCluster(factor, sc.accounts, 42+int64(rep))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bankbench: replication:", err)
+				return false
+			}
+			r, err := cl.run(sc.workers, sc.transfers, sc.audits)
+			cl.cluster.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bankbench: replication factor=%d: %v\n", factor, err)
+				okAll = false
+				continue
+			}
+			if !got || r.auditsPerSec > best.auditsPerSec {
+				got, best = true, r
+			}
+		}
+		if !got {
+			continue
+		}
+		fmt.Fprintf(tout, "%-8s %9d %14.0f %12.0f %16.0f\n",
+			"cluster", factor, best.commutPerSec, best.auditsPerSec, best.nonCommutPerSec)
+		if jsonDoc != nil {
+			// CommitsPerSec carries the audit rate: that is the axis the
+			// acceptance gate (factor 3 ≥ 2x factor 1) and benchguard's
+			// -labels replicas comparison run on. The update rates ride
+			// along as labels.
+			row := benchRow{
+				Exp:  "replication",
+				Kind: "cluster",
+				Labels: map[string]int64{
+					"replicas":         int64(factor),
+					"commut_cps":       int64(best.commutPerSec),
+					"noncommut_cps":    int64(best.nonCommutPerSec),
+					"audits_per_sec_i": int64(best.auditsPerSec),
+				},
+				CommitsPerSec: best.auditsPerSec,
+			}
+			stampCommitLatency(&row)
+			jsonDoc.Rows = append(jsonDoc.Rows, row)
+		}
+	}
+	return okAll
+}

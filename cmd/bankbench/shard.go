@@ -232,13 +232,15 @@ func shardExp(sc scale) bool {
 		}
 		fmt.Fprintf(tout, "%-8s %8d %12.0f %10d %12v\n", "cluster", nSites, bestCps, bestMoves, bestWall.Round(time.Millisecond))
 		if jsonDoc != nil {
-			jsonDoc.Rows = append(jsonDoc.Rows, benchRow{
+			row := benchRow{
 				Exp:           "shard",
 				Kind:          "cluster",
 				Labels:        map[string]int64{"sites": int64(nSites), "moves": bestMoves},
 				WallNS:        int64(bestWall),
 				CommitsPerSec: bestCps,
-			})
+			}
+			stampCommitLatency(&row)
+			jsonDoc.Rows = append(jsonDoc.Rows, row)
 		}
 	}
 	return okAll

@@ -49,6 +49,12 @@ func main() {
 		churnP   = flag.Float64("churnprob", 0.9, "membership-action probability per churn tick (with -churn)")
 		migCrash = flag.Float64("migcrash", 0.05, "shard-migration crash-window probability (with -churn)")
 		migPart  = flag.Float64("migpartition", 0.2, "mid-migration partition probability (with -churn)")
+		repl     = flag.Bool("replication", false, "replica-group mode: every object replicated, commuting ops stream to followers, snapshot audits read anywhere (dynamic)")
+		replFac  = flag.Int("rfactor", 3, "replica-set size per object (with -replication)")
+		replDrop = flag.Float64("repldrop", 0.2, "follower delivery-drop probability (with -replication)")
+		replCr   = flag.Float64("replcrash", 0.05, "follower apply-window crash probability (with -replication)")
+		replPart = flag.Float64("replpartition", 0.3, "single-site partition probability per tick (with -replication)")
+		audits   = flag.Int("audits", 2, "concurrent snapshot-audit clients (with -replication)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "wall-clock bound per run")
 		verbose  = flag.Bool("v", false, "dump every run, not just failures")
 	)
@@ -96,11 +102,27 @@ func main() {
 			// targeted mid-migration partitions of fault.MigratePartition.
 			cfg.PartitionProb = 0
 		}
+		if *repl {
+			cfg.Replication = true
+			cfg.ReplicationFactor = *replFac
+			cfg.ReplicaDropProb = *replDrop
+			cfg.ReplicaCrashProb = *replCr
+			cfg.ReplicaPartitionProb = *replPart
+			cfg.AuditWorkers = *audits
+			cfg.Churn, cfg.ChurnProb = false, 0
+			// Replication mode drives its own single-site partition windows
+			// (fault.ReplPartition) and must not orphan commits: an orphaned
+			// decision never ships its follower deliveries (DESIGN §14), so
+			// the coordinator crash windows stay unarmed.
+			cfg.PartitionProb, cfg.CoordCrashProb = 0, 0
+		}
 		if prop != tx.Dynamic {
 			cfg.DropProb, cfg.DupProb, cfg.ReplyDropProb, cfg.DelayProb = 0, 0, 0, 0
 			cfg.CrashPrepareProb, cfg.CrashCommitProb = 0, 0
 			cfg.CoordCrashProb, cfg.PartitionProb, cfg.CheckpointEvery = 0, 0, 0
 			cfg.Churn, cfg.ChurnProb, cfg.MigrateCrashProb, cfg.MigratePartitionProb = false, 0, 0, 0
+			cfg.Replication = false
+			cfg.ReplicaDropProb, cfg.ReplicaCrashProb, cfg.ReplicaPartitionProb = 0, 0, 0
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		rep, err := chaos.Run(ctx, cfg)
@@ -124,8 +146,12 @@ func main() {
 			// replays of a seed, so no wall-clock latency values here.
 			fmt.Print(rep.Obs.Summary())
 		default:
-			fmt.Printf("ok   seed=%d property=%s commits=%d aborts=%d crashes=%d balances=%v\n",
-				rep.Seed, rep.Property, rep.Commits, rep.Aborts, rep.Crashes, rep.Balances)
+			extra := ""
+			if cfg.Replication {
+				extra = fmt.Sprintf(" audits=%d converged=%v", rep.Audits, rep.Converged)
+			}
+			fmt.Printf("ok   seed=%d property=%s commits=%d aborts=%d crashes=%d balances=%v%s\n",
+				rep.Seed, rep.Property, rep.Commits, rep.Aborts, rep.Crashes, rep.Balances, extra)
 			fmt.Printf("     obs: tx.commit=%d tx.retry=%d locking.waits=%d dist.rpc.retransmits=%d wal.appends=%d fault.fires=%d trace=%d events\n",
 				rep.Obs.Counter("tx.commit"), rep.Obs.Counter("tx.retry"),
 				rep.Obs.Counter("locking.waits"), rep.Obs.Counter("dist.rpc.retransmits"),

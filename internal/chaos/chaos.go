@@ -101,6 +101,27 @@ type Config struct {
 	// MigratePartitionProb arms fault.MigratePartition: the network splits
 	// between a migration's copy and its commit, isolating one half.
 	MigratePartitionProb float64
+	// Replication selects the replica-group mode for dynamic runs: four
+	// sites, every object replicated at ReplicationFactor, commuting
+	// operations streaming to followers without locks or 2PC, snapshot
+	// audits reading at any follower. See runReplication.
+	Replication bool
+	// ReplicationFactor is the replica-set size per object (default 3).
+	ReplicationFactor int
+	// ReplicaDropProb arms fault.ReplDeliverDrop: follower deliveries are
+	// dropped in flight and retried by the replicator's queues.
+	ReplicaDropProb float64
+	// ReplicaCrashProb arms fault.ReplApplyCrash: the follower crashes
+	// inside the apply windows (after logging the delivery, before or after
+	// committing it), forcing redelivery against a recovered replica.
+	ReplicaCrashProb float64
+	// ReplicaPartitionProb arms fault.ReplPartition: the partition driver
+	// consults it on the PartitionEvery cadence and, when it fires, splits
+	// one site from the rest for PartitionWindow.
+	ReplicaPartitionProb float64
+	// AuditWorkers is the number of concurrent snapshot-audit clients in
+	// replication mode (default 2).
+	AuditWorkers int
 }
 
 func (c *Config) fill() {
@@ -111,16 +132,24 @@ func (c *Config) fill() {
 		c.Txns = 3
 	}
 	if c.RecoverEvery <= 0 && (c.CrashPrepareProb > 0 || c.CrashCommitProb > 0 ||
-		c.CoordCrashProb > 0 || c.PartitionProb > 0 || c.Churn) {
+		c.CoordCrashProb > 0 || c.PartitionProb > 0 || c.Churn || c.Replication) {
 		c.RecoverEvery = 200 * time.Microsecond
 	}
 	if c.Churn && c.ChurnEvery <= 0 {
 		c.ChurnEvery = 300 * time.Microsecond
 	}
+	if c.Replication {
+		if c.ReplicationFactor <= 0 {
+			c.ReplicationFactor = 3
+		}
+		if c.AuditWorkers <= 0 {
+			c.AuditWorkers = 2
+		}
+	}
 	if c.Delay <= 0 {
 		c.Delay = 50 * time.Microsecond
 	}
-	if c.PartitionProb > 0 {
+	if c.PartitionProb > 0 || c.ReplicaPartitionProb > 0 {
 		if c.PartitionEvery <= 0 {
 			c.PartitionEvery = 500 * time.Microsecond
 		}
@@ -146,6 +175,10 @@ type Report struct {
 	// atomicity checker's verdict on it (empty = passed).
 	Events   int
 	CheckErr string
+	// Audits counts completed snapshot audits and Converged reports the
+	// follower-equals-leader oracle (replication mode only).
+	Audits    int64
+	Converged bool
 	// Trace is the injector's activation trace; Injector its summary.
 	Trace    []fault.Activation
 	Injector string
@@ -185,6 +218,9 @@ func (c Config) injector() *fault.Injector {
 	in.Enable(fault.MigrateCrashCommit, fault.Rule{Prob: c.MigrateCrashProb})
 	in.Enable(fault.MigratePartition, fault.Rule{Prob: c.MigratePartitionProb})
 	in.Enable(fault.ClusterChurn, fault.Rule{Prob: c.ChurnProb})
+	in.Enable(fault.ReplDeliverDrop, fault.Rule{Prob: c.ReplicaDropProb})
+	in.Enable(fault.ReplApplyCrash, fault.Rule{Prob: c.ReplicaCrashProb})
+	in.Enable(fault.ReplPartition, fault.Rule{Prob: c.ReplicaPartitionProb})
 	// The coordinator crash windows (fault.CoordCrashBeforeLog/AfterLog)
 	// are armed by runDist after the seed deposit commits: an orphaned,
 	// committed-but-retried seed would double the deposit and break the
@@ -217,7 +253,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	var err error
 	switch cfg.Property {
 	case tx.Dynamic:
-		if cfg.Churn {
+		if cfg.Replication {
+			rep, err = runReplication(ctx, cfg)
+		} else if cfg.Churn {
 			rep, err = runChurn(ctx, cfg)
 		} else {
 			rep, err = runDist(ctx, cfg)

@@ -69,3 +69,22 @@ func (s *Static) CommutesWithAll(inv spec.Invocation, calls []spec.Call) bool {
 	}
 	return true
 }
+
+// CommutativeClass reports whether invs form a proven-commutative class:
+// every ordered pair — including each invocation against itself — commutes
+// under the static tables. A class that passes can replicate its members
+// asynchronously with no ordering coordination at all: any interleaving of
+// the class at any replica yields the same state and the same recorded
+// results, so delivery order does not matter. Self-pairs are included
+// because replication concurrency is unbounded — two deliveries of the
+// same operation shape may race at a replica.
+func (s *Static) CommutativeClass(invs ...spec.Invocation) bool {
+	for i, p := range invs {
+		for _, q := range invs[i:] {
+			if s.Conflicts(p, q) {
+				return false
+			}
+		}
+	}
+	return true
+}

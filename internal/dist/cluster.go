@@ -9,7 +9,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"weihl83/internal/adts"
 	"weihl83/internal/cc"
+	"weihl83/internal/conflict"
 	"weihl83/internal/fault"
 	"weihl83/internal/histories"
 	"weihl83/internal/obs"
@@ -63,6 +65,7 @@ type Cluster struct {
 	ring      *Ring
 	placement map[histories.ObjectID]SiteID
 	placeV    uint64
+	repl      *replicator // replica-group control plane; nil at factor 1
 
 	// migMu serialises migrations: one shard moves at a time, keeping the
 	// placement-version history linear.
@@ -282,6 +285,18 @@ func (c *Cluster) migrateOnce(obj histories.ObjectID, dest SiteID) (done bool, e
 		obsMigrationAborts.Inc()
 		return false, err
 	}
+	// Replica groups move as a set: with the object frozen (no new commits
+	// can ship deliveries), drain its in-flight deliveries so every
+	// retained follower has folded in everything the exported baseline
+	// contains before the set is recomputed. A drain timeout (a follower
+	// down) aborts the attempt retryably.
+	if rep := c.replicator(); rep != nil {
+		if derr := rep.drainObject(obj); derr != nil {
+			srcPeer.abort(txn)
+			obsMigrationAborts.Inc()
+			return false, derr
+		}
+	}
 	if err := dstPeer.stage(txn, exp, ringv); err != nil {
 		srcPeer.abort(txn)
 		dstPeer.abort(txn)
@@ -330,10 +345,71 @@ func (c *Cluster) migrateOnce(obj histories.ObjectID, dest SiteID) (done bool, e
 	if ringv > c.placeV {
 		c.placeV = ringv
 	}
+	rep := c.repl
 	c.mu.Unlock()
+	if rep != nil {
+		c.recomputeReplicaSet(rep, obj, dest, ringv, exp.State, exp.Type)
+	}
 	obsClusterMoves.Inc()
 	obsMigrations.Inc()
 	return true, nil
+}
+
+// recomputeReplicaSet re-derives an object's follower set after its leader
+// moved: followers are the ring's Owners walk minus the new leader. Added
+// followers are seeded from the migration's exported baseline through
+// their delivery queues; removed ones (including the new leader, which may
+// have been a follower) unfollow directly — control-plane, like the
+// placement update itself. The route version advances so snapshot reads
+// that raced the change refuse and retry.
+func (c *Cluster) recomputeReplicaSet(rep *replicator, obj histories.ObjectID, leader SiteID, ringv uint64, base spec.State, typ adts.Type) {
+	c.mu.Lock()
+	followers := replicaFollowers(c.ring, obj, rep.factor, leader)
+	c.mu.Unlock()
+	rep.mu.Lock()
+	route := rep.routes[obj]
+	if route == nil {
+		route = &replicaRoute{static: conflict.StaticForType(typ), typ: typ}
+		rep.routes[obj] = route
+	}
+	old := route.followers
+	route.leader = leader
+	route.followers = followers
+	route.v = ringv
+	keep := make(map[SiteID]bool, len(followers))
+	for _, f := range followers {
+		keep[f] = true
+	}
+	var removed []SiteID
+	for _, f := range old {
+		if !keep[f] {
+			removed = append(removed, f)
+		}
+	}
+	was := make(map[SiteID]bool, len(old))
+	for _, f := range old {
+		was[f] = true
+	}
+	rep.clock++
+	seedTS := rep.clock
+	for _, f := range followers {
+		if was[f] {
+			continue
+		}
+		rep.pendingByObj[obj]++
+		rep.queueFor(f).push(replItem{kind: replSeed, obj: obj, ts: seedTS, state: base, typ: typ})
+	}
+	rep.mu.Unlock()
+	for _, f := range removed {
+		if s, err := c.net.Site(f); err == nil {
+			s.unfollow(obj)
+		}
+	}
+	// The new leader hosts the object now; a leftover follow from its past
+	// life in the set would shadow the authoritative copy.
+	if s, err := c.net.Site(leader); err == nil {
+		s.unfollow(obj)
+	}
 }
 
 // abortMigration durably decides abort at the pool (explicit aborts let
@@ -396,6 +472,7 @@ func (c *Cluster) Resource(obj histories.ObjectID, origin SiteID) *ClusterResour
 		obj:    obj,
 		origin: origin,
 		pins:   make(map[histories.ActivityID]*RemoteResource),
+		calls:  make(map[histories.ActivityID][]spec.Call),
 	}
 }
 
@@ -414,6 +491,10 @@ type ClusterResource struct {
 
 	mu   sync.Mutex
 	pins map[histories.ActivityID]*RemoteResource
+	// calls mirrors each transaction's completed calls here, so the
+	// replicator can ship them to the object's followers at commit and
+	// judge their commutative class at prepare.
+	calls map[histories.ActivityID][]spec.Call
 }
 
 var _ cc.Resource = (*ClusterResource)(nil)
@@ -463,11 +544,29 @@ func (r *ClusterResource) Invoke(txn *cc.TxnInfo, inv spec.Invocation) (value.Va
 	if err != nil && errors.Is(err, cc.ErrMoved) {
 		obsClusterRefused.Inc()
 	}
+	if err == nil && r.c.replicator() != nil {
+		r.mu.Lock()
+		r.calls[txn.ID] = append(r.calls[txn.ID], spec.Call{Inv: inv, Result: v})
+		r.mu.Unlock()
+	}
 	return v, err
 }
 
-// Prepare implements cc.Resource.
+// Prepare implements cc.Resource. Under replication it first registers the
+// transaction's leg with the replicator and, when the calls are not a
+// proven-commutative class, passes the sync barrier: the object's
+// in-flight async deliveries drain before the leader's 2PC prepare, so the
+// conflicting transaction's commit stamp follows everything it could
+// conflict with.
 func (r *ClusterResource) Prepare(txn *cc.TxnInfo) error {
+	if rep := r.c.replicator(); rep != nil {
+		r.mu.Lock()
+		calls := r.calls[txn.ID]
+		r.mu.Unlock()
+		if err := rep.prepare(txn.ID, r.obj, calls); err != nil {
+			return err
+		}
+	}
 	p, err := r.proxyFor(txn.ID)
 	if err != nil {
 		return err
@@ -475,11 +574,19 @@ func (r *ClusterResource) Prepare(txn *cc.TxnInfo) error {
 	return p.Prepare(txn)
 }
 
-// Commit implements cc.Resource.
+// Commit implements cc.Resource. The decided transaction's legs ship to
+// every follower before the leader installs the commit: stamping and
+// enqueueing under one mutex keeps follower apply order equal to stamp
+// order, and the durable decision (already at the coordinator) makes the
+// ship safe however the leader-side delivery interleaves.
 func (r *ClusterResource) Commit(txn *cc.TxnInfo, ts histories.Timestamp) {
+	if rep := r.c.replicator(); rep != nil {
+		rep.ship(txn.ID)
+	}
 	r.mu.Lock()
 	p := r.pins[txn.ID]
 	delete(r.pins, txn.ID)
+	delete(r.calls, txn.ID)
 	r.mu.Unlock()
 	if p != nil {
 		p.Commit(txn, ts)
@@ -488,9 +595,13 @@ func (r *ClusterResource) Commit(txn *cc.TxnInfo, ts histories.Timestamp) {
 
 // Abort implements cc.Resource.
 func (r *ClusterResource) Abort(txn *cc.TxnInfo) {
+	if rep := r.c.replicator(); rep != nil {
+		rep.forget(txn.ID)
+	}
 	r.mu.Lock()
 	p := r.pins[txn.ID]
 	delete(r.pins, txn.ID)
+	delete(r.calls, txn.ID)
 	r.mu.Unlock()
 	if p != nil {
 		p.Abort(txn)

@@ -91,6 +91,33 @@ func (r *Ring) Owner(obj histories.ObjectID) (SiteID, bool) {
 	return r.points[i].site, true
 }
 
+// Owners returns an object's n-replica set: the owner plus the next n-1
+// distinct sites walking the ring clockwise from the object's hash,
+// wrapping around. The first element is always Owner(obj) — the replica
+// group's designated leader — so a factor-1 group degenerates to the
+// single-home placement. Fewer than n members on the ring yields every
+// member (replication factor is capped by cluster size, not an error).
+func (r *Ring) Owners(obj histories.ObjectID, n int) []SiteID {
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	if n > len(r.sites) {
+		n = len(r.sites)
+	}
+	h := ringHash(string(obj))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]SiteID, 0, n)
+	seen := make(map[SiteID]bool, n)
+	for k := 0; k < len(r.points) && len(out) < n; k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if !seen[p.site] {
+			seen[p.site] = true
+			out = append(out, p.site)
+		}
+	}
+	return out
+}
+
 // Sites returns the ring's members, sorted.
 func (r *Ring) Sites() []SiteID {
 	out := make([]SiteID, 0, len(r.sites))

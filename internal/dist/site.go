@@ -222,6 +222,13 @@ type Site struct {
 	homedAt   map[histories.ObjectID]uint64
 	migrating map[histories.ObjectID]histories.ActivityID
 	staged    map[histories.ActivityID]map[histories.ObjectID]stagedImport
+
+	// Replica-group state. follows is the stable follow catalog (like
+	// types/guards it survives crashes: a recovering follower rebuilds its
+	// copies from the WAL for exactly these objects); replicas holds the
+	// volatile timestamped version logs (see replica.go).
+	follows  map[histories.ObjectID]bool
+	replicas map[histories.ObjectID]*replicaObj
 }
 
 // stagedImport is the copied object state a migration's import handler
@@ -310,6 +317,8 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		homedAt:     make(map[histories.ObjectID]uint64),
 		migrating:   make(map[histories.ObjectID]histories.ActivityID),
 		staged:      make(map[histories.ActivityID]map[histories.ObjectID]stagedImport),
+		follows:     make(map[histories.ObjectID]bool),
+		replicas:    make(map[histories.ObjectID]*replicaObj),
 	}
 	s.disk.SetInjector(cfg.Injector)
 	if err := cfg.Network.register(s); err != nil {
@@ -401,6 +410,7 @@ func (s *Site) Crash() {
 	s.homedAt = nil
 	s.migrating = nil
 	s.staged = nil
+	s.replicas = nil // follows survives: it is catalog, not state
 	s.crashes++
 	obsSiteCrashes.Inc()
 	if obsSiteTrace.Enabled() {
@@ -531,6 +541,15 @@ func (s *Site) Recover() error {
 		}
 		switch r.Kind {
 		case recovery.RecordIntentions:
+			if r.Migrate == recovery.ReplicaIn {
+				// Replica deliveries are not 2PC halves: an uncommitted
+				// ReplicaIn record is a crash between a delivery's two
+				// appends, and the delivery worker will simply redeliver
+				// it. Running it through cooperative termination would
+				// presume abort and durably refuse the rid — blocking the
+				// redelivery forever.
+				continue
+			}
 			d := inDoubt[r.Txn]
 			if d == nil {
 				d = &doubt{txn: r.Txn}
@@ -688,6 +707,26 @@ func (s *Site) Recover() error {
 			return fmt.Errorf("dist: recovering %s/%s: %w", s.id, id, err)
 		}
 		s.objects[id] = o
+	}
+	// Rebuild follower copies: the replay folded every committed ReplicaIn
+	// record (seed baseline + deliveries) into states, and the watermark is
+	// the newest committed delivery timestamp, so the version log collapses
+	// to a single version at the watermark — snapshot reads below it refuse
+	// with ErrReplicaLag until fresher deliveries rebuild history. An object
+	// whose seed never committed (crash between the seed's two appends) has
+	// no replayed state; the delivery worker reseeds it.
+	s.replicas = make(map[histories.ObjectID]*replicaObj)
+	marks := recovery.ReplicaWatermarks(s.disk)
+	for id := range s.follows {
+		st, ok := states[id]
+		if !ok {
+			continue
+		}
+		s.replicas[id] = &replicaObj{
+			typ:      s.types[id],
+			floor:    marks[id],
+			versions: []replicaVersion{{ts: marks[id], state: st}},
+		}
 	}
 	if debugTraceOn {
 		for id, o := range s.objects {
@@ -1130,11 +1169,15 @@ func (s *Site) handleMigrateImport(obj histories.ObjectID, txn *cc.TxnInfo, exp 
 		return fmt.Errorf("dist: import of %s at %s: already hosted here: %w", obj, s.id, cc.ErrUnavailable)
 	}
 	if _, known := s.types[obj]; !known {
+		s.types[obj] = exp.Type
+	}
+	// The type may be known without a guard factory — a replica seed adopts
+	// the schema but carries no guard — so the guard is filled independently.
+	if s.guards[obj] == nil {
 		guard := exp.Guard
 		if guard == nil {
 			guard = func(t adts.Type) locking.Guard { return conflict.ForType(t) }
 		}
-		s.types[obj] = exp.Type
 		s.guards[obj] = guard
 	}
 	m := s.staged[txn.ID]

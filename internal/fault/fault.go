@@ -155,6 +155,24 @@ const (
 	// the segment back to the pre-batch offset and fails every group. Hit
 	// by recovery.FileWAL's file layer per fsync.
 	DiskFsyncFail Point = "disk.fsync.fail"
+	// ReplDeliverDrop: an asynchronous replica delivery attempt is lost
+	// before its RPC leaves the origin — the queue worker's bounded-retry
+	// loop redelivers it, and the follower's idempotent apply (keyed by
+	// the delivery's activity id) absorbs any duplicate. Hit by the
+	// replication queue worker per attempt.
+	ReplDeliverDrop Point = "repl.deliver.drop"
+	// ReplApplyCrash: the follower site crashes inside the replica apply
+	// handler — either after forcing the delivery's intentions but before
+	// its commit record (the delivery vanishes at restart and redelivery
+	// re-logs it), or after the commit record (restart replays it and
+	// redelivery deduplicates). Hit by dist.Site's replica apply handler
+	// in both windows.
+	ReplApplyCrash Point = "repl.apply.crash"
+	// ReplPartition: the network partitions a replica group — followers
+	// are cut off from the origin's delivery queues for a window, then
+	// heal and catch up. Consulted by the chaos harness's replication
+	// partition driver on its cadence.
+	ReplPartition Point = "repl.partition"
 )
 
 // AllPoints returns every named fault point wired through the system, in
@@ -186,6 +204,9 @@ func AllPoints() []Point {
 		ClusterChurn,
 		DiskWriteTorn,
 		DiskFsyncFail,
+		ReplDeliverDrop,
+		ReplApplyCrash,
+		ReplPartition,
 	}
 }
 

@@ -575,6 +575,26 @@ func (w *FileWAL) checkpoint(specs map[histories.ObjectID]spec.SerialSpec, initi
 			}
 		}
 	}
+	// Carry the replica delivery watermark forward: compaction drops the
+	// committed ReplicaIn records whose effects the snapshot folds in.
+	replicaTS := make(map[histories.ObjectID]histories.Timestamp)
+	for _, r := range w.records {
+		switch r.Kind {
+		case RecordIntentions:
+			if r.Migrate == ReplicaIn && cp.Decided[r.Txn] && r.TS > replicaTS[r.Object] {
+				replicaTS[r.Object] = r.TS
+			}
+		case RecordCheckpoint:
+			for id, ts := range r.ReplicaTS {
+				if ts > replicaTS[id] {
+					replicaTS[id] = ts
+				}
+			}
+		}
+	}
+	if len(replicaTS) > 0 {
+		cp.ReplicaTS = replicaTS
+	}
 	compacted := []Record{cp}
 	for _, r := range w.records {
 		if r.Kind == RecordIntentions && undecided[r.Txn] {

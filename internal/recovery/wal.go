@@ -28,7 +28,7 @@ var (
 // recordBytes estimates a record's serialized size: a fixed header plus
 // per-call, per-state and per-decision overheads.
 func recordBytes(r Record) int64 {
-	return 64 + 48*int64(len(r.Calls)) + 96*int64(len(r.States)) + 24*int64(len(r.Decided)) + 16*int64(len(r.Hosted))
+	return 64 + 48*int64(len(r.Calls)) + 96*int64(len(r.States)) + 24*int64(len(r.Decided)) + 16*int64(len(r.Hosted)) + 16*int64(len(r.ReplicaTS))
 }
 
 // RecordKind discriminates write-ahead-log records.
@@ -61,6 +61,18 @@ const (
 	MigrateNone MigrateDir = iota
 	MigrateOut
 	MigrateIn
+	// ReplicaIn marks a replica-group record at a follower site: a seed
+	// (States set) adopts the shipped baseline as the follower's committed
+	// copy, a delivery (Calls set) replays the shipped calls onto it.
+	// Unlike MigrateIn, ReplicaIn never touches hosting — the leader stays
+	// the object's single home and the follower only serves snapshot
+	// reads. Each ReplicaIn intentions record is paired with its own
+	// commit record (the follower's local WAL protocol), so an
+	// uncommitted delivery vanishes at restart and bounded-retry
+	// redelivery re-logs it; restart's in-doubt resolution must skip
+	// these records — they are not transaction halves and have no
+	// coordinator to consult.
+	ReplicaIn
 )
 
 // Record is one entry in the write-ahead log.
@@ -101,6 +113,13 @@ type Record struct {
 	// hosting must be re-derivable from the checkpoint alone. Nil on
 	// checkpoints taken without hosting awareness.
 	Hosted map[histories.ObjectID]bool
+	// ReplicaTS is a checkpoint's replica watermark (RecordCheckpoint):
+	// per object, the highest delivery timestamp among the committed
+	// ReplicaIn records the checkpoint's States snapshot folds in.
+	// Compaction drops those records, so a recovering follower derives
+	// its snapshot-read floor from here — reads below the floor would
+	// silently include later effects already merged into the baseline.
+	ReplicaTS map[histories.ObjectID]histories.Timestamp
 }
 
 // clone deep-copies a record so callers can never alias the live log.
@@ -126,6 +145,12 @@ func (r Record) clone() Record {
 		cp.Hosted = make(map[histories.ObjectID]bool, len(r.Hosted))
 		for id, v := range r.Hosted {
 			cp.Hosted[id] = v
+		}
+	}
+	if r.ReplicaTS != nil {
+		cp.ReplicaTS = make(map[histories.ObjectID]histories.Timestamp, len(r.ReplicaTS))
+		for id, ts := range r.ReplicaTS {
+			cp.ReplicaTS[id] = ts
 		}
 	}
 	return cp
@@ -342,6 +367,16 @@ func replayHosted(recs []Record, specs map[histories.ObjectID]spec.SerialSpec, i
 				hosted[r.Object] = false
 				applied[r.Txn][r.Object] = true
 				continue
+			case ReplicaIn:
+				// Replica-group record at a follower. A seed adopts the
+				// shipped baseline; a delivery falls through to ordinary
+				// call replay onto it. Hosting is untouched either way —
+				// the follower's copy is a read replica, not a home.
+				if st, ok := r.States[r.Object]; ok {
+					states[r.Object] = st
+					applied[r.Txn][r.Object] = true
+					continue
+				}
 			}
 			base, ok := states[r.Object]
 			if !ok {
@@ -381,7 +416,14 @@ func replayHosted(recs []Record, specs map[histories.ObjectID]spec.SerialSpec, i
 				for id, h := range r.Hosted {
 					hosted[id] = h
 					if !h {
-						delete(states, id)
+						// A non-hosted object whose state the snapshot still
+						// carries is a follower copy (replica group): keep
+						// it — post-checkpoint deliveries replay onto it. A
+						// plain migrated-out object has no snapshot state
+						// and is dropped.
+						if _, keep := r.States[id]; !keep {
+							delete(states, id)
+						}
 					}
 				}
 			}
@@ -443,11 +485,37 @@ func (d *Disk) checkpoint(specs map[histories.ObjectID]spec.SerialSpec, initialH
 			}
 		}
 	}
+	// Replica watermark: the snapshot folds in every committed ReplicaIn
+	// delivery, and compaction is about to drop those records, so the
+	// checkpoint must carry the per-object high-water timestamp forward
+	// (its own plus any prior checkpoint's).
+	replicaTS := make(map[histories.ObjectID]histories.Timestamp)
+	for _, r := range d.records {
+		if r.Torn {
+			continue
+		}
+		switch r.Kind {
+		case RecordIntentions:
+			if r.Migrate == ReplicaIn && cp.Decided[r.Txn] && r.TS > replicaTS[r.Object] {
+				replicaTS[r.Object] = r.TS
+			}
+		case RecordCheckpoint:
+			for id, ts := range r.ReplicaTS {
+				if ts > replicaTS[id] {
+					replicaTS[id] = ts
+				}
+			}
+		}
+	}
+	if len(replicaTS) > 0 {
+		cp.ReplicaTS = replicaTS
+	}
 	if d.inj.Fires(fault.DiskCheckpointTorn) {
 		torn := cp.clone()
 		torn.States = nil // the snapshot never made it to stable storage
 		torn.Decided = nil
 		torn.Hosted = nil
+		torn.ReplicaTS = nil
 		torn.Torn = true
 		d.records = append(d.records, torn)
 		obsCheckpointTorn.Inc()
@@ -476,4 +544,47 @@ func (d *Disk) checkpoint(specs map[histories.ObjectID]spec.SerialSpec, initialH
 	obsWALAppends.Inc()
 	obsWALBytes.Add(recordBytes(cp))
 	return reclaimed, nil
+}
+
+// ReplicaWatermarks scans the log for the per-object replica delivery
+// floor: the highest timestamp among committed ReplicaIn records, merged
+// with any checkpoint's carried-forward ReplicaTS. A follower recovering
+// from this log must refuse snapshot reads below the floor — every
+// delivery at or below it is already folded into the replayed state, so a
+// lower-timestamped read would anachronistically observe later effects.
+func ReplicaWatermarks(d Backend) map[histories.ObjectID]histories.Timestamp {
+	recs := d.Records()
+	committed := make(map[histories.ActivityID]bool)
+	for _, r := range recs {
+		if r.Torn {
+			continue
+		}
+		switch r.Kind {
+		case RecordCommit:
+			committed[r.Txn] = true
+		case RecordCheckpoint:
+			for txn := range r.Decided {
+				committed[txn] = true
+			}
+		}
+	}
+	marks := make(map[histories.ObjectID]histories.Timestamp)
+	for _, r := range recs {
+		if r.Torn {
+			continue
+		}
+		switch r.Kind {
+		case RecordIntentions:
+			if r.Migrate == ReplicaIn && committed[r.Txn] && r.TS > marks[r.Object] {
+				marks[r.Object] = r.TS
+			}
+		case RecordCheckpoint:
+			for id, ts := range r.ReplicaTS {
+				if ts > marks[id] {
+					marks[id] = ts
+				}
+			}
+		}
+	}
+	return marks
 }

@@ -26,6 +26,7 @@ type wireRecord struct {
 	States       map[histories.ObjectID]rawState `json:"s,omitempty"`
 	Decided      []histories.ActivityID          `json:"d,omitempty"`
 	Hosted       map[histories.ObjectID]bool     `json:"h,omitempty"`
+	ReplicaTS    map[histories.ObjectID]histories.Timestamp `json:"rts,omitempty"`
 }
 
 // rawState is one object's encoded snapshot state.
@@ -48,6 +49,7 @@ func encodeRecord(r Record, specs map[histories.ObjectID]spec.SerialSpec) ([]byt
 		RingV:        r.RingV,
 		Participants: r.Participants,
 		Hosted:       r.Hosted,
+		ReplicaTS:    r.ReplicaTS,
 	}
 	if r.States != nil {
 		w.States = make(map[histories.ObjectID]rawState, len(r.States))
@@ -100,6 +102,7 @@ func decodeRecord(payload []byte, specs map[histories.ObjectID]spec.SerialSpec) 
 		RingV:        w.RingV,
 		Participants: w.Participants,
 		Hosted:       w.Hosted,
+		ReplicaTS:    w.ReplicaTS,
 	}
 	if w.States != nil {
 		r.States = make(map[histories.ObjectID]spec.State, len(w.States))

@@ -125,6 +125,20 @@ type txnSiteReporter interface {
 	ParticipantSiteFor(txn histories.ActivityID) string
 }
 
+// ReadRouter maps an object to an alternate resource for read-only
+// transactions — a replica snapshot reader that executes at any follower of
+// the object's replica group — or nil to keep the registered (locked,
+// leader-routed) resource. dist.Cluster.ReadRouter builds one.
+type ReadRouter func(histories.ObjectID) cc.Resource
+
+// snapshotReader marks resources whose reads are serialized by a snapshot
+// timestamp alone: they take no locks and have nothing to prepare, so a
+// transaction joined only to such resources skips the coordinator's
+// two-phase commit entirely.
+type snapshotReader interface {
+	SnapshotRead() bool
+}
+
 // Coordinator is the distributed commit coordinator the runtime reports
 // decisions to. Begin is called when two-phase commit starts (before any
 // prepare); Decide is called with the outcome — after every prepare
@@ -187,6 +201,10 @@ type Config struct {
 	// resolve in-doubt transactions through the cooperative termination
 	// protocol, ultimately against the coordinator's durable log.
 	Coordinator Coordinator
+	// ReadRouter, when set, reroutes read-only transactions' invocations to
+	// the resource it returns (non-nil means: read there instead). Update
+	// transactions never consult it.
+	ReadRouter ReadRouter
 	// MaxRetries bounds automatic retries in Run (default 100).
 	MaxRetries int
 	// Backoff paces the retries in Run. The zero value selects capped
@@ -325,6 +343,14 @@ type Txn struct {
 	joined  []cc.Resource
 	status  Status
 	started time.Time
+	// readOnly is set for BeginReadOnly transactions under every property
+	// (info.ReadOnly only marks the hybrid timestamp regime); it is what
+	// makes the transaction eligible for read-any routing.
+	readOnly bool
+	// readRes caches the read router's verdict per object for this
+	// transaction, so every read of one object lands on one routed resource
+	// (joined once) instead of a fresh proxy per invocation.
+	readRes map[histories.ObjectID]cc.Resource
 	// began2pc records that the coordinator was told about this
 	// transaction, so an abort is reported back to it (explicit abort
 	// decisions let termination queries distinguish "decided abort" from
@@ -348,8 +374,9 @@ func (m *Manager) begin(readOnly bool) *Txn {
 			ID:  histories.ActivityID("t" + strconv.FormatInt(seq, 10)),
 			Seq: seq,
 		},
-		status:  StatusActive,
-		started: time.Now(),
+		status:   StatusActive,
+		started:  time.Now(),
+		readOnly: readOnly,
 	}
 	obsBegins.Inc()
 	switch m.cfg.Property {
@@ -400,6 +427,22 @@ func (t *Txn) Invoke(obj histories.ObjectID, op string, arg value.Value) (value.
 	if !ok {
 		return value.Nil(), fmt.Errorf("%w: %s", ErrNoResource, obj)
 	}
+	if t.readOnly && t.m.cfg.ReadRouter != nil {
+		if routed, cached := t.readRes[obj]; cached {
+			if routed != nil {
+				r = routed
+			}
+		} else {
+			routed := t.m.cfg.ReadRouter(obj)
+			if t.readRes == nil {
+				t.readRes = make(map[histories.ObjectID]cc.Resource)
+			}
+			t.readRes[obj] = routed // nil is cached too: stay on the leader
+			if routed != nil {
+				r = routed
+			}
+		}
+	}
 	t.join(r)
 	if obsTrace.Enabled() {
 		obsTrace.Record(obs.TraceEvent{Kind: obs.KindInvoke, Txn: string(t.info.ID), Obj: string(obj), Note: op})
@@ -409,6 +452,18 @@ func (t *Txn) Invoke(obj histories.ObjectID, op string, arg value.Value) (value.
 		return v, err
 	}
 	return r.Invoke(&t.info, spec.Invocation{Op: op, Arg: arg})
+}
+
+// allSnapshotReads reports whether every joined resource is a snapshot
+// reader — such a transaction has no locks, no intentions, and no votes, so
+// there is no two-phase commit to coordinate.
+func (t *Txn) allSnapshotReads() bool {
+	for _, r := range t.joined {
+		if sr, ok := r.(snapshotReader); !ok || !sr.SnapshotRead() {
+			return false
+		}
+	}
+	return len(t.joined) > 0
 }
 
 func (t *Txn) join(r cc.Resource) {
@@ -435,7 +490,7 @@ func (t *Txn) Commit() error {
 	if t.status != StatusActive {
 		return ErrTxnDone
 	}
-	if t.m.cfg.Coordinator != nil && len(t.joined) > 0 {
+	if t.m.cfg.Coordinator != nil && len(t.joined) > 0 && !t.allSnapshotReads() {
 		for _, r := range t.joined {
 			if sr, ok := r.(txnSiteReporter); ok {
 				t.info.Participants = append(t.info.Participants, sr.ParticipantSiteFor(t.info.ID))
